@@ -1,0 +1,11 @@
+"""Ablation: Avro deflate vs uncompressed payloads in S2V (§3.2.2).
+
+On compressible data (D2's text) deflate shrinks the wire volume and the
+save time; on incompressible data (D1's random doubles) it is a wash.
+"""
+
+from repro.bench.experiments import run_ablation_avro
+
+
+def test_ablation_avro(run_experiment):
+    run_experiment(run_ablation_avro)

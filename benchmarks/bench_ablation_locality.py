@@ -1,0 +1,11 @@
+"""Ablation: what the hash-ring locality buys (DESIGN.md ablation).
+
+Compares intra-Vertica shuffle bytes and time between V2S's node-local
+hash-range queries and JDBC-style value ranges through one host.
+"""
+
+from repro.bench.experiments import run_ablation_locality
+
+
+def test_ablation_locality(run_experiment):
+    run_experiment(run_ablation_locality)

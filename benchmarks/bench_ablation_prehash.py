@@ -1,0 +1,11 @@
+"""Ablation: the paper's §5 future-work pre-hashed S2V partitioning.
+
+Pre-hashing the DataFrame to the staging table's segmentation eliminates
+all Vertica-internal redistribution traffic during the load.
+"""
+
+from repro.bench.experiments import run_ablation_prehash
+
+
+def test_ablation_prehash(run_experiment):
+    run_experiment(run_ablation_prehash)

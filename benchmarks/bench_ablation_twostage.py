@@ -1,0 +1,12 @@
+"""Ablation: single-stage S2V vs the 2-stage landing-zone approach (§5).
+
+The paper predicts the 2-stage (spark-redshift style) design "may be
+slower than our single-stage approach because it requires an
+intermediate write of a full copy of the data"; this bench measures it.
+"""
+
+from repro.bench.experiments import run_ablation_twostage
+
+
+def test_ablation_twostage(run_experiment):
+    run_experiment(run_ablation_twostage)

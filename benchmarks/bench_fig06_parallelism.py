@@ -1,0 +1,12 @@
+"""Figure 6: execution time of V2S and S2V vs the number of partitions.
+
+Paper: both directions show a bowl — 4 partitions generate too little
+work per connection, 256 add overhead without transfer benefit; V2S is
+497 s @32 / 475 s @128, S2V's best is 252 s @128.
+"""
+
+from repro.bench.experiments import run_fig6
+
+
+def test_fig06_parallelism(run_experiment):
+    run_experiment(run_fig6)

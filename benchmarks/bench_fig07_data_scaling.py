@@ -1,0 +1,11 @@
+"""Figure 7: scaling D1 from 1M to 1000M rows (log-log linear).
+
+Paper: both directions scale linearly; S2V pays fixed overheads at small
+sizes (19 s at 1M rows) and overtakes V2S at large sizes.
+"""
+
+from repro.bench.experiments import run_fig7
+
+
+def test_fig07_data_scaling(run_experiment):
+    run_experiment(run_fig7)

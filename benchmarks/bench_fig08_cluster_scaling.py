@@ -1,0 +1,10 @@
+"""Figure 8: cluster scaling 2:4 -> 4:8 -> 8:16 at fixed per-node data.
+
+Paper: slight linear degradation (<10%) with each doubling.
+"""
+
+from repro.bench.experiments import run_fig8
+
+
+def test_fig08_cluster_scaling(run_experiment):
+    run_experiment(run_fig8)

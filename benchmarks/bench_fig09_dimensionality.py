@@ -1,0 +1,11 @@
+"""Figure 9: 100 cols x 100M rows vs 1 col x 10,000M rows (same cells).
+
+Paper: the tall/narrow shape is significantly slower — per-row overheads
+(JDBC encode, per-row hash, Avro pack/unpack) dominate.
+"""
+
+from repro.bench.experiments import run_fig9
+
+
+def test_fig09_dimensionality(run_experiment):
+    run_experiment(run_fig9)

@@ -1,0 +1,12 @@
+"""Figure 10: load via V2S vs Spark's JDBC Default Source.
+
+Paper: without pushdown V2S is ~4x faster (hash-ring locality vs value
+ranges through a single host); with a 5% selectivity pushdown both
+shrink drastically and converge.
+"""
+
+from repro.bench.experiments import run_fig10
+
+
+def test_fig10_jdbc_load(run_experiment):
+    run_experiment(run_fig10)

@@ -1,0 +1,11 @@
+"""Figure 11: save via S2V vs JDBC Default Source at 1..1M rows.
+
+Paper: 1 row shows the overheads (S2V 5 s vs JDBC 3 s); beyond ~1K rows
+S2V's COPY path wins decisively; at 1M rows JDBC ran >3 hours.
+"""
+
+from repro.bench.experiments import run_fig11
+
+
+def test_fig11_jdbc_save(run_experiment):
+    run_experiment(run_fig11)

@@ -1,0 +1,12 @@
+"""Table 2: one Vertica node's CPU and outbound network during V2S.
+
+Paper: with 4 partitions the network idles at ~38 MB/s (one connection's
+producer pipeline) and CPU ~5%; with 32 partitions the NIC saturates at
+~120 MB/s and CPU ~20%.
+"""
+
+from repro.bench.experiments import run_tab2
+
+
+def test_tab02_resources(run_experiment):
+    run_experiment(run_tab2)

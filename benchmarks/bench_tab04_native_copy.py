@@ -1,0 +1,11 @@
+"""Table 4: S2V vs Vertica's native parallel COPY from local splits.
+
+Paper: best COPY 238 s (8 file parts) vs best S2V 252 s — S2V is ~6%
+slower but needs no pre-staged node-local files.
+"""
+
+from repro.bench.experiments import run_tab4
+
+
+def test_tab04_native_copy(run_experiment):
+    run_experiment(run_tab4)

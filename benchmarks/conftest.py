@@ -1,0 +1,34 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures through
+:mod:`repro.bench.experiments`, prints the paper-vs-measured report,
+saves it under ``benchmarks/results/``, and *asserts the shape checks* —
+who wins, by roughly what factor, where crossovers fall.
+
+The simulations are deterministic, so each experiment runs once
+(``benchmark.pedantic`` with a single round); pytest-benchmark records
+the wall time of the harness itself.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run one experiment function under pytest-benchmark and verify it."""
+
+    def runner(experiment_fn):
+        report = benchmark.pedantic(
+            experiment_fn, rounds=1, iterations=1, warmup_rounds=0
+        )
+        with capsys.disabled():
+            report.show(RESULTS_DIR)
+        failed = report.failed_checks()
+        assert not failed, f"shape checks failed: {failed}"
+        return report
+
+    return runner

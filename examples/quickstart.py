@@ -1,0 +1,84 @@
+"""Quickstart: the enterprise fabric in five minutes.
+
+Builds a simulated 4-node Vertica cluster and an 8-worker Spark cluster
+on one simulation clock, then exercises the connector's two directions
+exactly as in Table 1 of the paper:
+
+- S2V: save a Spark DataFrame into Vertica (exactly-once, COPY + Avro),
+- V2S: load it back through locality-aware hash-range queries, with
+  filter and count pushdown.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.connector import SimVerticaCluster
+from repro.connector.defaultsource import DefaultSource
+from repro.sim import Environment
+from repro.spark import GreaterThan, SparkSession, StructField, StructType
+
+
+def main() -> None:
+    # One simulation environment hosts both clusters (the "fabric").
+    env = Environment()
+    vertica = SimVerticaCluster(env=env, num_nodes=4)
+    spark = SparkSession(env=env, cluster=vertica.sim_cluster, num_workers=8)
+
+    # A DataFrame of synthetic order data.
+    schema = StructType(
+        [
+            StructField("order_id", "long"),
+            StructField("amount", "double"),
+            StructField("region", "string"),
+        ]
+    )
+    rows = [
+        (i, round(10.0 + (i * 7919) % 990 / 10.0, 2), ["EMEA", "AMER", "APAC"][i % 3])
+        for i in range(1, 501)
+    ]
+    orders = spark.create_dataframe(rows, schema, num_partitions=8)
+
+    # --- S2V: Spark -> Vertica -------------------------------------------------
+    orders.write.format("vertica").options(
+        db=vertica, table="orders", numpartitions=16
+    ).mode("overwrite").save()
+    result = DefaultSource.last_save_result
+    print(f"S2V: {result.rows_loaded} rows loaded, job {result.job_name} "
+          f"finished with status {result.status}")
+
+    # The permanent job record survives in Vertica:
+    session = vertica.db.connect()
+    status_rows = session.execute(
+        "SELECT job_name, status FROM S2V_JOB_STATUS"
+    ).rows
+    print(f"S2V job log in Vertica: {status_rows}")
+
+    # Vertica-side SQL sees the data immediately:
+    by_region = session.execute(
+        "SELECT region, COUNT(*) AS n, SUM(amount) AS total FROM orders "
+        "GROUP BY region ORDER BY region"
+    )
+    print("SQL aggregate in Vertica:")
+    for region, count, total in by_region.rows:
+        print(f"  {region}: {count} orders, {total:.2f} total")
+
+    # --- V2S: Vertica -> Spark --------------------------------------------------
+    df = spark.read.format("vertica").options(
+        db=vertica, table="orders", numpartitions=16
+    ).load()
+    print(f"V2S: loaded {df.count()} rows "
+          f"(COUNT pushed down into Vertica)")
+
+    # Filter + column pushdown: Vertica pre-filters, only 2 columns travel.
+    big = df.filter(GreaterThan("AMOUNT", 100.0)).select("ORDER_ID", "AMOUNT")
+    big_rows = big.collect()
+    print(f"V2S with pushdown: {len(big_rows)} orders above 100.00")
+
+    # The locality-aware V2S queries induced zero Vertica-internal
+    # traffic; the small residue below is S2V's segment redistribution.
+    print(f"intra-Vertica bytes (S2V redistribution only): "
+          f"{vertica.internal_bytes():.0f}")
+    print(f"simulated wall clock consumed: {env.now:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Reproduction of the SIGMOD 2016 paper "Building the Enterprise Fabric for
+Big Data with Vertica and Spark Integration" (LeFevre et al.).
+
+The package implements, from scratch:
+
+- ``repro.sim`` — a discrete-event simulation kernel with a fair-share
+  network model and CPU core pools (the "cluster hardware").
+- ``repro.vertica`` — an MPP columnar database with hash-ring segmentation,
+  epochs/MVCC, ACID transactions, a SQL subset, COPY bulk load, UDx and an
+  internal DFS (the "HPE Vertica" substrate).
+- ``repro.spark`` — an RDD/DataFrame compute engine with a batch task
+  scheduler, fault injection and speculative execution, plus a small MLlib
+  (the "Apache Spark" substrate).
+- ``repro.connector`` — the paper's contribution: V2S, S2V and MD.
+- ``repro.baselines`` — the paper's comparison points (JDBC Default Source,
+  HDFS read/write, native parallel COPY).
+- ``repro.avrolite`` / ``repro.pmml`` / ``repro.hdfs`` — the encodings and
+  storage substrates the connector depends on.
+- ``repro.workloads`` / ``repro.bench`` — dataset generators and the
+  experiment harness regenerating every table and figure in the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

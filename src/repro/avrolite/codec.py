@@ -1,0 +1,50 @@
+"""Block codecs for the Avro-like container format.
+
+Avro compresses each block independently; we support the two codecs the
+spec requires of every implementation: ``null`` (identity) and ``deflate``
+(raw zlib streams, no header/checksum, per the Avro spec).  Deflate is what
+gives the paper's S2V its wire-size advantage over text encodings.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, Tuple
+
+
+class CodecError(Exception):
+    """Raised for unknown codecs or corrupt compressed blocks."""
+
+
+def _deflate_compress(data: bytes) -> bytes:
+    compressor = zlib.compressobj(6, zlib.DEFLATED, -zlib.MAX_WBITS)
+    return compressor.compress(data) + compressor.flush()
+
+
+def _deflate_decompress(data: bytes) -> bytes:
+    try:
+        return zlib.decompress(data, -zlib.MAX_WBITS)
+    except zlib.error as exc:
+        raise CodecError(f"corrupt deflate block: {exc}") from exc
+
+
+CODECS: Dict[str, Tuple[Callable[[bytes], bytes], Callable[[bytes], bytes]]] = {
+    "null": (lambda data: data, lambda data: data),
+    "deflate": (_deflate_compress, _deflate_decompress),
+}
+
+
+def compress_block(codec: str, data: bytes) -> bytes:
+    try:
+        compress, __ = CODECS[codec]
+    except KeyError:
+        raise CodecError(f"unknown codec {codec!r}; known: {sorted(CODECS)}") from None
+    return compress(data)
+
+
+def decompress_block(codec: str, data: bytes) -> bytes:
+    try:
+        __, decompress = CODECS[codec]
+    except KeyError:
+        raise CodecError(f"unknown codec {codec!r}; known: {sorted(CODECS)}") from None
+    return decompress(data)

@@ -1,0 +1,195 @@
+"""Avro-like schemas.
+
+Supports the subset of Avro's type system the connector uses: the
+primitives ``null``, ``boolean``, ``int``, ``long``, ``float``, ``double``,
+``bytes`` and ``string``; named ``record`` types with ordered fields;
+``array`` types; and two-branch ``["null", T]`` unions for nullable fields.
+Schemas serialise to/from the JSON shapes Avro uses, so files carry their
+own schema like real Avro container files do.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+
+class SchemaError(Exception):
+    """Raised for malformed schemas or schema/datum mismatches."""
+
+
+PRIMITIVES = ("null", "boolean", "int", "long", "float", "double", "bytes", "string")
+
+
+class Schema:
+    """One Avro-like schema node."""
+
+    def __init__(
+        self,
+        kind: str,
+        name: str = "",
+        fields: Optional[Sequence[Tuple[str, "Schema"]]] = None,
+        items: Optional["Schema"] = None,
+        nullable: bool = False,
+    ):
+        if kind not in PRIMITIVES and kind not in ("record", "array"):
+            raise SchemaError(f"unknown schema kind: {kind!r}")
+        self.kind = kind
+        self.name = name
+        self.fields: List[Tuple[str, Schema]] = list(fields or [])
+        self.items = items
+        #: a nullable schema encodes as the Avro union ["null", this]
+        self.nullable = nullable
+        if kind == "record":
+            if not name:
+                raise SchemaError("record schemas require a name")
+            seen = set()
+            for field_name, __ in self.fields:
+                if field_name in seen:
+                    raise SchemaError(f"duplicate record field {field_name!r}")
+                seen.add(field_name)
+        if kind == "array" and items is None:
+            raise SchemaError("array schemas require an items schema")
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def primitive(cls, kind: str, nullable: bool = False) -> "Schema":
+        if kind not in PRIMITIVES:
+            raise SchemaError(f"not a primitive type: {kind!r}")
+        return cls(kind, nullable=nullable)
+
+    @classmethod
+    def record(cls, name: str, fields: Sequence[Tuple[str, "Schema"]]) -> "Schema":
+        return cls("record", name=name, fields=fields)
+
+    @classmethod
+    def array(cls, items: "Schema") -> "Schema":
+        return cls("array", items=items)
+
+    # -- structural equality ---------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.to_json() == other.to_json()
+
+    def __hash__(self) -> int:
+        return hash(json.dumps(self.to_json(), sort_keys=True))
+
+    def __repr__(self) -> str:
+        return f"Schema({json.dumps(self.to_json())})"
+
+    def field_names(self) -> List[str]:
+        return [name for name, __ in self.fields]
+
+    def field(self, name: str) -> "Schema":
+        for field_name, schema in self.fields:
+            if field_name == name:
+                return schema
+        raise SchemaError(f"record {self.name!r} has no field {name!r}")
+
+    # -- JSON round-trip -------------------------------------------------------
+    def to_json(self) -> Any:
+        base: Any
+        if self.kind in PRIMITIVES:
+            base = self.kind
+        elif self.kind == "record":
+            base = {
+                "type": "record",
+                "name": self.name,
+                "fields": [
+                    {"name": n, "type": s.to_json()} for n, s in self.fields
+                ],
+            }
+        else:  # array
+            assert self.items is not None
+            base = {"type": "array", "items": self.items.to_json()}
+        if self.nullable:
+            return ["null", base]
+        return base
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, obj: Any) -> "Schema":
+        if isinstance(obj, str):
+            return cls.primitive(obj)
+        if isinstance(obj, list):
+            if len(obj) != 2 or obj[0] != "null":
+                raise SchemaError(
+                    f"only two-branch ['null', T] unions are supported: {obj!r}"
+                )
+            inner = cls.from_json(obj[1])
+            inner.nullable = True
+            return inner
+        if isinstance(obj, dict):
+            kind = obj.get("type")
+            if kind == "record":
+                fields = [
+                    (f["name"], cls.from_json(f["type"]))
+                    for f in obj.get("fields", [])
+                ]
+                return cls.record(obj["name"], fields)
+            if kind == "array":
+                return cls.array(cls.from_json(obj["items"]))
+            if isinstance(kind, str) and kind in PRIMITIVES:
+                return cls.primitive(kind)
+        raise SchemaError(f"cannot parse schema from {obj!r}")
+
+    @classmethod
+    def loads(cls, text: str) -> "Schema":
+        return cls.from_json(json.loads(text))
+
+    # -- validation --------------------------------------------------------------
+    def validate(self, datum: Any) -> None:
+        """Raise :class:`SchemaError` if ``datum`` does not match this schema."""
+        if datum is None:
+            if self.nullable or self.kind == "null":
+                return
+            raise SchemaError(f"None is not valid for non-nullable {self.kind}")
+        if self.kind == "null":
+            raise SchemaError(f"expected null, got {datum!r}")
+        if self.kind == "boolean":
+            if not isinstance(datum, bool):
+                raise SchemaError(f"expected boolean, got {datum!r}")
+        elif self.kind in ("int", "long"):
+            if isinstance(datum, bool) or not isinstance(datum, int):
+                raise SchemaError(f"expected {self.kind}, got {datum!r}")
+            bits = 32 if self.kind == "int" else 64
+            bound = 1 << (bits - 1)
+            if not -bound <= datum < bound:
+                raise SchemaError(f"{datum} out of range for {self.kind}")
+        elif self.kind in ("float", "double"):
+            if isinstance(datum, bool) or not isinstance(datum, (int, float)):
+                raise SchemaError(f"expected {self.kind}, got {datum!r}")
+        elif self.kind == "bytes":
+            if not isinstance(datum, (bytes, bytearray)):
+                raise SchemaError(f"expected bytes, got {datum!r}")
+        elif self.kind == "string":
+            if not isinstance(datum, str):
+                raise SchemaError(f"expected string, got {datum!r}")
+        elif self.kind == "record":
+            if not isinstance(datum, (tuple, list, dict)):
+                raise SchemaError(f"expected record datum, got {datum!r}")
+            values = self._record_values(datum)
+            for (__, field_schema), value in zip(self.fields, values):
+                field_schema.validate(value)
+        elif self.kind == "array":
+            if not isinstance(datum, (list, tuple)):
+                raise SchemaError(f"expected array datum, got {datum!r}")
+            assert self.items is not None
+            for item in datum:
+                self.items.validate(item)
+
+    def _record_values(self, datum: Union[tuple, list, dict]) -> List[Any]:
+        if isinstance(datum, dict):
+            try:
+                return [datum[name] for name in self.field_names()]
+            except KeyError as exc:
+                raise SchemaError(f"record datum missing field {exc}") from None
+        if len(datum) != len(self.fields):
+            raise SchemaError(
+                f"record {self.name!r} expects {len(self.fields)} values, "
+                f"got {len(datum)}"
+            )
+        return list(datum)

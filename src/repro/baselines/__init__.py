@@ -1,0 +1,24 @@
+"""The comparison points of the paper's §4.7.
+
+- :mod:`repro.baselines.jdbc_source` — Spark's JDBC Default Source: load
+  parallelised over min/max ranges of a user-supplied integer column, all
+  queries routed through one host node, no snapshot consistency; save via
+  batches of INSERT statements without transactional coordination.
+- :mod:`repro.baselines.hdfs_source` — Spark's native HDFS path: one task
+  per 64 MB block for reads, parquet-like columnar files, 3× replicated
+  writes.
+- :mod:`repro.baselines.native_copy` — Vertica's own parallel COPY from
+  node-local file splits (the §4.7.3 upper bound for S2V).
+"""
+
+from repro.baselines.jdbc_source import JdbcDefaultSource, JdbcRelation
+from repro.baselines.hdfs_source import HdfsSource, SimHdfsCluster
+from repro.baselines.native_copy import parallel_copy
+
+__all__ = [
+    "HdfsSource",
+    "JdbcDefaultSource",
+    "JdbcRelation",
+    "SimHdfsCluster",
+    "parallel_copy",
+]

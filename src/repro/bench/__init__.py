@@ -1,0 +1,6 @@
+"""The benchmark harness regenerating every table and figure of §4."""
+
+from repro.bench.fabric import Fabric
+from repro.bench.report import ExperimentReport
+
+__all__ = ["ExperimentReport", "Fabric"]

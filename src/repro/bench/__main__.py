@@ -1,0 +1,86 @@
+"""Command-line entry point for the experiment harness.
+
+Run every experiment (or a selection) without pytest::
+
+    python -m repro.bench                # everything
+    python -m repro.bench fig06 tab04    # by prefix
+    python -m repro.bench --list         # show what exists
+
+Each experiment prints its paper-vs-measured table and shape checks, and
+saves the report under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments
+
+
+def _registry():
+    out = {}
+    for name in dir(experiments):
+        if name.startswith("run_"):
+            out[name[len("run_"):]] = getattr(experiments, name)
+    return out
+
+
+def main(argv=None) -> int:
+    registry = _registry()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment name prefixes (default: all)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="where to save report files",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, fn in sorted(registry.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:24s} {doc}")
+        return 0
+
+    if args.experiments:
+        selected = {
+            name: fn
+            for name, fn in registry.items()
+            if any(name.startswith(prefix) for prefix in args.experiments)
+        }
+        if not selected:
+            print(f"no experiments match {args.experiments}; "
+                  f"known: {sorted(registry)}", file=sys.stderr)
+            return 2
+    else:
+        selected = registry
+
+    failed = []
+    for name in sorted(selected):
+        start = time.time()
+        report = selected[name]()
+        report.show(args.results_dir)
+        print(f"({time.time() - start:.1f}s wall)")
+        if not report.all_checks_pass:
+            failed.append((name, report.failed_checks()))
+    if failed:
+        print("\nSHAPE CHECK FAILURES:", file=sys.stderr)
+        for name, checks in failed:
+            print(f"  {name}: {checks}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(selected)} experiments passed their shape checks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,557 @@
+"""Experiment definitions: one function per table/figure of the paper.
+
+Each function builds fresh fabrics, runs the experiment at laptop scale
+(real rows standing for the paper's virtual volumes), and returns an
+:class:`~repro.bench.report.ExperimentReport` carrying paper-vs-measured
+rows plus explicit *shape checks* — the who-wins / monotonicity /
+rough-factor claims the reproduction must preserve.
+
+Paper values quoted as plain numbers are stated in the paper's text;
+values marked ``~`` are read off its figures and approximate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.fabric import Fabric
+from repro.bench.report import ExperimentReport
+from repro.baselines.native_copy import parallel_copy, split_csv
+from repro.sim.trace import UsageTrace
+from repro.spark.datasource import GreaterThanOrEqual, LessThan
+from repro.workloads import make_d1, make_d1_reshaped, make_d1_with_int_column, make_d2
+
+#: default real row counts (virtual volumes come from the datasets)
+D1_REAL_ROWS = 2000
+D2_REAL_ROWS = 4000
+
+FIG6_PARTITIONS = (4, 8, 16, 32, 64, 128, 256)
+
+#: paper values for Figure 6; exact where stated in the text, otherwise
+#: read from the figure (approximate, marked in the report)
+FIG6_PAPER_V2S = {32: 497.0, 128: 475.0}
+FIG6_PAPER_S2V = {128: 252.0}
+
+
+def _d1(real_rows: int = D1_REAL_ROWS, virtual_rows: Optional[int] = None):
+    dataset = make_d1(real_rows=real_rows)
+    if virtual_rows is not None:
+        dataset = dataset.with_virtual_rows(virtual_rows)
+    return dataset
+
+
+# --------------------------------------------------------------------- Fig 6
+def run_fig6(partitions: Tuple[int, ...] = FIG6_PARTITIONS) -> ExperimentReport:
+    """Figure 6: execution time vs number of partitions (the bowl)."""
+    report = ExperimentReport(
+        "fig06_parallelism", "Varying the number of partitions (D1, 100M rows)"
+    )
+    report.set_columns(
+        ["partitions", "V2S paper (s)", "V2S sim (s)", "S2V paper (s)", "S2V sim (s)"]
+    )
+    v2s: Dict[int, float] = {}
+    s2v: Dict[int, float] = {}
+    for count in partitions:
+        fabric = Fabric()
+        dataset = _d1()
+        fabric.populate(dataset, "d1")
+        v2s[count], __ = fabric.v2s_load("d1", count, dataset.scale)
+        fabric = Fabric()
+        s2v[count] = fabric.s2v_save(_d1(), "d1_out", count)
+        report.add(
+            count,
+            FIG6_PAPER_V2S.get(count),
+            v2s[count],
+            FIG6_PAPER_S2V.get(count),
+            s2v[count],
+        )
+    report.note(
+        "paper states V2S 497 s @32 / 475 s @128 and S2V best 252 s @128; "
+        "other paper points are unlabeled in the figure"
+    )
+    best_v2s = min(v2s.values())
+    best_s2v = min(s2v.values())
+    report.check("bowl: V2S @4 partitions is >2x its best", v2s[4] > 2 * best_v2s)
+    report.check("bowl: S2V @4 partitions is >2x its best", s2v[4] > 2 * best_s2v)
+    report.check(
+        "V2S best occurs in the middle ranges (32..256)",
+        min(v2s, key=v2s.get) >= 32,
+    )
+    report.check(
+        "S2V best occurs at high parallelism (>=64)", min(s2v, key=s2v.get) >= 64
+    )
+    report.check("S2V best is faster than V2S best", best_s2v < best_v2s)
+    report.check(
+        "V2S @32 within 25% of paper's 497 s",
+        abs(v2s[32] - 497.0) / 497.0 < 0.25,
+    )
+    report.measured = {"v2s": v2s, "s2v": s2v}
+    return report
+
+
+# --------------------------------------------------------------------- Tab 2
+def run_tab2() -> ExperimentReport:
+    """Table 2: per-node resource usage during V2S, 4 vs 32 partitions."""
+    report = ExperimentReport(
+        "tab02_resources",
+        "Vertica node CPU / outbound network during the first 300 s of V2S",
+    )
+    report.set_columns(
+        ["partitions", "metric", "paper steady-state", "sim steady-state", "sparkline (0-300s)"]
+    )
+    measured = {}
+    for count, paper_net, paper_cpu in ((4, 38.0, 5.0), (32, 120.0, 20.0)):
+        fabric = Fabric()
+        dataset = _d1()
+        fabric.populate(dataset, "d1")
+        fabric.v2s_load("d1", count, dataset.scale)
+        node = fabric.vertica.sim_nodes["node0001"]
+        nic = node.nics[fabric.vertica.cost_model.external_nic].tx
+        net = UsageTrace.from_log("net", nic.rate_log, 0, 300, 5)
+        net_mbps = UsageTrace("net", net.times, [v / 1e6 for v in net.values])
+        cpu_log = [(t, 100.0 * used / node.streams.capacity)
+                   for t, used in node.streams.usage_log]
+        cpu = UsageTrace.from_log("cpu", cpu_log, 0, 300, 5)
+        report.add(count, "network MB/s", paper_net, net_mbps.steady_state(),
+                   net_mbps.sparkline(40, peak=125))
+        report.add(count, "CPU %", paper_cpu, cpu.steady_state(),
+                   cpu.sparkline(40, peak=100))
+        measured[count] = {
+            "net_steady": net_mbps.steady_state(),
+            "cpu_steady": cpu.steady_state(),
+        }
+    report.note(
+        "CPU%% measured as producer-pipeline core occupancy; network is the "
+        "external NIC outbound rate of one Vertica node"
+    )
+    report.check(
+        "4 partitions: network unsaturated near the per-connection cap "
+        "(~38 MB/s)",
+        25.0 <= measured[4]["net_steady"] <= 45.0,
+    )
+    report.check(
+        "32 partitions: network saturated (~120 MB/s)",
+        105.0 <= measured[32]["net_steady"] <= 126.0,
+    )
+    report.check(
+        "CPU rises with parallelism but stays modest (<40%)",
+        measured[4]["cpu_steady"] < measured[32]["cpu_steady"] < 40.0,
+    )
+    report.measured = measured
+    return report
+
+
+# --------------------------------------------------------------------- Fig 7
+FIG7_ROWS = (1_000_000, 10_000_000, 100_000_000, 1_000_000_000)
+
+
+def run_fig7() -> ExperimentReport:
+    """Figure 7: data scalability, 1M to 1000M rows (log-log linear)."""
+    report = ExperimentReport(
+        "fig07_data_scaling", "Varying the data size (D1), V2S @32 / S2V @128"
+    )
+    report.set_columns(
+        ["rows", "V2S paper (s)", "V2S sim (s)", "S2V paper (s)", "S2V sim (s)"]
+    )
+    paper = {1_000_000: (None, 19.0), 100_000_000: (497.0, 252.0)}
+    v2s: Dict[int, float] = {}
+    s2v: Dict[int, float] = {}
+    for rows in FIG7_ROWS:
+        fabric = Fabric()
+        dataset = _d1(virtual_rows=rows)
+        fabric.populate(dataset, "d1")
+        v2s[rows], __ = fabric.v2s_load("d1", 32, dataset.scale)
+        fabric = Fabric()
+        s2v[rows] = fabric.s2v_save(_d1(virtual_rows=rows), "d1_out", 128)
+        paper_v2s, paper_s2v = paper.get(rows, (None, None))
+        report.add(rows, paper_v2s, v2s[rows], paper_s2v, s2v[rows])
+    # Linearity: time ratio between successive decades approaches 10.
+    big_ratio_v2s = v2s[FIG7_ROWS[-1]] / v2s[FIG7_ROWS[-2]]
+    big_ratio_s2v = s2v[FIG7_ROWS[-1]] / s2v[FIG7_ROWS[-2]]
+    report.check("V2S scales ~linearly at large sizes (x10 rows -> x7..12 time)",
+                 7.0 < big_ratio_v2s < 12.0)
+    report.check("S2V scales ~linearly at large sizes (x10 rows -> x7..12 time)",
+                 7.0 < big_ratio_s2v < 12.0)
+    report.check("S2V slower than V2S at 1M rows (fixed overheads)",
+                 s2v[1_000_000] > v2s[1_000_000])
+    report.check("S2V faster than V2S at 1000M rows (crossover)",
+                 s2v[1_000_000_000] < v2s[1_000_000_000])
+    report.measured = {"v2s": v2s, "s2v": s2v}
+    return report
+
+
+# --------------------------------------------------------------------- Fig 8
+FIG8_CLUSTERS = ((2, 4, 100_000_000, 16, 64), (4, 8, 200_000_000, 32, 128),
+                 (8, 16, 400_000_000, 64, 256))
+
+
+def run_fig8() -> ExperimentReport:
+    """Figure 8: cluster scalability at fixed per-node data volume."""
+    report = ExperimentReport(
+        "fig08_cluster_scaling",
+        "Scaling the cluster 2:4 -> 4:8 -> 8:16 with data doubled alongside",
+    )
+    report.set_columns(
+        ["cluster", "rows", "V2S sim (s)", "S2V sim (s)"]
+    )
+    v2s: List[float] = []
+    s2v: List[float] = []
+    for vertica_nodes, spark_nodes, rows, v2s_parts, s2v_parts in FIG8_CLUSTERS:
+        fabric = Fabric(num_vertica=vertica_nodes, num_spark=spark_nodes)
+        dataset = _d1(virtual_rows=rows)
+        fabric.populate(dataset, "d1")
+        elapsed, __ = fabric.v2s_load("d1", v2s_parts, dataset.scale)
+        v2s.append(elapsed)
+        fabric = Fabric(num_vertica=vertica_nodes, num_spark=spark_nodes)
+        s2v.append(fabric.s2v_save(_d1(virtual_rows=rows), "d1_out", s2v_parts))
+        report.add(f"{vertica_nodes}:{spark_nodes}", rows, elapsed, s2v[-1])
+    report.note("paper: slight (<10%) degradation per doubling")
+    for index in (1, 2):
+        report.check(
+            f"V2S degradation step {index} below 15%",
+            v2s[index] < v2s[index - 1] * 1.15,
+        )
+        report.check(
+            f"S2V degradation step {index} below 15%",
+            s2v[index] < s2v[index - 1] * 1.15,
+        )
+    report.measured = {"v2s": v2s, "s2v": s2v}
+    return report
+
+
+# --------------------------------------------------------------------- Fig 9
+def run_fig9() -> ExperimentReport:
+    """Figure 9: same cell count, different shape (100x100M vs 1x10000M)."""
+    report = ExperimentReport(
+        "fig09_dimensionality",
+        "Varying data dimensionality at a fixed 10,000M-cell volume",
+    )
+    report.set_columns(["shape", "V2S sim (s)", "S2V sim (s)"])
+    wide = _d1()
+    tall = make_d1_reshaped(real_rows=D1_REAL_ROWS)
+    times = {}
+    for label, dataset in (("100 cols x 100M rows", wide),
+                           ("1 col x 10000M rows", tall)):
+        fabric = Fabric()
+        fabric.populate(dataset, "d1")
+        v2s, __ = fabric.v2s_load("d1", 32, dataset.scale)
+        fabric = Fabric()
+        s2v = fabric.s2v_save(dataset, "d1_out", 128)
+        times[label] = (v2s, s2v)
+        report.add(label, v2s, s2v)
+    report.note(
+        "paper: the 1-column variant is significantly slower — a fixed "
+        "per-row overhead dominates when rows are 100x more numerous"
+    )
+    wide_v2s, wide_s2v = times["100 cols x 100M rows"]
+    tall_v2s, tall_s2v = times["1 col x 10000M rows"]
+    report.check("V2S: 1-col variant at least 1.5x slower", tall_v2s > 1.5 * wide_v2s)
+    report.check("S2V: 1-col variant at least 1.5x slower", tall_s2v > 1.5 * wide_s2v)
+    report.measured = times
+    return report
+
+
+# --------------------------------------------------------------------- Tab 3
+def run_tab3() -> ExperimentReport:
+    """Table 3: dataset D2 (1.46B rows of tweets, same 140 GB)."""
+    report = ExperimentReport(
+        "tab03_dataset_d2", "Performance with dataset D2 (V2S @32, S2V @128)"
+    )
+    report.set_columns(["direction", "paper D2 (s)", "sim D2 (s)",
+                        "paper D1 (s)", "sim D1 (s)"])
+    d2 = make_d2(real_rows=D2_REAL_ROWS)
+    fabric = Fabric()
+    fabric.populate(d2, "d2")
+    v2s_d2, __ = fabric.v2s_load("d2", 32, d2.scale)
+    fabric = Fabric()
+    s2v_d2 = fabric.s2v_save(make_d2(real_rows=D2_REAL_ROWS), "d2_out", 128)
+    fabric = Fabric()
+    d1 = _d1()
+    fabric.populate(d1, "d1")
+    v2s_d1, __ = fabric.v2s_load("d1", 32, d1.scale)
+    fabric = Fabric()
+    s2v_d1 = fabric.s2v_save(_d1(), "d1_out", 128)
+    report.add("V2S", 378.0, v2s_d2, 490.0, v2s_d1)
+    report.add("S2V", 386.0, s2v_d2, 252.0, s2v_d1)
+    report.check("V2S loads D2 faster than D1", v2s_d2 < v2s_d1)
+    report.check("S2V saves D2 slower than D1", s2v_d2 > s2v_d1)
+    report.measured = {"v2s_d2": v2s_d2, "s2v_d2": s2v_d2,
+                       "v2s_d1": v2s_d1, "s2v_d1": s2v_d1}
+    return report
+
+
+# -------------------------------------------------------------------- Fig 10
+def run_fig10() -> ExperimentReport:
+    """Figure 10: load — V2S vs JDBC Default Source, with/without pushdown."""
+    report = ExperimentReport(
+        "fig10_jdbc_load",
+        "Load: V2S vs JDBC DefaultSource, 5% selectivity pushdown",
+    )
+    report.set_columns(["case", "paper", "V2S sim (s)", "JDBC sim (s)"])
+    dataset = make_d1_with_int_column(real_rows=D1_REAL_ROWS)
+    selective = [GreaterThanOrEqual("ikey", 0), LessThan("ikey", 5)]
+
+    def fresh():
+        fabric = Fabric()
+        fabric.populate(dataset, "d1int")
+        return fabric
+
+    v2s_full, __ = fresh().v2s_load("d1int", 32, dataset.scale)
+    jdbc_full, __ = fresh().jdbc_load(
+        "d1int", 32, dataset.scale, partition_column="ikey", lower=0, upper=100
+    )
+    v2s_push, __ = fresh().v2s_load("d1int", 32, dataset.scale, filters=selective)
+    jdbc_push, __ = fresh().jdbc_load(
+        "d1int", 32, dataset.scale, partition_column="ikey", lower=0, upper=100,
+        filters=selective,
+    )
+    report.add("no pushdown", "V2S ~4x faster", v2s_full, jdbc_full)
+    report.add("pushdown, 5% selectivity", "similar", v2s_push, jdbc_push)
+    ratio = jdbc_full / v2s_full
+    report.check("without pushdown V2S is 3-6x faster (paper: ~4x)",
+                 3.0 < ratio < 6.0)
+    report.check("pushdown shrinks both by >5x",
+                 v2s_push < v2s_full / 5 and jdbc_push < jdbc_full / 5)
+    report.check("with pushdown the gap narrows (JDBC within ~4x of V2S)",
+                 jdbc_push / v2s_push < ratio)
+    report.measured = {"v2s_full": v2s_full, "jdbc_full": jdbc_full,
+                       "v2s_push": v2s_push, "jdbc_push": jdbc_push}
+    return report
+
+
+# -------------------------------------------------------------------- Fig 11
+FIG11_ROWS = (1, 1000, 10_000, 1_000_000)
+
+
+def run_fig11() -> ExperimentReport:
+    """Figure 11: save — S2V vs JDBC Default Source at small sizes."""
+    report = ExperimentReport(
+        "fig11_jdbc_save", "Save: S2V vs JDBC DefaultSource (D1 subsets)"
+    )
+    report.set_columns(["rows", "paper S2V (s)", "sim S2V (s)",
+                        "paper JDBC (s)", "sim JDBC (s)"])
+    paper = {1: (5.0, 3.0), 1_000_000: (19.0, 10800.0)}
+    s2v: Dict[int, float] = {}
+    jdbc: Dict[int, float] = {}
+    for rows in FIG11_ROWS:
+        real = min(rows, D1_REAL_ROWS)
+        dataset = make_d1(real_rows=real).with_virtual_rows(rows)
+        partitions = 4 if rows <= 10_000 else 128
+        fabric = Fabric()
+        s2v[rows] = fabric.s2v_save(dataset, "dest", partitions)
+        fabric = Fabric()
+        jdbc[rows] = fabric.jdbc_save(dataset, "dest", 4)
+        paper_s2v, paper_jdbc = paper.get(rows, (None, None))
+        report.add(rows, paper_s2v, s2v[rows], paper_jdbc, jdbc[rows])
+    report.note("paper stopped the JDBC 1M-row run after 3 hours (10800 s)")
+    report.check("1 row: JDBC cheaper than S2V (S2V pays exactly-once setup)",
+                 jdbc[1] < s2v[1])
+    report.check("1 row: S2V overhead is a few seconds (2..12 s)",
+                 2.0 < s2v[1] < 12.0)
+    report.check("1K rows: JDBC's advantage is gone (within 1.5x of S2V)",
+                 s2v[1000] < 1.5 * jdbc[1000])
+    report.check("10K rows: S2V faster", s2v[10_000] < jdbc[10_000])
+    report.check("1M rows: S2V faster by >100x", jdbc[1_000_000] > 100 * s2v[1_000_000])
+    report.check("1M rows: JDBC takes hours (>3600 s)", jdbc[1_000_000] > 3600)
+    report.measured = {"s2v": s2v, "jdbc": jdbc}
+    return report
+
+
+# -------------------------------------------------------------------- Fig 12
+def run_fig12() -> ExperimentReport:
+    """Figure 12: V2S/S2V vs Spark's native HDFS read/write."""
+    report = ExperimentReport(
+        "fig12_hdfs", "Read/write Vertica (4:8) vs read/write HDFS (4:8)"
+    )
+    report.set_columns(["operation", "paper", "Vertica sim (s)", "HDFS sim (s)"])
+    dataset = _d1()
+    # Size HDFS blocks so the stored file splits into ~2240 blocks, like
+    # the paper's 140 GB at 64 MB per block (the warm file is written with
+    # few partitions so per-part file headers stay negligible).
+    from repro.hdfs.columnar import write_columnar
+
+    real_file_bytes = len(write_columnar(dataset.schema.to_avro(), dataset.rows))
+    target_virtual_bytes = 140e9
+    block_size = max(1, -(-real_file_bytes // 2232))  # ceil
+
+    fabric = Fabric(with_hdfs=True, hdfs_block_size=block_size)
+    fabric.populate(dataset, "d1")
+    v2s_read, __ = fabric.v2s_load("d1", 32, dataset.scale)
+    fabric = Fabric(with_hdfs=True, hdfs_block_size=block_size)
+    # write once (unmeasured) to have something to read; drain the
+    # background replication flows so they do not contend with the read
+    fabric.hdfs_write(dataset, "/warm", 8)
+    fabric.env.run()
+    parts = fabric.hdfs.fs.list("/warm/part-")
+    blocks = sum(fabric.hdfs.fs.total_blocks(p) for p in parts)
+    stored_bytes = sum(fabric.hdfs.fs.file_size(p) for p in parts)
+    byte_scale = target_virtual_bytes / stored_bytes
+    hdfs_read, __ = fabric.hdfs_read("/warm", byte_scale)
+
+    fabric = Fabric(with_hdfs=True, hdfs_block_size=block_size)
+    s2v_write = fabric.s2v_save(_d1(), "d1_out", 128)
+    fabric = Fabric(with_hdfs=True, hdfs_block_size=block_size)
+    hdfs_write = fabric.hdfs_write(_d1(), "/out", 128)
+
+    report.add("read", "HDFS ~30% faster", v2s_read, hdfs_read)
+    report.add("write", "about the same", s2v_write, hdfs_write)
+    report.note(f"HDFS file split into {blocks} blocks -> {blocks} read tasks "
+                "(paper: 2240)")
+    report.check("HDFS read faster than V2S (paper: ~30% faster)",
+                 hdfs_read < v2s_read)
+    report.check("HDFS read not absurdly faster (within 4x)",
+                 hdfs_read > v2s_read / 4)
+    report.check("HDFS write within 50% of S2V (paper: about the same)",
+                 abs(hdfs_write - s2v_write) / s2v_write < 0.5)
+    report.check("read task count within 25% of the paper's 2240",
+                 abs(blocks - 2240) / 2240 < 0.25)
+    report.measured = {"v2s_read": v2s_read, "hdfs_read": hdfs_read,
+                       "s2v_write": s2v_write, "hdfs_write": hdfs_write}
+    return report
+
+
+# -------------------------------------------------------------------- Tab 4
+TAB4_SPLITS = (4, 8, 16, 32, 64, 128)
+
+
+def run_tab4() -> ExperimentReport:
+    """Table 4: S2V vs Vertica's native parallel COPY."""
+    report = ExperimentReport(
+        "tab04_native_copy", "Save with S2V vs native bulk-load COPY"
+    )
+    report.set_columns(["method", "paper best (s)", "sim best (s)", "at"])
+    dataset = _d1()
+    csv = dataset.csv_text()
+    scale = dataset.virtual_csv_bytes() / len(csv.encode())
+    copy_times: Dict[int, float] = {}
+    for parts in TAB4_SPLITS:
+        fabric = Fabric()
+        session = fabric.vertica.db.connect()
+        session.execute(dataset.create_table_sql("bulk"))
+        session.close()
+        copy_times[parts] = parallel_copy(
+            fabric.vertica, "bulk", split_csv(csv, parts), scale_factor=scale
+        )
+    fabric = Fabric()
+    s2v_best = fabric.s2v_save(_d1(), "bulk2", 128)
+    best_split = min(copy_times, key=copy_times.get)
+    copy_best = copy_times[best_split]
+    report.add("S2V", 252.0, s2v_best, "128 partitions")
+    report.add("COPY", 238.0, copy_best, f"{best_split} file parts")
+    for parts in TAB4_SPLITS:
+        report.add(f"  COPY {parts} parts", None, copy_times[parts], "")
+    report.check("S2V within 25% of native COPY (paper: ~6% slower)",
+                 abs(s2v_best - copy_best) / copy_best < 0.25)
+    report.check("COPY benefits from multiple splits (4 parts > best)",
+                 copy_times[4] >= copy_best)
+    report.measured = {"s2v": s2v_best, "copy": copy_times}
+    return report
+
+
+# ----------------------------------------------------------------- ablations
+def run_ablation_locality() -> ExperimentReport:
+    """Ablation: locality-aware hash-ring queries vs single-host ranges."""
+    report = ExperimentReport(
+        "ablation_locality",
+        "Intra-Vertica shuffle: hash-ring V2S vs JDBC value ranges",
+    )
+    report.set_columns(["method", "time (s)", "internal GB", "external GB"])
+    dataset = make_d1_with_int_column(real_rows=D1_REAL_ROWS)
+    fabric = Fabric()
+    fabric.populate(dataset, "d1int")
+    v2s_time, __ = fabric.v2s_load("d1int", 32, dataset.scale)
+    v2s_internal = fabric.vertica.internal_bytes() / 1e9
+    v2s_external = fabric.vertica.external_bytes() / 1e9
+    report.add("V2S hash-ring", v2s_time, v2s_internal, v2s_external)
+    fabric = Fabric()
+    fabric.populate(dataset, "d1int")
+    jdbc_time, __ = fabric.jdbc_load(
+        "d1int", 32, dataset.scale, partition_column="ikey", lower=0, upper=100
+    )
+    jdbc_internal = fabric.vertica.internal_bytes() / 1e9
+    jdbc_external = fabric.vertica.external_bytes() / 1e9
+    report.add("JDBC value ranges", jdbc_time, jdbc_internal, jdbc_external)
+    report.check("V2S induces zero intra-Vertica traffic", v2s_internal == 0.0)
+    report.check("JDBC shuffles most of the table internally (>= 50% of data)",
+                 jdbc_internal > 0.5 * v2s_external)
+    report.measured = {"v2s": (v2s_time, v2s_internal),
+                       "jdbc": (jdbc_time, jdbc_internal)}
+    return report
+
+
+def run_ablation_prehash() -> ExperimentReport:
+    """Ablation: §5 future work — pre-hashed S2V partitioning."""
+    report = ExperimentReport(
+        "ablation_prehash", "S2V with and without pre-hashed partitioning"
+    )
+    report.set_columns(["mode", "time (s)", "internal GB"])
+    fabric = Fabric()
+    plain = fabric.s2v_save(_d1(), "dest", 128)
+    plain_internal = fabric.vertica.internal_bytes() / 1e9
+    report.add("default", plain, plain_internal)
+    fabric = Fabric()
+    prehashed = fabric.s2v_save(_d1(), "dest", 128, prehash_partitioning=True)
+    prehash_internal = fabric.vertica.internal_bytes() / 1e9
+    report.add("prehash_partitioning", prehashed, prehash_internal)
+    report.check("prehash eliminates intra-Vertica traffic",
+                 prehash_internal == 0.0 and plain_internal > 0.0)
+    # At these sizes the benefit is the freed internal network, not
+    # end-to-end time (small-sample bucket skew costs a few percent).
+    report.check("prehash within 15% of default end-to-end",
+                 prehashed <= plain * 1.15)
+    report.measured = {"plain": (plain, plain_internal),
+                       "prehash": (prehashed, prehash_internal)}
+    return report
+
+
+def run_ablation_avro() -> ExperimentReport:
+    """Ablation: Avro deflate vs uncompressed on compressible data (D2)."""
+    report = ExperimentReport(
+        "ablation_avro", "S2V Avro codec: deflate vs null (dataset D2)"
+    )
+    report.set_columns(["codec", "time (s)"])
+    times = {}
+    for codec in ("deflate", "null"):
+        fabric = Fabric()
+        times[codec] = fabric.s2v_save(
+            make_d2(real_rows=D2_REAL_ROWS), "d2_out", 128, avro_codec=codec
+        )
+        report.add(codec, times[codec])
+    report.check("deflate is faster on compressible text",
+                 times["deflate"] < times["null"])
+    report.measured = times
+    return report
+
+
+def run_ablation_twostage() -> ExperimentReport:
+    """Ablation: single-stage S2V vs the §5 two-stage landing-zone design."""
+    from repro.connector.twostage import save_two_stage
+
+    report = ExperimentReport(
+        "ablation_twostage", "S2V single-stage vs two-stage via a landing zone"
+    )
+    report.set_columns(["approach", "time (s)"])
+    fabric = Fabric()
+    single = fabric.s2v_save(_d1(), "dest", 128)
+    report.add("single-stage S2V", single)
+    fabric = Fabric(with_hdfs=True)
+    dataset = _d1()
+    df = fabric.dataframe_of(dataset, 128)
+    start = fabric.env.now
+    save_two_stage(
+        fabric.spark, fabric.hdfs, df,
+        {"db": fabric.vertica, "table": "dest", "numpartitions": 128,
+         "scale_factor": dataset.scale},
+    )
+    two_stage = fabric.env.now - start
+    report.add("two-stage (landing zone)", two_stage)
+    report.note(
+        "paper §5: the two-stage design requires an intermediate write of a "
+        "full copy of the data and a third system, but decouples the two ends"
+    )
+    report.check("two-stage is slower (the extra full copy costs time)",
+                 two_stage > single)
+    report.check("two-stage is not catastrophically slower (< 6x)",
+                 two_stage < 6 * single)
+    report.measured = {"single": single, "two_stage": two_stage}
+    return report

@@ -1,0 +1,179 @@
+"""Experiment fabric: one fresh simulated testbed per measurement.
+
+Reproduces the paper's §4.1 setup: a Vertica cluster and a Spark cluster
+in a 1:2 node ratio (the default 4:8), 32-core machines, Spark given ~75%
+of each machine's cores, two 1 GbE networks on the Vertica side, and the
+:data:`~repro.connector.costmodel.PAPER_COST_MODEL` cost calibration.
+Each measurement uses a fresh fabric so clocks and NIC byte counters
+start at zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.baselines.hdfs_source import SimHdfsCluster
+from repro.connector import PAPER_COST_MODEL, SimVerticaCluster
+from repro.sim import Environment
+from repro.sim.cluster import SimCluster
+from repro.spark import SparkSession
+from repro.workloads.datasets import Dataset, load_direct
+
+#: Spark driver/JVM job submission latency (part of Fig 11's fixed costs)
+JOB_LAUNCH_OVERHEAD = 1.2
+#: per task-attempt scheduling latency
+TASK_LAUNCH_OVERHEAD = 0.005
+
+
+class Fabric:
+    """A fresh Vertica + Spark (+ optional HDFS) testbed on one sim clock."""
+
+    def __init__(
+        self,
+        num_vertica: int = 4,
+        num_spark: int = 8,
+        cost_model=PAPER_COST_MODEL,
+        speculation: bool = False,
+        with_hdfs: bool = False,
+        hdfs_nodes: int = 4,
+        hdfs_block_size: int = 64 * 1024 * 1024,
+        hdfs_bandwidth: float = 125e6,
+        hdfs_disk_bandwidth: float = 150e6,
+    ):
+        self.env = Environment()
+        self.sim_cluster = SimCluster(self.env)
+        self.vertica = SimVerticaCluster(
+            env=self.env,
+            sim_cluster=self.sim_cluster,
+            num_nodes=num_vertica,
+            cost_model=cost_model,
+        )
+        self.spark = SparkSession(
+            env=self.env,
+            cluster=self.sim_cluster,
+            num_workers=num_spark,
+            speculation=speculation,
+            job_launch_overhead=JOB_LAUNCH_OVERHEAD,
+            task_launch_overhead=TASK_LAUNCH_OVERHEAD,
+        )
+        self.hdfs: Optional[SimHdfsCluster] = None
+        if with_hdfs:
+            self.hdfs = SimHdfsCluster(
+                self.env,
+                self.sim_cluster,
+                num_nodes=hdfs_nodes,
+                block_size=hdfs_block_size,
+                bandwidth=hdfs_bandwidth,
+                disk_bandwidth=hdfs_disk_bandwidth,
+            )
+
+    # -- setup helpers (uncharged) ------------------------------------------------
+    def populate(self, dataset: Dataset, table: str) -> None:
+        load_direct(self.vertica, dataset, table)
+
+    def dataframe_of(self, dataset: Dataset, num_partitions: int):
+        return self.spark.create_dataframe(
+            dataset.rows, dataset.schema, num_partitions=num_partitions
+        )
+
+    # -- measured operations ----------------------------------------------------
+    def v2s_load(
+        self,
+        table: str,
+        partitions: int,
+        scale: float,
+        filters: Sequence = (),
+        columns: Optional[Sequence[str]] = None,
+    ) -> Tuple[float, int]:
+        """Time a V2S load; returns (elapsed seconds, rows loaded)."""
+        df = self.spark.read.format("vertica").options(
+            db=self.vertica,
+            table=table,
+            numpartitions=partitions,
+            scale_factor=scale,
+        ).load()
+        for pushdown in filters:
+            df = df.filter(pushdown)
+        if columns:
+            df = df.select(*columns)
+        start = self.env.now
+        rows = df.collect()
+        return self.env.now - start, len(rows)
+
+    def s2v_save(
+        self,
+        dataset: Dataset,
+        table: str,
+        partitions: int,
+        mode: str = "overwrite",
+        source_partitions: Optional[int] = None,
+        **options,
+    ) -> float:
+        """Time an S2V save of a dataset's DataFrame; returns seconds."""
+        df = self.dataframe_of(dataset, source_partitions or partitions)
+        opts = {
+            "db": self.vertica,
+            "table": table,
+            "numpartitions": partitions,
+            "scale_factor": dataset.scale,
+        }
+        opts.update(options)
+        start = self.env.now
+        df.write.format("vertica").options(opts).mode(mode).save()
+        return self.env.now - start
+
+    def jdbc_load(
+        self,
+        table: str,
+        partitions: int,
+        scale: float,
+        partition_column: str = "",
+        lower: Optional[int] = None,
+        upper: Optional[int] = None,
+        filters: Sequence = (),
+    ) -> Tuple[float, int]:
+        options: Dict = {
+            "db": self.vertica,
+            "table": table,
+            "numpartitions": partitions,
+            "scale_factor": scale,
+        }
+        if partition_column:
+            options.update(
+                partitioncolumn=partition_column, lowerbound=lower, upperbound=upper
+            )
+        df = self.spark.read.format("jdbc").options(options).load()
+        for pushdown in filters:
+            df = df.filter(pushdown)
+        start = self.env.now
+        rows = df.collect()
+        return self.env.now - start, len(rows)
+
+    def jdbc_save(self, dataset: Dataset, table: str, partitions: int) -> float:
+        df = self.dataframe_of(dataset, partitions)
+        start = self.env.now
+        df.write.format("jdbc").options(
+            db=self.vertica,
+            table=table,
+            numpartitions=partitions,
+            scale_factor=dataset.scale,
+        ).mode("overwrite").save()
+        return self.env.now - start
+
+    def hdfs_write(self, dataset: Dataset, path: str, partitions: int) -> float:
+        assert self.hdfs is not None, "fabric built without HDFS"
+        df = self.dataframe_of(dataset, partitions)
+        start = self.env.now
+        df.write.format("hdfs").options(
+            fs=self.hdfs, path=path, scale_factor=dataset.scale
+        ).mode("overwrite").save()
+        return self.env.now - start
+
+    def hdfs_read(self, path: str, scale: float) -> Tuple[float, int]:
+        assert self.hdfs is not None, "fabric built without HDFS"
+        df = self.spark.read.format("hdfs").options(
+            fs=self.hdfs, path=path, scale_factor=scale
+        ).load()
+        start = self.env.now
+        rows = df.collect()
+        return self.env.now - start, len(rows)

@@ -1,0 +1,98 @@
+"""Experiment reports: paper-vs-measured tables.
+
+Every benchmark produces an :class:`ExperimentReport` that prints (and
+saves) the same rows/series the paper reports, side by side with the
+reproduction's measured values.  Absolute numbers are not expected to
+match (the substrate is a calibrated simulator); the *shape* — who wins,
+by roughly what factor, where crossovers fall — is the reproduction
+target, so each report may carry explicit shape checks.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List, Optional, Sequence, Tuple
+
+
+class ExperimentReport:
+    """One experiment's paper-vs-measured comparison."""
+
+    def __init__(self, exp_id: str, title: str):
+        self.exp_id = exp_id
+        self.title = title
+        self.columns: List[str] = ["case", "paper", "measured"]
+        self.rows: List[Tuple] = []
+        self.notes: List[str] = []
+        self.checks: List[Tuple[str, bool]] = []
+
+    def set_columns(self, columns: Sequence[str]) -> None:
+        self.columns = list(columns)
+
+    def add(self, *values: Any) -> None:
+        self.rows.append(tuple(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def check(self, description: str, passed: bool) -> None:
+        """Record a shape assertion (who-wins / monotonicity / factor)."""
+        self.checks.append((description, bool(passed)))
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(ok for __, ok in self.checks)
+
+    def failed_checks(self) -> List[str]:
+        return [desc for desc, ok in self.checks if not ok]
+
+    # -- rendering ---------------------------------------------------------------
+    def render(self) -> str:
+        out = [f"== {self.exp_id}: {self.title} =="]
+        widths = [len(c) for c in self.columns]
+        formatted_rows = []
+        for row in self.rows:
+            cells = [_fmt(v) for v in row]
+            cells += [""] * (len(self.columns) - len(cells))
+            formatted_rows.append(cells)
+            for index, cell in enumerate(cells[: len(widths)]):
+                widths[index] = max(widths[index], len(cell))
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        out.append(header)
+        out.append("-" * len(header))
+        for cells in formatted_rows:
+            out.append(
+                "  ".join(
+                    cell.ljust(widths[i]) if i < len(widths) else cell
+                    for i, cell in enumerate(cells)
+                )
+            )
+        for note in self.notes:
+            out.append(f"note: {note}")
+        for description, ok in self.checks:
+            out.append(f"[{'PASS' if ok else 'FAIL'}] {description}")
+        return "\n".join(out)
+
+    def save(self, directory: str = "benchmarks/results") -> str:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.exp_id}.txt")
+        with open(path, "w") as handle:
+            handle.write(self.render() + "\n")
+        return path
+
+    def show(self, directory: Optional[str] = "benchmarks/results") -> None:
+        print()
+        print(self.render())
+        if directory:
+            self.save(directory)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

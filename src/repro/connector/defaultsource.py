@@ -1,0 +1,38 @@
+"""The connector's DefaultSource: the Data Source API entry point.
+
+Registered under the real connector's fully-qualified name
+``com.vertica.spark.datasource.DefaultSource`` and the short alias
+``vertica``, so the LOAD/SAVE syntax of Table 1 works verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.connector.s2v import S2VResult, S2VWriter
+from repro.connector.v2s import VerticaRelation
+from repro.spark.datasource import (
+    CreatableRelationProvider,
+    RelationProvider,
+    register_source,
+)
+
+VERTICA_SOURCE_NAME = "com.vertica.spark.datasource.DefaultSource"
+
+
+class DefaultSource(RelationProvider, CreatableRelationProvider):
+    """LOAD → :class:`VerticaRelation`; SAVE → :class:`S2VWriter`."""
+
+    #: the result of the last save, for callers that want the job record
+    last_save_result: Optional[S2VResult] = None
+
+    def create_relation(self, session, options: Dict[str, Any]) -> VerticaRelation:
+        return VerticaRelation(session, options)
+
+    def save(self, session, mode: str, options: Dict[str, Any], dataframe) -> None:
+        writer = S2VWriter(session, mode, options, dataframe)
+        DefaultSource.last_save_result = writer.save()
+
+
+register_source(VERTICA_SOURCE_NAME, DefaultSource)
+register_source("vertica", DefaultSource)

@@ -1,0 +1,247 @@
+"""JDBC-like connections that charge simulated time.
+
+A :class:`SimVerticaConnection` wraps one database session bound to one
+Vertica node.  ``execute`` is a *generator* (run inside a simulation
+process — e.g. a Spark task): the statement itself executes synchronously
+against the database, then the connection charges the simulated resources
+it implies:
+
+- round-trip latency and query planning CPU on the contacted node;
+- scan/marshal CPU on every node that produced rows;
+- result bytes flowing node-locally to the contacted node over the
+  *internal* network (the shuffle the paper's locality-aware queries
+  eliminate), then out to the client over the *external* network, capped
+  at the per-connection producer rate;
+- for COPY: the payload flowing in over the external network, then
+  redistributing to segment owners internally, plus parse CPU.
+
+``weight`` scales byte/CPU charges — the virtual scale factor that lets
+protocols move small real row sets while the clock sees paper-sized data.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Union
+
+from repro.sim.cluster import SimNode
+from repro.vertica.engine import ResultSet
+from repro.vertica.errors import LockContention
+from repro.vertica.session import Session
+
+
+class SimVerticaConnection:
+    """One client connection, with cost accounting."""
+
+    def __init__(
+        self,
+        cluster: "SimVerticaCluster",  # noqa: F821
+        session: Session,
+        node_name: str,
+        client_node: Optional[SimNode],
+    ):
+        self.cluster = cluster
+        self.session = session
+        self.node_name = node_name
+        self.client_node = client_node
+        self.weight = 1.0
+        self._connected = False
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        self.session.close()
+
+    @property
+    def env(self):
+        return self.cluster.env
+
+    @property
+    def cost_model(self):
+        return self.cluster.cost_model
+
+    # -- execution ------------------------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        copy_data: Union[bytes, str, None] = None,
+        weight: Optional[float] = None,
+    ) -> Generator:
+        """Generator: run one statement, charging simulated time.
+
+        Use as ``result = yield from conn.execute(...)`` inside a task.
+        """
+        w = self.weight if weight is None else weight
+        model = self.cost_model
+        env = self.env
+        contact = self.cluster.sim_nodes[self.node_name]
+        if not self._connected:
+            if model.connect_latency:
+                yield env.timeout(model.connect_latency)
+            self._connected = True
+        keyword = sql.lstrip().split(None, 1)[0].upper() if sql.strip() else ""
+        is_ddl = keyword in ("CREATE", "DROP", "ALTER", "TRUNCATE")
+        latency = model.ddl_latency if is_ddl else model.query_latency
+        if latency:
+            yield env.timeout(latency)
+        if model.query_plan_cpu and keyword in ("SELECT", "AT", "INSERT",
+                                                "UPDATE", "DELETE", "COPY"):
+            yield from contact.compute(model.query_plan_cpu)
+
+        result = self.session.execute(sql, copy_data=copy_data)
+
+        if copy_data is not None:
+            yield from self._charge_copy(result, copy_data, w)
+        else:
+            yield from self._charge_query(result, w)
+        return result
+
+    def execute_with_retry(
+        self,
+        sql: str,
+        weight: Optional[float] = None,
+        max_retries: int = 50,
+        backoff: float = 0.01,
+    ) -> Generator:
+        """Retry an autocommit statement on lock contention with backoff."""
+        attempt = 0
+        while True:
+            try:
+                result = yield from self.execute(sql, weight=weight)
+                return result
+            except LockContention:
+                attempt += 1
+                if attempt > max_retries:
+                    raise
+                yield self.env.timeout(backoff * min(attempt, 8))
+
+    # -- cost charging ------------------------------------------------------------
+    def _charge_query(self, result: ResultSet, w: float) -> Generator:
+        model = self.cost_model
+        env = self.env
+        cluster = self.cluster
+        contact = cluster.sim_nodes[self.node_name]
+        cost = result.cost
+
+        pending = []
+        # CPU: scanning on every node that read rows.
+        for node_name, rows in cost.node_rows_scanned.items():
+            seconds = rows * w * model.scan_cpu_per_row
+            if seconds > 0:
+                node = cluster.sim_nodes[node_name]
+                pending.append(env.process(node.compute(seconds)))
+
+        # Wire bytes: textual JDBC encoding of the actual result rows,
+        # attributed to producing nodes proportionally.
+        total_wire = float(sum(model.jdbc_row_bytes(row) for row in result.rows))
+        total_binary = sum(cost.node_output_bytes.values()) or 1.0
+        for node_name, binary_bytes in cost.node_output_bytes.items():
+            share = total_wire * (binary_bytes / total_binary)
+            rows = cost.node_rows_output.get(node_name, 0)
+            seconds = (
+                rows * w * model.output_cpu_per_row
+                + share * w * model.output_cpu_per_byte
+            )
+            node = cluster.sim_nodes[node_name]
+            if seconds > 0:
+                pending.append(env.process(node.compute(seconds)))
+            if node_name != self.node_name and share * w > 0:
+                # Shuffle: the row lives elsewhere; it crosses the internal
+                # network to reach the contacted node first.
+                pending.append(
+                    cluster.sim_cluster.transfer(
+                        node,
+                        contact,
+                        share * w,
+                        nic=model.internal_nic,
+                        name=f"shuffle:{node_name}->{self.node_name}",
+                    )
+                )
+        # The producer pipeline runs concurrently with the outbound result
+        # stream (scan/marshal CPU, intra-cluster shuffle and the client
+        # transfer all overlap), occupying one stream slot on the contacted
+        # node for the duration; with more concurrent connections than
+        # slots, streams queue — part of the "too much parallelism"
+        # overhead in Figure 6.
+        slot = None
+        if self.client_node is not None and total_wire * w > 0:
+            slot = contact.streams.request()
+            yield slot
+            pending.append(
+                cluster.sim_cluster.transfer(
+                    contact,
+                    self.client_node,
+                    total_wire * w,
+                    nic=model.external_nic,
+                    cap=model.per_connection_rate_cap,
+                    name=f"jdbc:{self.node_name}->{self.client_node.name}",
+                )
+            )
+        try:
+            if pending:
+                yield env.all_of(pending)
+        finally:
+            if slot is not None:
+                contact.streams.release(slot)
+
+    def _charge_copy(
+        self, result: ResultSet, copy_data: Union[bytes, str], w: float
+    ) -> Generator:
+        model = self.cost_model
+        env = self.env
+        cluster = self.cluster
+        contact = cluster.sim_nodes[self.node_name]
+        payload = (
+            len(copy_data)
+            if isinstance(copy_data, (bytes, bytearray))
+            else len(copy_data.encode("utf-8"))
+        )
+        payload_w = payload * w
+        # COPY pipelines: while the client streams the payload in over the
+        # external network (holding one ingest slot on the receiving node),
+        # that node parses and redistributes rows to their segment owners
+        # over the internal network; all of it proceeds concurrently.
+        cost = result.cost
+        total_rows = cost.rows_written or 1
+        pending = []
+        slot = None
+        if self.client_node is not None and payload_w > 0:
+            slot = contact.streams.request()
+            yield slot
+            route = [
+                cluster.sim_cluster._nic_for(self.client_node, model.external_nic).tx,
+                contact.nics[model.external_nic].rx,
+            ]
+            ingest = cluster.ingest_links.get(self.node_name)
+            if ingest is not None:
+                route.append(ingest)
+            pending.append(
+                cluster.sim_cluster.network.transfer(
+                    route,
+                    payload_w,
+                    cap=model.copy_rate_cap,
+                    name=f"copy:{self.client_node.name}->{self.node_name}",
+                )
+            )
+        for node_name, rows in cost.node_rows_written.items():
+            node = cluster.sim_nodes[node_name]
+            share = payload_w * (rows / total_rows)
+            if node_name != self.node_name and share > 0:
+                pending.append(
+                    cluster.sim_cluster.transfer(
+                        contact,
+                        node,
+                        share,
+                        nic=model.internal_nic,
+                        name=f"segment:{self.node_name}->{node_name}",
+                    )
+                )
+            seconds = (
+                rows * w * model.load_cpu_per_row + share * model.load_cpu_per_byte
+            )
+            if seconds > 0:
+                pending.append(env.process(node.compute(seconds)))
+        try:
+            if pending:
+                yield env.all_of(pending)
+        finally:
+            if slot is not None:
+                contact.streams.release(slot)

@@ -1,0 +1,99 @@
+"""S2V job management utilities.
+
+The paper's Final Status Table "serves as a record of all S2V jobs and is
+not deleted upon termination. Because this table is always available,
+users can consult this table any time to verify the job's status, for
+instance in the case where there is a Spark error causing total Spark
+failure" (§3.2).  This module is the operator-facing surface over it:
+
+- :func:`job_status` / :func:`list_jobs` — consult the record;
+- :func:`find_orphaned_jobs` — jobs whose Spark driver died mid-save
+  (status still IN_PROGRESS, temporary tables left behind);
+- :func:`cleanup_job` — drop an orphaned job's temporary tables safely
+  (the target table is never touched, preserving the §3.2.1 guarantee).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.connector.s2v import FINAL_STATUS_TABLE
+from repro.vertica import VerticaDatabase
+from repro.vertica.errors import CatalogError
+
+_TEMP_SUFFIXES = ("_STAGING", "_TASK_STATUS", "_LAST_COMMITTER")
+
+
+def list_jobs(db: VerticaDatabase) -> List[Dict[str, object]]:
+    """Every recorded S2V job, most recent last."""
+    if not db.catalog.has_table(FINAL_STATUS_TABLE):
+        return []
+    session = db.connect()
+    try:
+        result = session.execute(
+            f"SELECT job_name, status, failed_percent FROM {FINAL_STATUS_TABLE}"
+        )
+        return result.to_dicts()
+    finally:
+        session.close()
+
+
+def job_status(db: VerticaDatabase, job_name: str) -> Optional[str]:
+    """The recorded status of one job, or None if unknown."""
+    for job in list_jobs(db):
+        if job["JOB_NAME"] == job_name:
+            return str(job["STATUS"])
+    return None
+
+
+def temp_tables_of(db: VerticaDatabase, job_name: str) -> List[str]:
+    """The job's temporary tables still present in the catalog."""
+    prefix = job_name.upper()
+    return [
+        prefix + suffix
+        for suffix in _TEMP_SUFFIXES
+        if db.catalog.has_table(prefix + suffix)
+    ]
+
+
+def find_orphaned_jobs(db: VerticaDatabase) -> List[str]:
+    """Jobs that never finished: IN_PROGRESS with temp tables left behind.
+
+    These are the survivors of a total Spark failure — the save can simply
+    be re-run; the target was never touched.
+    """
+    return [
+        str(job["JOB_NAME"])
+        for job in list_jobs(db)
+        if job["STATUS"] == "IN_PROGRESS" and temp_tables_of(db, str(job["JOB_NAME"]))
+    ]
+
+
+def cleanup_job(db: VerticaDatabase, job_name: str, force: bool = False) -> List[str]:
+    """Drop an orphaned job's temporary tables; returns what was dropped.
+
+    Refuses to clean a job that is not recorded as IN_PROGRESS unless
+    ``force`` is set (a finished job has no temp tables anyway; an unknown
+    name is probably a typo).  The target table is never dropped.
+    """
+    status = job_status(db, job_name)
+    if status is None and not force:
+        raise CatalogError(f"no S2V job named {job_name!r} is recorded")
+    if status not in (None, "IN_PROGRESS") and not force:
+        raise CatalogError(
+            f"job {job_name!r} finished with status {status}; nothing to clean"
+        )
+    dropped = []
+    session = db.connect()
+    try:
+        for table in temp_tables_of(db, job_name):
+            session.execute(f"DROP TABLE IF EXISTS {table}")
+            dropped.append(table)
+    finally:
+        session.close()
+    return dropped
+
+
+def cleanup_all_orphans(db: VerticaDatabase) -> Dict[str, List[str]]:
+    """Clean every orphaned job; returns job -> dropped tables."""
+    return {name: cleanup_job(db, name) for name in find_orphaned_jobs(db)}

@@ -1,0 +1,106 @@
+"""Connector option parsing and validation.
+
+The External Data Source API passes options as a flat ``key=value`` map
+(Table 1).  :class:`ConnectorOptions` validates the ones the connector
+understands, mirroring the real connector's option names: ``table``,
+``dbschema``, ``host``, ``user``, ``password``, ``numpartitions``, plus
+this reproduction's additions (``db`` — the in-process cluster object
+standing in for the host address — and ``scale_factor`` for virtual
+volume).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class OptionsError(Exception):
+    """Invalid or missing connector options."""
+
+
+#: the paper chose 32 partitions for V2S as best-practice default
+DEFAULT_V2S_PARTITIONS = 32
+#: and 128 for S2V
+DEFAULT_S2V_PARTITIONS = 128
+
+
+class ConnectorOptions:
+    """Validated connector options."""
+
+    KNOWN = {
+        "db", "table", "dbschema", "host", "user", "password",
+        "numpartitions", "scale_factor", "failed_rows_percent_tolerance",
+        "reject_max", "avro_codec", "prehash_partitioning", "varchar_length",
+    }
+
+    def __init__(self, options: Dict[str, Any], for_save: bool = False):
+        unknown = set(options) - self.KNOWN
+        if unknown:
+            raise OptionsError(
+                f"unknown connector options {sorted(unknown)}; "
+                f"known: {sorted(self.KNOWN)}"
+            )
+        try:
+            self.cluster = options["db"]
+        except KeyError:
+            raise OptionsError(
+                "option 'db' (a SimVerticaCluster) is required"
+            ) from None
+        table = options.get("table")
+        if not table or not isinstance(table, str):
+            raise OptionsError("option 'table' (a table or view name) is required")
+        schema = options.get("dbschema", "")
+        self.table = f"{schema}.{table}".upper() if schema else table.upper()
+        self.host = options.get("host") or self.cluster.node_names[0]
+        if self.host not in self.cluster.node_names:
+            raise OptionsError(
+                f"host {self.host!r} is not a node of the cluster "
+                f"{self.cluster.node_names}"
+            )
+        self.user = options.get("user", "dbadmin")
+        self.password = options.get("password", "")
+        default_partitions = (
+            DEFAULT_S2V_PARTITIONS if for_save else DEFAULT_V2S_PARTITIONS
+        )
+        self.num_partitions = self._positive_int(
+            options.get("numpartitions", default_partitions), "numpartitions"
+        )
+        self.scale_factor = float(options.get("scale_factor", 1.0))
+        if self.scale_factor <= 0:
+            raise OptionsError(f"scale_factor must be positive: {self.scale_factor}")
+        tolerance = float(options.get("failed_rows_percent_tolerance", 0.0))
+        if not 0.0 <= tolerance <= 1.0:
+            raise OptionsError(
+                f"failed_rows_percent_tolerance must be in [0, 1]: {tolerance}"
+            )
+        self.failed_rows_percent_tolerance = tolerance
+        self.reject_max: Optional[int] = (
+            int(options["reject_max"]) if "reject_max" in options else None
+        )
+        self.avro_codec = options.get("avro_codec", "deflate")
+        self.prehash_partitioning = _as_bool(
+            options.get("prehash_partitioning", False)
+        )
+        self.varchar_length = self._positive_int(
+            options.get("varchar_length", 65000), "varchar_length"
+        )
+
+    @staticmethod
+    def _positive_int(value: Any, name: str) -> int:
+        if isinstance(value, float) and not value.is_integer():
+            raise OptionsError(f"option {name!r} must be an integer: {value!r}")
+        try:
+            out = int(value)
+        except (TypeError, ValueError):
+            raise OptionsError(f"option {name!r} must be an integer: {value!r}") from None
+        if out <= 0:
+            raise OptionsError(f"option {name!r} must be positive: {out}")
+        return out
+
+
+def _as_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        return value.strip().lower() in ("1", "true", "yes", "on")
+    return bool(value)

@@ -1,0 +1,499 @@
+"""S2V: saving Spark DataFrames to Vertica with exactly-once semantics (§3.2).
+
+Vertica itself is the durable coordination log.  Setup creates three
+temporary tables and one permanent table:
+
+- ``<job>_STAGING`` — same schema as the target; all task data lands here;
+- ``<job>_TASK_STATUS`` — one row per task: id, rows inserted/failed, done;
+- ``<job>_LAST_COMMITTER`` — single row for the leader-election race;
+- ``S2V_JOB_STATUS`` — permanent record of every job's final outcome,
+  consultable even after total Spark failure.
+
+Each task then runs the five phases of Figure 5:
+
+1. *(one transaction)* if its status row is still not-done: stream its
+   partition as Avro through COPY into the staging table, then
+   conditionally ``UPDATE ... SET done = TRUE WHERE task_id = i AND done
+   = FALSE`` — committing only if the update hit, else aborting.  A
+   restarted or duplicated task finds ``done = TRUE`` and skips the
+   write, so data is staged exactly once.
+2. read the status table; unless *all* tasks are done, terminate.
+3. race to ``UPDATE <job>_LAST_COMMITTER SET task_id = i WHERE task_id IS
+   NULL``: exactly one task's update succeeds (durable leader election).
+4. read back the winner; losers terminate.
+5. the winner checks the rejected-row tolerance and commits the staging
+   table into the target — an atomic rename for overwrite, one
+   transactional ``INSERT ... SELECT`` for append — guarded by a
+   conditional update of ``S2V_JOB_STATUS`` so even a speculative
+   duplicate of the winner finalises only once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.avrolite import encode_rows
+from repro.connector.options import ConnectorOptions
+from repro.spark.errors import SparkError
+from repro.vertica.errors import LockContention, VerticaError
+
+#: the permanent record of all S2V jobs (never dropped)
+FINAL_STATUS_TABLE = "S2V_JOB_STATUS"
+#: rows per Avro container chunk a task alternates encode/send over
+COPY_CHUNK_ROWS = 2048
+#: effectively-unlimited per-chunk REJECTMAX; tolerance is job-level
+CHUNK_REJECT_MAX = 1 << 31
+
+
+class S2VError(VerticaError):
+    """S2V job-level failure (e.g. rejected rows above tolerance)."""
+
+
+class S2VResult:
+    """Outcome of one S2V save."""
+
+    def __init__(self, job_name: str, rows_loaded: int, rows_rejected: int,
+                 failed_percent: float, status: str):
+        self.job_name = job_name
+        self.rows_loaded = rows_loaded
+        self.rows_rejected = rows_rejected
+        self.failed_percent = failed_percent
+        self.status = status
+
+    def __repr__(self) -> str:
+        return (
+            f"S2VResult({self.job_name!r}, loaded={self.rows_loaded}, "
+            f"rejected={self.rows_rejected}, status={self.status!r})"
+        )
+
+
+class S2VWriter:
+    """One save invocation (one Spark job)."""
+
+    _job_ids = itertools.count(1)
+
+    def __init__(self, spark, mode: str, options: Dict[str, Any], dataframe):
+        self.spark = spark
+        self.mode = mode
+        self.dataframe = dataframe
+        self.opts = ConnectorOptions(options, for_save=True)
+        self.cluster = self.opts.cluster
+        self.job_name = f"S2V_JOB_{next(self._job_ids)}"
+        self.target = self.opts.table
+        self.staging = f"{self.job_name}_STAGING"
+        self.status_table = f"{self.job_name}_TASK_STATUS"
+        self.committer_table = f"{self.job_name}_LAST_COMMITTER"
+        self.nodes: List[str] = []
+        self.avro_schema = dataframe.schema.to_avro("s2v_row")
+        self._skipped = False
+        #: plan used when prehash_partitioning is on: task -> node
+        self._prehash_ring = None
+
+    # ------------------------------------------------------------------- save
+    def save(self) -> Optional[S2VResult]:
+        """Run setup, the task job, and finalisation; returns the result.
+
+        ``None`` is returned only for mode=ignore on an existing table.
+        """
+        self.cluster.run(self._setup(), name=f"{self.job_name}.setup")
+        if self._skipped:
+            return None
+        rdd, num_tasks = self._partitioned_rdd()
+        thunks = [self._make_task(rdd, i) for i in range(num_tasks)]
+        job = self.spark.scheduler.submit(thunks, name=self.job_name)
+        try:
+            self.cluster.env.run(job.done)
+        except SparkError:
+            # Total Spark failure: leave every table in place — the final
+            # status table records IN_PROGRESS for the user to consult.
+            raise
+        return self.cluster.run(
+            self._finalize(job), name=f"{self.job_name}.finalize"
+        )
+
+    # -------------------------------------------------------------- setup phase
+    def _setup(self) -> Generator:
+        conn = self.cluster.connect(self.opts.host, client_node=None)
+        try:
+            result = yield from conn.execute(
+                "SELECT node_name FROM v_catalog.nodes ORDER BY node_name"
+            )
+            self.nodes = [row[0] for row in result.rows]
+            result = yield from conn.execute(
+                "SELECT COUNT(*) FROM v_catalog.tables "
+                f"WHERE table_name = '{self.target}'"
+            )
+            target_exists = result.scalar() > 0
+            if self.mode == "errorifexists" and target_exists:
+                raise S2VError(f"table {self.target!r} already exists")
+            if self.mode == "ignore" and target_exists:
+                self._skipped = True
+                return
+            if self.mode == "append" and not target_exists:
+                raise S2VError(
+                    f"append mode requires existing table {self.target!r}"
+                )
+            segmented_by = [self.dataframe.schema.fields[0].name]
+            yield from conn.execute(
+                self.dataframe.schema.create_table_sql(
+                    self.staging,
+                    segmented_by=segmented_by,
+                    varchar_length=self.opts.varchar_length,
+                )
+            )
+            yield from conn.execute(
+                f"CREATE TABLE {self.status_table} (task_id INTEGER, "
+                "rows_inserted INTEGER, rows_failed INTEGER, done BOOLEAN) "
+                "UNSEGMENTED ALL NODES"
+            )
+            values = ", ".join(
+                f"({i}, 0, 0, FALSE)" for i in range(self._num_tasks())
+            )
+            yield from conn.execute(
+                f"INSERT INTO {self.status_table} VALUES {values}"
+            )
+            yield from conn.execute(
+                f"CREATE TABLE {self.committer_table} (task_id INTEGER) "
+                "UNSEGMENTED ALL NODES"
+            )
+            yield from conn.execute(
+                f"INSERT INTO {self.committer_table} VALUES (NULL)"
+            )
+            yield from conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {FINAL_STATUS_TABLE} "
+                "(job_name VARCHAR(200), failed_percent FLOAT, "
+                "status VARCHAR(20)) UNSEGMENTED ALL NODES"
+            )
+            yield from conn.execute(
+                f"INSERT INTO {FINAL_STATUS_TABLE} VALUES "
+                f"('{self.job_name}', 0.0, 'IN_PROGRESS')"
+            )
+            if self.opts.prehash_partitioning:
+                from repro.vertica.hashring import HashRing, Segment
+
+                result = yield from conn.execute(
+                    "SELECT segment_lower_bound, segment_upper_bound, node_name "
+                    f"FROM v_catalog.segments WHERE table_name = '{self.staging}' "
+                    "ORDER BY segment_lower_bound"
+                )
+                self._prehash_ring = HashRing(
+                    [Segment(lo, hi, node) for lo, hi, node in result.rows]
+                )
+        finally:
+            conn.close()
+
+    def _num_tasks(self) -> int:
+        return self.opts.num_partitions
+
+    def _partitioned_rdd(self):
+        """Repartition the DataFrame to the requested task count (§3.2).
+
+        With ``prehash_partitioning`` (the paper's §5 future-work
+        optimisation, implemented here as an option) rows are routed so
+        each task holds only rows whose staging segment lives on the node
+        that task will connect to — eliminating Vertica-internal traffic.
+        """
+        num = self.opts.num_partitions
+        if self.opts.prehash_partitioning and self._prehash_ring is not None:
+            from repro.vertica.hashring import vertica_hash
+
+            ring = self._prehash_ring
+            plan = ring.partition_plan(num)
+            self._prehash_plan = plan
+            seg_index = self.dataframe.schema.index_of(
+                self.dataframe.schema.fields[0].name
+            )
+
+            def destination(row) -> int:
+                value_hash = vertica_hash(row[seg_index])
+                for task_index, ranges in enumerate(plan):
+                    for lo, hi, __ in ranges:
+                        if lo <= value_hash < hi:
+                            return task_index
+                return value_hash % num  # pragma: no cover - plan tiles space
+
+            rdd = self.dataframe.rdd().partition_by(num, key_fn=destination)
+            return rdd, num
+        rdd = self.dataframe.rdd()
+        if rdd.num_partitions > num:
+            rdd = rdd.coalesce(num)
+        elif rdd.num_partitions < num:
+            rdd = rdd.repartition(num)
+        return rdd, num
+
+    def _task_node(self, task_index: int) -> str:
+        if self.opts.prehash_partitioning and self._prehash_ring is not None:
+            ranges = self._prehash_plan[task_index]
+            if ranges:
+                return ranges[0][2]
+        return self.nodes[task_index % len(self.nodes)]
+
+    # --------------------------------------------------------------- task phases
+    def _make_task(self, rdd, task_index: int):
+        writer = self
+
+        def thunk(ctx) -> Generator:
+            body = rdd.compute(task_index, ctx)
+            if hasattr(body, "__next__"):
+                rows = yield from body
+            else:  # pragma: no cover
+                rows = body
+            yield from writer._run_phases(ctx, task_index, list(rows))
+            return task_index
+
+        return thunk
+
+    def _run_phases(self, ctx, task_index: int, rows: List[Tuple]) -> Generator:
+        conn = self.cluster.connect(self._task_node(task_index), client_node=ctx.node)
+        try:
+            yield from self._phase1(ctx, conn, task_index, rows)
+            ctx.probe("s2v:after_phase1")
+            all_done = yield from self._phase2(ctx, conn)
+            if not all_done:
+                return
+            ctx.probe("s2v:after_phase2")
+            yield from self._phase3(ctx, conn, task_index)
+            ctx.probe("s2v:after_phase3")
+            is_winner = yield from self._phase4(ctx, conn, task_index)
+            if not is_winner:
+                return
+            ctx.probe("s2v:after_phase4")
+            yield from self._phase5(ctx, conn)
+        finally:
+            conn.close()
+
+    def _phase1(self, ctx, conn, task_index: int, rows: List[Tuple]) -> Generator:
+        """Stage this partition's data exactly once.
+
+        The COPY and the conditional done-flag update run under one
+        transaction, so the record of this task having staged its data is
+        durable iff the data itself is (§3.2.1 Phase 1).  Contention on
+        the shared status table retries only the conditional update; the
+        staged data stays in the open transaction.
+        """
+        yield from conn.execute("BEGIN")
+        result = yield from conn.execute(
+            f"SELECT done FROM {self.status_table} WHERE task_id = {task_index}"
+        )
+        if result.scalar() is True:
+            # A previous attempt of this task already staged its data.
+            yield from conn.execute("ROLLBACK")
+            return
+        loaded, failed = yield from self._copy_partition(ctx, conn, rows)
+        ctx.probe("s2v:phase1_data_staged")
+        attempt = 0
+        while True:
+            try:
+                update = yield from conn.execute(
+                    f"UPDATE {self.status_table} SET done = TRUE, "
+                    f"rows_inserted = {loaded}, rows_failed = {failed} "
+                    f"WHERE task_id = {task_index} AND done = FALSE"
+                )
+                break
+            except LockContention:
+                attempt += 1
+                yield self.cluster.env.timeout(0.01 * min(attempt, 5))
+        if update.rowcount == 1:
+            ctx.probe("s2v:phase1_before_commit")
+            yield from conn.execute("COMMIT")
+            ctx.probe("s2v:phase1_after_commit")
+        else:
+            # A duplicate of this task committed first; discard our copy.
+            yield from conn.execute("ROLLBACK")
+
+    def _copy_partition(self, ctx, conn, rows: List[Tuple]) -> Generator:
+        """Alternately Avro-encode a chunk (Spark CPU) and COPY it in."""
+        model = self.cluster.cost_model
+        weight = self.opts.scale_factor
+        loaded = 0
+        failed = 0
+        if not rows:
+            return 0, 0
+        # The container header (magic, schema JSON, sync marker) is paid
+        # once per real container, not once per virtual row — scale only
+        # the data blocks, or small real partitions would charge phantom
+        # header gigabytes.
+        header_bytes = len(encode_rows(self.avro_schema, [],
+                                       codec=self.opts.avro_codec))
+        for start in range(0, len(rows), COPY_CHUNK_ROWS):
+            chunk = rows[start : start + COPY_CHUNK_ROWS]
+            payload = encode_rows(
+                self.avro_schema, chunk, codec=self.opts.avro_codec
+            )
+            data_bytes = max(1, len(payload) - header_bytes)
+            effective_weight = (
+                header_bytes + data_bytes * weight
+            ) / len(payload)
+            encode_seconds = (
+                weight * len(chunk) * model.encode_cpu_per_row
+                + data_bytes * weight * model.encode_cpu_per_byte
+            )
+            if encode_seconds > 0:
+                yield from ctx.node.compute(encode_seconds)
+            yield from conn.execute(
+                f"COPY {self.staging} FROM STDIN FORMAT AVRO "
+                f"REJECTMAX {CHUNK_REJECT_MAX} DIRECT",
+                copy_data=payload,
+                weight=effective_weight,
+            )
+            copy_result = conn.session.last_copy_result
+            loaded += copy_result.loaded
+            failed += copy_result.rejected
+        return loaded, failed
+
+    def _phase2(self, ctx, conn) -> Generator:
+        result = yield from conn.execute(
+            f"SELECT COUNT(*) FROM {self.status_table} "
+            "WHERE done = FALSE OR done IS NULL"
+        )
+        return result.scalar() == 0
+
+    def _phase3(self, ctx, conn, task_index: int) -> Generator:
+        yield from conn.execute_with_retry(
+            f"UPDATE {self.committer_table} SET task_id = {task_index} "
+            "WHERE task_id IS NULL"
+        )
+
+    def _phase4(self, ctx, conn, task_index: int) -> Generator:
+        result = yield from conn.execute(
+            f"SELECT task_id FROM {self.committer_table}"
+        )
+        return result.scalar() == task_index
+
+    def _phase5(self, ctx, conn) -> Generator:
+        result = yield from conn.execute(
+            f"SELECT SUM(rows_inserted), SUM(rows_failed) FROM {self.status_table}"
+        )
+        inserted, rejected = result.rows[0]
+        inserted = inserted or 0
+        rejected = rejected or 0
+        total = inserted + rejected
+        failed_percent = (rejected / total) if total else 0.0
+        if failed_percent > self.opts.failed_rows_percent_tolerance:
+            yield from conn.execute_with_retry(
+                f"UPDATE {FINAL_STATUS_TABLE} SET status = 'FAILURE', "
+                f"failed_percent = {failed_percent} "
+                f"WHERE job_name = '{self.job_name}' AND status = 'IN_PROGRESS'"
+            )
+            raise S2VError(
+                f"{self.job_name}: rejected fraction {failed_percent:.4f} "
+                f"exceeds tolerance {self.opts.failed_rows_percent_tolerance}"
+            )
+        if self.mode == "append":
+            yield from self._commit_append(ctx, conn, failed_percent)
+        else:
+            yield from self._commit_overwrite(ctx, conn, failed_percent)
+
+    def _commit_append(self, ctx, conn, failed_percent: float) -> Generator:
+        """Atomic: conditional final-status update + INSERT..SELECT, one txn."""
+        attempt = 0
+        while True:
+            try:
+                yield from conn.execute("BEGIN")
+                update = yield from conn.execute(
+                    f"UPDATE {FINAL_STATUS_TABLE} SET status = 'SUCCESS', "
+                    f"failed_percent = {failed_percent} "
+                    f"WHERE job_name = '{self.job_name}' AND status = 'IN_PROGRESS'"
+                )
+                if update.rowcount != 1:
+                    # A duplicate of the winner already finalised the job.
+                    yield from conn.execute("ROLLBACK")
+                    return
+                ctx.probe("s2v:phase5_before_append")
+                yield from conn.execute(
+                    f"INSERT INTO {self.target} SELECT * FROM {self.staging}"
+                )
+                yield from conn.execute("COMMIT")
+                ctx.probe("s2v:phase5_after_commit")
+                return
+            except LockContention:
+                yield from conn.execute("ROLLBACK")
+                attempt += 1
+                yield self.cluster.env.timeout(0.01 * min(attempt, 5))
+
+    def _commit_overwrite(self, ctx, conn, failed_percent: float) -> Generator:
+        """Entitlement first, then the atomic rename.
+
+        The conditional final-status update is the single atomic arbiter:
+        exactly one attempt (original, restarted, or speculative duplicate)
+        flips IN_PROGRESS → SUCCESS, and only that attempt ever touches the
+        target table.  Duplicates that lose the update return without side
+        effects, so they can never drop a freshly renamed target.  If the
+        entitled attempt crashes between the update and the rename, the
+        driver's finalisation step completes the rename (the staging table
+        is still present as the durable evidence).
+        """
+        update = yield from conn.execute_with_retry(
+            f"UPDATE {FINAL_STATUS_TABLE} SET status = 'SUCCESS', "
+            f"failed_percent = {failed_percent} "
+            f"WHERE job_name = '{self.job_name}' AND status = 'IN_PROGRESS'"
+        )
+        if update.rowcount != 1:
+            return  # another attempt finalised (or will finalise) the job
+        attempt = 0
+        while True:
+            try:
+                yield from conn.execute(f"DROP TABLE IF EXISTS {self.target}")
+                ctx.probe("s2v:phase5_before_rename")
+                yield from conn.execute(
+                    f"ALTER TABLE {self.staging} RENAME TO {self.target}"
+                )
+                break
+            except LockContention:
+                # A zombie duplicate still holds an insert lock on the
+                # staging table; its transaction aborts shortly.
+                attempt += 1
+                yield self.cluster.env.timeout(0.01 * min(attempt, 5))
+        ctx.probe("s2v:phase5_after_rename")
+
+    # ----------------------------------------------------------------- finalize
+    def _finalize(self, job=None) -> Generator:
+        # Quiesce: zombie speculative duplicates may still be running their
+        # (harmless) phases; wait for them so recovery below never races an
+        # in-flight entitled committer.
+        if job is not None:
+            while any(task.live_attempts for task in job.tasks):
+                yield self.cluster.env.timeout(0.05)
+        conn = self.cluster.connect(self.opts.host, client_node=None)
+        try:
+            # Recovery: the entitled committer may have crashed between the
+            # final-status update and the rename; the staging table is the
+            # durable evidence and the driver completes the rename here.
+            if self.mode == "overwrite":
+                result = yield from conn.execute(
+                    f"SELECT status FROM {FINAL_STATUS_TABLE} "
+                    f"WHERE job_name = '{self.job_name}'"
+                )
+                staging_left = yield from conn.execute(
+                    "SELECT COUNT(*) FROM v_catalog.tables "
+                    f"WHERE table_name = '{self.staging}'"
+                )
+                if result.scalar() == "SUCCESS" and staging_left.scalar() > 0:
+                    yield from conn.execute(f"DROP TABLE IF EXISTS {self.target}")
+                    yield from conn.execute(
+                        f"ALTER TABLE {self.staging} RENAME TO {self.target}"
+                    )
+            result = yield from conn.execute(
+                f"SELECT SUM(rows_inserted), SUM(rows_failed) "
+                f"FROM {self.status_table}"
+            )
+            inserted, rejected = result.rows[0]
+            result = yield from conn.execute(
+                f"SELECT status, failed_percent FROM {FINAL_STATUS_TABLE} "
+                f"WHERE job_name = '{self.job_name}'"
+            )
+            status, failed_percent = result.rows[0]
+            # Teardown of the temporary tables (the final status table stays).
+            yield from conn.execute(f"DROP TABLE IF EXISTS {self.status_table}")
+            yield from conn.execute(f"DROP TABLE IF EXISTS {self.committer_table}")
+            yield from conn.execute(f"DROP TABLE IF EXISTS {self.staging}")
+            return S2VResult(
+                self.job_name,
+                int(inserted or 0),
+                int(rejected or 0),
+                float(failed_percent or 0.0),
+                status,
+            )
+        finally:
+            conn.close()

@@ -1,0 +1,214 @@
+"""V2S: loading Vertica data into Spark (§3.1).
+
+Design, as in the paper:
+
+- **Locality-aware hash-range queries** (§3.1.2).  The relation reads the
+  table's hash-ring boundaries from the system catalog, splits the ring
+  into ``numpartitions`` non-overlapping ranges that never cross a
+  segment boundary, and each Spark task connects *to the node owning its
+  range* and issues ``SELECT ... WHERE HASH(seg_cols) >= lo AND
+  HASH(seg_cols) < hi``.  Only node-local data is requested, so no bytes
+  cross the Vertica-internal network.
+- **Snapshot consistency via epochs.**  Each scan pins the current epoch
+  and every task queries ``AT EPOCH e``, so tasks running (or re-running,
+  after failures) at different times still load one consistent view.
+- **Pushdown** (§3.1.1).  Column pruning, the External Data Source API's
+  filters, and COUNT are all evaluated inside Vertica; views (and
+  unsegmented tables) are parallelised with ``SYNTHETIC_HASH()`` ranges,
+  which lets pre-defined views push down joins and aggregations too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.connector.options import ConnectorOptions
+from repro.spark.datasource import BaseRelation, Filter, filters_to_sql
+from repro.spark.rdd import RDD
+from repro.spark.row import StructType
+from repro.vertica.errors import CatalogError
+from repro.vertica.hashring import HashRing, Segment, synthetic_ring
+from repro.vertica.types import parse_type
+
+
+class VerticaRelation(BaseRelation):
+    """A Vertica table or view exposed through the Data Source API."""
+
+    def __init__(self, spark: "SparkSession", options: Dict[str, Any]):  # noqa: F821
+        self.spark = spark
+        self.opts = ConnectorOptions(options)
+        self.cluster = self.opts.cluster
+        self._discover()
+
+    # -- catalog discovery (driver-side metadata queries) -----------------------
+    def _discover(self) -> None:
+        db = self.cluster.db
+        session = db.connect(self.opts.host)
+        try:
+            self.is_view = db.catalog.has_view(self.opts.table)
+            if self.is_view:
+                self._schema = self._discover_view_schema(session)
+                self.ring = synthetic_ring(self.cluster.node_names)
+                self.segmentation_columns: List[str] = []
+                self.unsegmented = False
+                return
+            rows = session.execute(
+                "SELECT column_name, data_type FROM v_catalog.columns "
+                f"WHERE table_name = '{self.opts.table}' ORDER BY ordinal_position"
+            ).rows
+            if not rows:
+                raise CatalogError(f"relation {self.opts.table!r} does not exist")
+            self._schema = StructType.from_sql_types(
+                [(name, parse_type(type_name)) for name, type_name in rows]
+            )
+            seg = session.execute(
+                "SELECT is_segmented, row_segmentation FROM v_catalog.tables "
+                f"WHERE table_name = '{self.opts.table}'"
+            ).rows
+            self.unsegmented = not seg[0][0]
+            if self.unsegmented:
+                self.segmentation_columns = []
+                self.ring = synthetic_ring(self.cluster.node_names)
+            else:
+                self.segmentation_columns = seg[0][1].split(",")
+                segments = session.execute(
+                    "SELECT segment_lower_bound, segment_upper_bound, node_name "
+                    f"FROM v_catalog.segments WHERE table_name = '{self.opts.table}' "
+                    "ORDER BY segment_lower_bound"
+                ).rows
+                self.ring = HashRing(
+                    [Segment(lo, hi, node) for lo, hi, node in segments]
+                )
+        finally:
+            session.close()
+
+    def _discover_view_schema(self, session) -> StructType:
+        """Infer a view's schema from a one-row sample.
+
+        Views have no catalog column types here, so types come from a
+        sampled row (strings for NULL-only columns) — a documented
+        limitation of the reproduction, not of the design.
+        """
+        from repro.spark.row import StructField
+
+        sample = session.execute(f"SELECT * FROM {self.opts.table} LIMIT 1")
+        fields = []
+        first = sample.rows[0] if sample.rows else [None] * len(sample.columns)
+        for name, value in zip(sample.columns, first):
+            if isinstance(value, bool):
+                data_type = "boolean"
+            elif isinstance(value, int):
+                data_type = "long"
+            elif isinstance(value, float):
+                data_type = "double"
+            else:
+                data_type = "string"
+            fields.append(StructField(name, data_type))
+        return StructType(fields)
+
+    # -- BaseRelation API ----------------------------------------------------------
+    @property
+    def schema(self) -> StructType:
+        return self._schema
+
+    def unhandled_filters(self, filters: Sequence[Filter]) -> List[Filter]:
+        return []  # Vertica evaluates every pushdown filter shape
+
+    def pin_epoch(self) -> int:
+        """The snapshot epoch all of a job's task queries will read at."""
+        session = self.cluster.db.connect(self.opts.host)
+        try:
+            return session.scalar("SELECT current_epoch FROM v_catalog.epochs")
+        finally:
+            session.close()
+
+    def _range_predicate(self, lo: int, hi: int) -> str:
+        if self.is_view or self.unsegmented:
+            return f"SYNTHETIC_HASH() >= {lo} AND SYNTHETIC_HASH() < {hi}"
+        hash_expr = f"HASH({', '.join(self.segmentation_columns)})"
+        return f"{hash_expr} >= {lo} AND {hash_expr} < {hi}"
+
+    def task_sql(
+        self,
+        epoch: int,
+        lo: int,
+        hi: int,
+        required_columns: Optional[Sequence[str]],
+        filters: Sequence[Filter],
+    ) -> str:
+        columns = ", ".join(required_columns) if required_columns else "*"
+        predicate = self._range_predicate(lo, hi)
+        pushed = filters_to_sql(filters)
+        if pushed:
+            predicate = f"{predicate} AND {pushed}"
+        return (
+            f"AT EPOCH {epoch} SELECT {columns} FROM {self.opts.table} "
+            f"WHERE {predicate}"
+        )
+
+    def build_scan(
+        self,
+        required_columns: Optional[Sequence[str]] = None,
+        filters: Sequence[Filter] = (),
+    ) -> RDD:
+        epoch = self.pin_epoch()
+        plan = self.ring.partition_plan(self.opts.num_partitions)
+        return VerticaScanRDD(self, plan, epoch, required_columns, filters)
+
+    def count(self, filters: Sequence[Filter] = ()) -> Optional[int]:
+        """COUNT pushdown: one aggregate query computed inside Vertica."""
+        epoch = self.pin_epoch()
+        pushed = filters_to_sql(filters)
+        where = f" WHERE {pushed}" if pushed else ""
+        sql = f"AT EPOCH {epoch} SELECT COUNT(*) FROM {self.opts.table}{where}"
+        relation = self
+
+        def thunk(ctx) -> Generator:
+            connection = relation.cluster.connect(relation.opts.host, ctx.node)
+            try:
+                result = yield from connection.execute(
+                    sql, weight=relation.opts.scale_factor
+                )
+                return result.scalar()
+            finally:
+                connection.close()
+
+        return self.spark.run_thunks([thunk], name=f"count:{self.opts.table}")[0]
+
+
+class VerticaScanRDD(RDD):
+    """One partition per hash-range task (Figure 4)."""
+
+    def __init__(
+        self,
+        relation: VerticaRelation,
+        plan: List[List[Tuple[int, int, str]]],
+        epoch: int,
+        required_columns: Optional[Sequence[str]],
+        filters: Sequence[Filter],
+    ):
+        super().__init__(relation.spark, len(plan))
+        self.relation = relation
+        self.plan = plan
+        self.epoch = epoch
+        self.required_columns = list(required_columns) if required_columns else None
+        self.filters = tuple(filters)
+
+    def compute(self, split: int, ctx) -> Generator:
+        relation = self.relation
+        rows: List[Tuple[Any, ...]] = []
+        for lo, hi, node in self.plan[split]:
+            # Locality: connect to the node that owns this hash range so the
+            # query touches only node-local storage.
+            connection = relation.cluster.connect(node, client_node=ctx.node)
+            try:
+                sql = relation.task_sql(
+                    self.epoch, lo, hi, self.required_columns, self.filters
+                )
+                result = yield from connection.execute(
+                    sql, weight=relation.opts.scale_factor
+                )
+                rows.extend(result.rows)
+            finally:
+                connection.close()
+        return rows

@@ -1,0 +1,36 @@
+"""PMML (Predictive Model Markup Language) support.
+
+The paper's MD component exports Spark MLlib models as PMML documents,
+stores them in Vertica's internal DFS, and scores them in-database via a
+generic JPMML-style evaluator (§3.3).  This package implements the subset
+of PMML 4.1 those models need:
+
+- :mod:`repro.pmml.document` — model classes (regression, k-means
+  clustering, linear SVM) plus the data dictionary,
+- :mod:`repro.pmml.xmlio` — XML serialisation and parsing,
+- :mod:`repro.pmml.evaluator` — the generic "numeric vector in, number
+  out" evaluator used by the ``PMMLPredict`` UDF.
+"""
+
+from repro.pmml.document import (
+    ClusteringModel,
+    DataField,
+    PmmlDocument,
+    PmmlError,
+    RegressionModel,
+    SupportVectorMachineModel,
+)
+from repro.pmml.xmlio import parse_pmml, to_xml
+from repro.pmml.evaluator import ModelEvaluator
+
+__all__ = [
+    "ClusteringModel",
+    "DataField",
+    "ModelEvaluator",
+    "PmmlDocument",
+    "PmmlError",
+    "RegressionModel",
+    "SupportVectorMachineModel",
+    "parse_pmml",
+    "to_xml",
+]

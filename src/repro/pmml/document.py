@@ -1,0 +1,226 @@
+"""PMML document model.
+
+A :class:`PmmlDocument` pairs a data dictionary (the named input fields)
+with exactly one model.  Three model families cover what Spark 1.x could
+export to PMML and what the paper's generic evaluator supports — models
+whose input is a numeric vector and whose output is a number:
+
+- :class:`RegressionModel` — linear regression, and binary logistic
+  regression via the ``logit`` normalization method;
+- :class:`ClusteringModel` — k-means (squared-Euclidean nearest centre);
+- :class:`SupportVectorMachineModel` — linear SVM classification by the
+  sign of the margin.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+
+class PmmlError(Exception):
+    """Raised for malformed PMML documents or evaluation mismatches."""
+
+
+class DataField:
+    """One named input field in the data dictionary."""
+
+    def __init__(self, name: str, dtype: str = "double", optype: str = "continuous"):
+        if not name:
+            raise PmmlError("data field requires a name")
+        self.name = name
+        self.dtype = dtype
+        self.optype = optype
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataField):
+            return NotImplemented
+        return (self.name, self.dtype, self.optype) == (
+            other.name,
+            other.dtype,
+            other.optype,
+        )
+
+    def __repr__(self) -> str:
+        return f"DataField({self.name!r}, {self.dtype!r})"
+
+
+class _Model:
+    """Shared behaviour: every model maps a numeric vector to a number."""
+
+    model_kind = "model"
+
+    def __init__(self, feature_names: Sequence[str], model_name: str = ""):
+        if not feature_names:
+            raise PmmlError("a model requires at least one feature")
+        self.feature_names = list(feature_names)
+        self.model_name = model_name or self.model_kind
+
+    @property
+    def num_features(self) -> int:
+        return len(self.feature_names)
+
+    def _check_vector(self, vector: Sequence[float]) -> List[float]:
+        if len(vector) != self.num_features:
+            raise PmmlError(
+                f"model {self.model_name!r} expects {self.num_features} "
+                f"features, got {len(vector)}"
+            )
+        try:
+            return [float(v) for v in vector]
+        except (TypeError, ValueError) as exc:
+            raise PmmlError(f"non-numeric feature value: {exc}") from exc
+
+    def predict(self, vector: Sequence[float]) -> float:
+        raise NotImplementedError
+
+
+class RegressionModel(_Model):
+    """PMML ``RegressionModel``.
+
+    ``function_name`` is ``"regression"`` (output = linear score) or
+    ``"classification"`` with ``normalization="logit"`` (output = positive
+    class probability, as Spark's logistic regression exports).
+    """
+
+    model_kind = "RegressionModel"
+
+    def __init__(
+        self,
+        feature_names: Sequence[str],
+        coefficients: Sequence[float],
+        intercept: float = 0.0,
+        function_name: str = "regression",
+        normalization: str = "none",
+        model_name: str = "",
+    ):
+        super().__init__(feature_names, model_name)
+        if len(coefficients) != len(feature_names):
+            raise PmmlError(
+                f"{len(coefficients)} coefficients for "
+                f"{len(feature_names)} features"
+            )
+        if function_name not in ("regression", "classification"):
+            raise PmmlError(f"unsupported functionName {function_name!r}")
+        if normalization not in ("none", "logit"):
+            raise PmmlError(f"unsupported normalizationMethod {normalization!r}")
+        self.coefficients = [float(c) for c in coefficients]
+        self.intercept = float(intercept)
+        self.function_name = function_name
+        self.normalization = normalization
+
+    def score(self, vector: Sequence[float]) -> float:
+        values = self._check_vector(vector)
+        return self.intercept + sum(c * v for c, v in zip(self.coefficients, values))
+
+    def predict(self, vector: Sequence[float]) -> float:
+        score = self.score(vector)
+        if self.normalization == "logit":
+            if score >= 0:
+                return 1.0 / (1.0 + math.exp(-score))
+            expx = math.exp(score)
+            return expx / (1.0 + expx)
+        return score
+
+
+class ClusteringModel(_Model):
+    """PMML ``ClusteringModel`` with squared-Euclidean comparison (k-means)."""
+
+    model_kind = "ClusteringModel"
+
+    def __init__(
+        self,
+        feature_names: Sequence[str],
+        centers: Sequence[Sequence[float]],
+        model_name: str = "",
+    ):
+        super().__init__(feature_names, model_name)
+        if not centers:
+            raise PmmlError("clustering model requires at least one cluster")
+        self.centers = [[float(v) for v in center] for center in centers]
+        for center in self.centers:
+            if len(center) != self.num_features:
+                raise PmmlError(
+                    f"cluster centre has {len(center)} values for "
+                    f"{self.num_features} features"
+                )
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.centers)
+
+    def predict(self, vector: Sequence[float]) -> float:
+        """Index of the nearest cluster centre."""
+        values = self._check_vector(vector)
+        best_index = 0
+        best_distance = math.inf
+        for index, center in enumerate(self.centers):
+            distance = sum((v - c) ** 2 for v, c in zip(values, center))
+            if distance < best_distance:
+                best_distance = distance
+                best_index = index
+        return float(best_index)
+
+
+class SupportVectorMachineModel(_Model):
+    """A linear-kernel PMML ``SupportVectorMachineModel`` (binary)."""
+
+    model_kind = "SupportVectorMachineModel"
+
+    def __init__(
+        self,
+        feature_names: Sequence[str],
+        weights: Sequence[float],
+        intercept: float = 0.0,
+        model_name: str = "",
+    ):
+        super().__init__(feature_names, model_name)
+        if len(weights) != len(feature_names):
+            raise PmmlError(f"{len(weights)} weights for {len(feature_names)} features")
+        self.weights = [float(w) for w in weights]
+        self.intercept = float(intercept)
+
+    def margin(self, vector: Sequence[float]) -> float:
+        values = self._check_vector(vector)
+        return self.intercept + sum(w * v for w, v in zip(self.weights, values))
+
+    def predict(self, vector: Sequence[float]) -> float:
+        """Class label: 1.0 for non-negative margin, else 0.0."""
+        return 1.0 if self.margin(vector) >= 0 else 0.0
+
+
+class PmmlDocument:
+    """A complete PMML document: data dictionary + one model."""
+
+    def __init__(
+        self,
+        model: _Model,
+        data_fields: Optional[Sequence[DataField]] = None,
+        version: str = "4.1",
+        description: str = "",
+    ):
+        self.model = model
+        self.data_fields = (
+            list(data_fields)
+            if data_fields is not None
+            else [DataField(name) for name in model.feature_names]
+        )
+        dictionary_names = {f.name for f in self.data_fields}
+        for name in model.feature_names:
+            if name not in dictionary_names:
+                raise PmmlError(
+                    f"model feature {name!r} missing from the data dictionary"
+                )
+        self.version = version
+        self.description = description
+
+    @property
+    def model_type(self) -> str:
+        return self.model.model_kind
+
+    @property
+    def feature_names(self) -> List[str]:
+        return list(self.model.feature_names)
+
+    def predict(self, vector: Sequence[float]) -> float:
+        return self.model.predict(vector)

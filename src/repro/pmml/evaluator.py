@@ -1,0 +1,51 @@
+"""A generic JPMML-style model evaluator.
+
+The paper (§3.3) describes "a generic model evaluator for models whose
+input is a numeric vector and the output is a number (e.g., logistic
+regression, k-means, etc)."  :class:`ModelEvaluator` is that component: it
+wraps a parsed :class:`~repro.pmml.document.PmmlDocument`, validates the
+argument arity against the model's mining schema, and scores one row at a
+time — exactly what the ``PMMLPredict`` UDF calls per tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.pmml.document import PmmlDocument, PmmlError
+from repro.pmml.xmlio import parse_pmml
+
+
+class ModelEvaluator:
+    """Evaluates a PMML model over numeric feature vectors."""
+
+    def __init__(self, document: PmmlDocument):
+        self.document = document
+
+    @classmethod
+    def from_xml(cls, text: str) -> "ModelEvaluator":
+        return cls(parse_pmml(text))
+
+    @property
+    def feature_names(self) -> List[str]:
+        return self.document.feature_names
+
+    @property
+    def model_type(self) -> str:
+        return self.document.model_type
+
+    def evaluate(self, vector: Sequence[float]) -> float:
+        """Score one positional numeric vector."""
+        return self.document.predict(vector)
+
+    def evaluate_named(self, values: Dict[str, float]) -> float:
+        """Score a row given as a name→value mapping."""
+        try:
+            vector = [values[name] for name in self.feature_names]
+        except KeyError as exc:
+            raise PmmlError(f"input row missing feature {exc}") from None
+        return self.document.predict(vector)
+
+    def evaluate_batch(self, rows: Sequence[Sequence[float]]) -> List[float]:
+        """Score many rows; used by the in-database scoring UDF."""
+        return [self.document.predict(row) for row in rows]

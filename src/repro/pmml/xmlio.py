@@ -1,0 +1,226 @@
+"""PMML XML serialisation and parsing.
+
+Emits the PMML 4.1 element shapes that JPMML-style consumers expect:
+``DataDictionary``/``DataField``, ``MiningSchema``/``MiningField``, and the
+model-specific elements (``RegressionTable``/``NumericPredictor``,
+``Cluster``, ``SupportVectorMachine``).  Parsing is strict about the
+structures we emit and tolerant of extra attributes, which is enough for
+round-tripping models between the Spark and Vertica sides of the fabric.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List
+
+from repro.pmml.document import (
+    ClusteringModel,
+    DataField,
+    PmmlDocument,
+    PmmlError,
+    RegressionModel,
+    SupportVectorMachineModel,
+)
+
+
+def to_xml(document: PmmlDocument) -> str:
+    """Serialise a :class:`PmmlDocument` to a PMML XML string."""
+    root = ET.Element("PMML", {"version": document.version})
+    header = ET.SubElement(root, "Header")
+    if document.description:
+        header.set("description", document.description)
+    ET.SubElement(header, "Application", {"name": "repro", "version": "1.0"})
+
+    dictionary = ET.SubElement(
+        root, "DataDictionary", {"numberOfFields": str(len(document.data_fields))}
+    )
+    for field in document.data_fields:
+        ET.SubElement(
+            dictionary,
+            "DataField",
+            {"name": field.name, "optype": field.optype, "dataType": field.dtype},
+        )
+
+    model = document.model
+    if isinstance(model, RegressionModel):
+        _write_regression(root, model)
+    elif isinstance(model, ClusteringModel):
+        _write_clustering(root, model)
+    elif isinstance(model, SupportVectorMachineModel):
+        _write_svm(root, model)
+    else:  # pragma: no cover - construction restricts model types
+        raise PmmlError(f"cannot serialise model kind {model.model_kind!r}")
+
+    return ET.tostring(root, encoding="unicode")
+
+
+def _write_mining_schema(parent: ET.Element, feature_names: List[str]) -> None:
+    schema = ET.SubElement(parent, "MiningSchema")
+    for name in feature_names:
+        ET.SubElement(schema, "MiningField", {"name": name, "usageType": "active"})
+
+
+def _write_regression(root: ET.Element, model: RegressionModel) -> None:
+    element = ET.SubElement(
+        root,
+        "RegressionModel",
+        {
+            "modelName": model.model_name,
+            "functionName": model.function_name,
+            "normalizationMethod": model.normalization,
+        },
+    )
+    _write_mining_schema(element, model.feature_names)
+    table = ET.SubElement(
+        element, "RegressionTable", {"intercept": repr(model.intercept)}
+    )
+    for name, coefficient in zip(model.feature_names, model.coefficients):
+        ET.SubElement(
+            table,
+            "NumericPredictor",
+            {"name": name, "coefficient": repr(coefficient)},
+        )
+
+
+def _write_clustering(root: ET.Element, model: ClusteringModel) -> None:
+    element = ET.SubElement(
+        root,
+        "ClusteringModel",
+        {
+            "modelName": model.model_name,
+            "functionName": "clustering",
+            "modelClass": "centerBased",
+            "numberOfClusters": str(model.num_clusters),
+        },
+    )
+    _write_mining_schema(element, model.feature_names)
+    ET.SubElement(
+        element, "ComparisonMeasure", {"kind": "distance", "compareFunction": "absDiff"}
+    )
+    for name in model.feature_names:
+        ET.SubElement(element, "ClusteringField", {"field": name})
+    for index, center in enumerate(model.centers):
+        cluster = ET.SubElement(element, "Cluster", {"id": str(index)})
+        array = ET.SubElement(cluster, "Array", {"type": "real", "n": str(len(center))})
+        array.text = " ".join(repr(v) for v in center)
+
+
+def _write_svm(root: ET.Element, model: SupportVectorMachineModel) -> None:
+    element = ET.SubElement(
+        root,
+        "SupportVectorMachineModel",
+        {"modelName": model.model_name, "functionName": "classification"},
+    )
+    _write_mining_schema(element, model.feature_names)
+    ET.SubElement(element, "LinearKernelType")
+    machine = ET.SubElement(
+        element, "SupportVectorMachine", {"intercept": repr(model.intercept)}
+    )
+    coefficients = ET.SubElement(machine, "Coefficients")
+    for name, weight in zip(model.feature_names, model.weights):
+        ET.SubElement(
+            coefficients, "Coefficient", {"name": name, "value": repr(weight)}
+        )
+
+
+def parse_pmml(text: str) -> PmmlDocument:
+    """Parse a PMML XML string produced by :func:`to_xml`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise PmmlError(f"malformed PMML XML: {exc}") from exc
+    if root.tag != "PMML":
+        raise PmmlError(f"root element is {root.tag!r}, expected PMML")
+    version = root.get("version", "4.1")
+    header = root.find("Header")
+    description = header.get("description", "") if header is not None else ""
+
+    dictionary = root.find("DataDictionary")
+    if dictionary is None:
+        raise PmmlError("PMML document missing DataDictionary")
+    data_fields = [
+        DataField(
+            element.get("name", ""),
+            dtype=element.get("dataType", "double"),
+            optype=element.get("optype", "continuous"),
+        )
+        for element in dictionary.findall("DataField")
+    ]
+
+    for tag, parser in (
+        ("RegressionModel", _parse_regression),
+        ("ClusteringModel", _parse_clustering),
+        ("SupportVectorMachineModel", _parse_svm),
+    ):
+        element = root.find(tag)
+        if element is not None:
+            model = parser(element)
+            return PmmlDocument(
+                model, data_fields=data_fields, version=version, description=description
+            )
+    raise PmmlError("PMML document contains no supported model element")
+
+
+def _parse_mining_fields(element: ET.Element) -> List[str]:
+    schema = element.find("MiningSchema")
+    if schema is None:
+        raise PmmlError(f"{element.tag} missing MiningSchema")
+    return [field.get("name", "") for field in schema.findall("MiningField")]
+
+
+def _parse_regression(element: ET.Element) -> RegressionModel:
+    features = _parse_mining_fields(element)
+    table = element.find("RegressionTable")
+    if table is None:
+        raise PmmlError("RegressionModel missing RegressionTable")
+    by_name = {
+        predictor.get("name", ""): float(predictor.get("coefficient", "0"))
+        for predictor in table.findall("NumericPredictor")
+    }
+    try:
+        coefficients = [by_name[name] for name in features]
+    except KeyError as exc:
+        raise PmmlError(f"RegressionTable missing predictor for {exc}") from None
+    return RegressionModel(
+        features,
+        coefficients,
+        intercept=float(table.get("intercept", "0")),
+        function_name=element.get("functionName", "regression"),
+        normalization=element.get("normalizationMethod", "none"),
+        model_name=element.get("modelName", ""),
+    )
+
+
+def _parse_clustering(element: ET.Element) -> ClusteringModel:
+    features = _parse_mining_fields(element)
+    centers = []
+    for cluster in element.findall("Cluster"):
+        array = cluster.find("Array")
+        if array is None or not array.text:
+            raise PmmlError("Cluster missing centre Array")
+        centers.append([float(token) for token in array.text.split()])
+    return ClusteringModel(features, centers, model_name=element.get("modelName", ""))
+
+
+def _parse_svm(element: ET.Element) -> SupportVectorMachineModel:
+    features = _parse_mining_fields(element)
+    machine = element.find("SupportVectorMachine")
+    if machine is None:
+        raise PmmlError("SupportVectorMachineModel missing SupportVectorMachine")
+    coefficients = machine.find("Coefficients")
+    if coefficients is None:
+        raise PmmlError("SupportVectorMachine missing Coefficients")
+    by_name = {
+        c.get("name", ""): float(c.get("value", "0"))
+        for c in coefficients.findall("Coefficient")
+    }
+    try:
+        weights = [by_name[name] for name in features]
+    except KeyError as exc:
+        raise PmmlError(f"Coefficients missing weight for {exc}") from None
+    return SupportVectorMachineModel(
+        features,
+        weights,
+        intercept=float(machine.get("intercept", "0")),
+        model_name=element.get("modelName", ""),
+    )

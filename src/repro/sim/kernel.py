@@ -1,0 +1,385 @@
+"""A small discrete-event simulation kernel.
+
+The kernel follows the classic process-interaction style (as popularised by
+SimPy): simulation *processes* are Python generators that ``yield`` events;
+the environment advances a virtual clock from event to event.  We implement
+only what the reproduction needs — one-shot events, timeouts, processes,
+process interruption (used for killing speculative task duplicates), and
+``AllOf``/``AnyOf`` condition events — but implement those carefully, since
+the Spark scheduler, the network model and every connector protocol run on
+top of this file.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed by the interrupter
+    (for example the Spark scheduler passes the reason the task attempt is
+    being killed).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*, is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`, and then invokes its callbacks when the
+    environment processes it.  Failed events re-raise their exception inside
+    every waiting process, so errors never pass silently.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        #: set when a failure has been delivered to at least one waiter
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._enqueue(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._enqueue(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run the callback immediately so late
+            # waiters (e.g. a process joining a finished process) still
+            # resume.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is not None and callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks or ():
+            callback(self)
+        if self._ok is False and not self._defused:
+            raise self._value
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay.
+
+    The timeout only *triggers* when the clock reaches it (not at
+    construction), so condition events treat pending timeouts correctly.
+    """
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._pending_value = value
+        env._enqueue(self, delay)
+
+    def _process(self) -> None:
+        if self._ok is None:
+            self._ok = True
+            self._value = self._pending_value
+        super()._process()
+
+
+class _ConditionMixin(Event):
+    """Shared machinery for AllOf/AnyOf condition events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._pending = 0
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        for event in self.events:
+            if event.triggered:
+                self._check(event)
+            else:
+                self._pending += 1
+                event.add_callback(self._check)
+        self._evaluate_initial()
+
+    def _evaluate_initial(self) -> None:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _finish(self) -> None:
+        if self._ok is None:
+            values = [e.value for e in self.events if e.triggered and e.ok]
+            self.succeed(values)
+
+
+class AllOf(_ConditionMixin):
+    """Succeeds when all child events have succeeded; fails on first failure."""
+
+    def _evaluate_initial(self) -> None:
+        if self._ok is None and all(e.triggered for e in self.events):
+            self._finish()
+
+    def _check(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        if not event.ok:
+            event._defused = True
+            self.fail(event.value)
+            return
+        if all(e.triggered and e.ok for e in self.events):
+            self._finish()
+
+
+class AnyOf(_ConditionMixin):
+    """Succeeds as soon as any child event succeeds; fails on first failure."""
+
+    def _evaluate_initial(self) -> None:
+        if self._ok is None and any(e.triggered and e.ok for e in self.events):
+            self._finish()
+        elif self._ok is None and not self.events:
+            self.succeed([])
+
+    def _check(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        if not event.ok:
+            event._defused = True
+            self.fail(event.value)
+            return
+        self._finish()
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    A :class:`Process` is itself an :class:`Event` that triggers when the
+    generator finishes (succeeding with its return value) or raises
+    (failing with the exception).  Processes may be interrupted, which
+    raises :class:`Interrupt` inside the generator at the current simulated
+    time.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the process at the current time.
+        bootstrap = Event(env)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks = []
+        bootstrap.add_callback(self._resume)
+        env._enqueue(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return  # interrupting a finished process is a no-op
+        if self._target is self:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks = []
+        interrupt_event.add_callback(self._resume)
+        self.env._enqueue(interrupt_event, priority=0)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return  # e.g. an interrupt delivered after normal termination
+        if self._target is not None:
+            self._target.remove_callback(self._resume)
+            self._target = None
+        self.env._active_process = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                # Deliver failures (including interrupts) into the generator.
+                event._defused = True
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+        if not isinstance(result, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded a non-event: {result!r}"
+            )
+            self._generator.close()
+            self.fail(exc)
+            return
+        self._target = result
+        result.add_callback(self._resume)
+
+
+class _QueueEntry:
+    __slots__ = ("time", "priority", "seq", "event")
+
+    def __init__(self, time: float, priority: int, seq: int, event: Event):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.event = event
+
+    def __lt__(self, other: "_QueueEntry") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+
+class Environment:
+    """The simulation environment: the clock and the event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[_QueueEntry] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event construction -------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._queue, _QueueEntry(self._now + delay, priority, self._seq, event)
+        )
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("attempt to step an exhausted simulation")
+        entry = heapq.heappop(self._queue)
+        self._now = entry.time
+        entry.event._process()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when exhausted."""
+        return self._queue[0].time if self._queue else float("inf")
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run until
+        the clock reaches it), or an :class:`Event` (run until it triggers,
+        returning its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError("cannot run backwards in time")
+
+        while self._queue:
+            if stop_event is not None and stop_event.triggered:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "simulation ran out of events before the awaited event fired"
+                )
+            stop_event._defused = True
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        if until is not None and stop_time < float("inf"):
+            self._now = max(self._now, stop_time) if self._queue else stop_time
+        return None

@@ -1,0 +1,237 @@
+"""A max-min fair-share flow network for the simulation kernel.
+
+Data movement in the reproduction — JDBC result streams, COPY loads,
+intra-Vertica shuffles, HDFS block reads — is modelled at *flow* level:
+each transfer is a flow of ``nbytes`` over a route of :class:`Link` objects
+(typically the sender's egress NIC and the receiver's ingress NIC).
+Concurrent flows share link capacity max-min fairly via progressive
+filling, and a flow may carry its own rate cap (used to model
+per-connection producer limits, e.g. a single Vertica query pipeline
+cannot saturate a 1 GbE NIC on its own — the effect behind Table 2 of the
+paper).
+
+Rates are recomputed whenever a flow starts or finishes, so the simulation
+remains event-driven and exact (piecewise-constant rates), not sampled.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.kernel import Environment, Event, SimulationError
+
+_EPS = 1e-9
+
+
+class Link:
+    """A unidirectional, capacity-limited channel (e.g. one NIC direction)."""
+
+    def __init__(self, env: Environment, name: str, capacity: float):
+        if capacity <= 0:
+            raise SimulationError(f"link capacity must be positive: {capacity}")
+        self.env = env
+        self.name = name
+        self.capacity = float(capacity)
+        #: total bytes that have crossed this link
+        self.bytes_total = 0.0
+        #: piecewise-constant (time, aggregate rate) samples for tracing
+        self.rate_log: List[Tuple[float, float]] = [(env.now, 0.0)]
+
+    def __repr__(self) -> str:
+        return f"Link({self.name!r}, {self.capacity:.0f} B/s)"
+
+    def _log_rate(self, rate: float) -> None:
+        last_time, last_rate = self.rate_log[-1]
+        if abs(last_rate - rate) < _EPS:
+            return
+        if last_time == self.env.now:
+            self.rate_log[-1] = (last_time, rate)
+        else:
+            self.rate_log.append((self.env.now, rate))
+
+
+class Flow:
+    """One in-flight transfer over a route of links."""
+
+    __slots__ = ("name", "route", "remaining", "cap", "rate", "event", "nbytes")
+
+    def __init__(
+        self,
+        name: str,
+        route: Sequence[Link],
+        nbytes: float,
+        cap: Optional[float],
+        event: Event,
+    ):
+        self.name = name
+        self.route = tuple(route)
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.cap = cap
+        self.rate = 0.0
+        self.event = event
+
+    def finish_time(self, now: float) -> float:
+        if self.rate <= 0:
+            return math.inf
+        return now + self.remaining / self.rate
+
+
+class Network:
+    """Tracks active flows and drives their completion events."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._flows: Set[Flow] = set()
+        self._last_update = env.now
+        self._timer_seq = 0
+        self._prev_busy: Set[Link] = set()
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def transfer(
+        self,
+        route: Sequence[Link],
+        nbytes: float,
+        cap: Optional[float] = None,
+        name: str = "flow",
+    ) -> Event:
+        """Start a transfer; the returned event fires with ``nbytes`` when done."""
+        if nbytes < 0:
+            raise SimulationError(f"cannot transfer a negative byte count: {nbytes}")
+        if cap is not None and cap <= 0:
+            raise SimulationError(f"flow rate cap must be positive: {cap}")
+        event = Event(self.env)
+        if nbytes < _EPS or not route:
+            # Zero-cost transfers (or transfers with no modelled links, as in
+            # unit tests) complete immediately.
+            event.succeed(nbytes)
+            return event
+        flow = Flow(name, route, nbytes, cap, event)
+        self._sync_progress()
+        self._flows.add(flow)
+        self._reschedule()
+        return event
+
+    # -- internals -----------------------------------------------------------
+    def _sync_progress(self) -> None:
+        """Advance every flow's remaining bytes to the current time."""
+        elapsed = self.env.now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows:
+                moved = flow.rate * elapsed
+                flow.remaining -= moved
+                for link in flow.route:
+                    link.bytes_total += moved
+        self._last_update = self.env.now
+
+    def _reschedule(self) -> None:
+        """Recompute fair-share rates and arm the next completion timer."""
+        self._assign_rates()
+        self._log_link_rates()
+        self._timer_seq += 1
+        seq = self._timer_seq
+        next_finish = min(
+            (flow.finish_time(self.env.now) for flow in self._flows),
+            default=math.inf,
+        )
+        if next_finish is math.inf or math.isinf(next_finish):
+            return
+        delay = max(0.0, next_finish - self.env.now)
+        timeout = self.env.timeout(delay)
+        timeout.add_callback(lambda _event: self._on_timer(seq))
+
+    def _on_timer(self, seq: int) -> None:
+        if seq != self._timer_seq:
+            return  # a newer recompute superseded this timer
+        self._sync_progress()
+        now = self.env.now
+        # A flow is done when its remaining bytes are negligible, or when
+        # its residual transfer time is below the clock's float resolution
+        # (now + dt == now), which would otherwise starve it forever.
+        finished = [
+            f
+            for f in self._flows
+            if f.remaining <= _EPS * max(1.0, f.nbytes)
+            or (f.rate > 0 and now + f.remaining / f.rate == now)
+        ]
+        for flow in finished:
+            self._flows.discard(flow)
+            flow.remaining = 0.0
+            flow.event.succeed(flow.nbytes)
+        self._reschedule()
+
+    def _assign_rates(self) -> None:
+        """Progressive-filling max-min fair allocation with per-flow caps.
+
+        Caps are modelled as single-flow virtual links, which folds them
+        into the standard bottleneck-freezing algorithm.
+        """
+        links: Dict[Link, List[Flow]] = {}
+        for flow in self._flows:
+            flow.rate = 0.0
+            for link in flow.route:
+                links.setdefault(link, []).append(flow)
+
+        remaining = {link: link.capacity for link in links}
+        unfrozen: Set[Flow] = set(self._flows)
+
+        while unfrozen:
+            # Find the bottleneck: the smallest per-flow share over real
+            # links (capacity left / unfrozen flows on it) and flow caps.
+            bottleneck_rate = math.inf
+            bottleneck_link: Optional[Link] = None
+            capped_flow: Optional[Flow] = None
+            for link, flows in links.items():
+                count = sum(1 for f in flows if f in unfrozen)
+                if count == 0:
+                    continue
+                share = remaining[link] / count
+                if share < bottleneck_rate - _EPS:
+                    bottleneck_rate = share
+                    bottleneck_link = link
+                    capped_flow = None
+            for flow in unfrozen:
+                if flow.cap is not None and flow.cap < bottleneck_rate - _EPS:
+                    bottleneck_rate = flow.cap
+                    bottleneck_link = None
+                    capped_flow = flow
+
+            if capped_flow is not None:
+                frozen = [capped_flow]
+            elif bottleneck_link is not None:
+                frozen = [f for f in links[bottleneck_link] if f in unfrozen]
+            else:  # pragma: no cover - defensive: no links and no caps
+                frozen = list(unfrozen)
+                bottleneck_rate = 0.0
+
+            for flow in frozen:
+                flow.rate = max(0.0, bottleneck_rate)
+                unfrozen.discard(flow)
+                for link in flow.route:
+                    remaining[link] = max(0.0, remaining[link] - flow.rate)
+
+    def _log_link_rates(self) -> None:
+        touched: Dict[Link, float] = {}
+        for flow in self._flows:
+            for link in flow.route:
+                touched[link] = touched.get(link, 0.0) + flow.rate
+        for link, rate in touched.items():
+            link._log_rate(rate)
+        # Links that just went idle need an explicit zero sample so traces
+        # show the drop to zero rather than a dangling nonzero segment.
+        for link in self._prev_busy - set(touched):
+            link._log_rate(0.0)
+        self._prev_busy = set(touched)
+
+    def quiesce_links(self, links: Iterable[Link]) -> None:
+        """Record a zero-rate sample on ``links`` that currently carry no flow."""
+        busy: Set[Link] = set()
+        for flow in self._flows:
+            busy.update(flow.route)
+        for link in links:
+            if link not in busy:
+                link._log_rate(0.0)

@@ -1,0 +1,118 @@
+"""Utilisation tracing over piecewise-constant resource logs.
+
+Links and core pools record ``(time, value)`` change points.  This module
+turns those logs into fixed-width time-bucketed series (time-weighted
+averages), which is how we regenerate the paper's Table 2 — per-node CPU%
+and network MB/s over the first 300 seconds of a V2S run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def bucket_series(
+    log: Sequence[Tuple[float, float]],
+    start: float,
+    end: float,
+    step: float,
+) -> List[float]:
+    """Time-weighted average of a piecewise-constant log per bucket.
+
+    ``log`` holds (time, value) change points, sorted by time, with each
+    value holding until the next change point.  Returns one average per
+    bucket of width ``step`` covering [start, end).
+    """
+    if step <= 0:
+        raise ValueError(f"bucket step must be positive: {step}")
+    if end <= start:
+        return []
+    points = list(log)
+    buckets: List[float] = []
+    t = start
+    while t < end - 1e-12:
+        t_next = min(t + step, end)
+        buckets.append(_window_average(points, t, t_next))
+        t = t_next
+    return buckets
+
+
+def _window_average(points: Sequence[Tuple[float, float]], lo: float, hi: float) -> float:
+    if not points:
+        return 0.0
+    total = 0.0
+    # Value active at the start of the window.
+    current = 0.0
+    for time, value in points:
+        if time <= lo:
+            current = value
+        else:
+            break
+    prev_time = lo
+    for time, value in points:
+        if time <= lo:
+            continue
+        if time >= hi:
+            break
+        total += current * (time - prev_time)
+        prev_time = time
+        current = value
+    total += current * (hi - prev_time)
+    return total / (hi - lo)
+
+
+class UsageTrace:
+    """A named utilisation series with convenience statistics."""
+
+    def __init__(self, name: str, times: Sequence[float], values: Sequence[float]):
+        if len(times) != len(values):
+            raise ValueError("times and values must be the same length")
+        self.name = name
+        self.times = list(times)
+        self.values = list(values)
+
+    @classmethod
+    def from_log(
+        cls,
+        name: str,
+        log: Sequence[Tuple[float, float]],
+        start: float,
+        end: float,
+        step: float,
+    ) -> "UsageTrace":
+        values = bucket_series(log, start, end, step)
+        times = [start + step * i for i in range(len(values))]
+        return cls(name, times, values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def peak(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def steady_state(self, skip_fraction: float = 0.25) -> float:
+        """Average over the trailing part of the series, past the ramp-up."""
+        if not self.values:
+            return 0.0
+        skip = int(len(self.values) * skip_fraction)
+        tail = self.values[skip:] or self.values
+        return sum(tail) / len(tail)
+
+    def sparkline(self, width: int = 60, peak: float = 0.0) -> str:
+        """Render the series as a one-line ASCII sparkline."""
+        if not self.values:
+            return ""
+        glyphs = " .:-=+*#%@"
+        top = peak or self.peak or 1.0
+        stride = max(1, len(self.values) // width)
+        cells = [
+            sum(self.values[i : i + stride]) / len(self.values[i : i + stride])
+            for i in range(0, len(self.values), stride)
+        ]
+        out = []
+        for cell in cells[:width]:
+            idx = min(len(glyphs) - 1, int(round(cell / top * (len(glyphs) - 1))))
+            out.append(glyphs[max(0, idx)])
+        return "".join(out)

@@ -1,0 +1,73 @@
+"""A Spark-like compute engine substrate.
+
+Implements the Spark 1.x machinery the paper's connector is built
+against:
+
+- **RDDs** (:mod:`repro.spark.rdd`) — immutable, lazily-evaluated,
+  lineage-tracked partitioned collections; failed tasks recompute their
+  partition from lineage.
+- **A batch task scheduler** (:mod:`repro.spark.scheduler`) — jobs are
+  sets of independent, stateless tasks executed on simulated executors,
+  with per-task retries, *speculative execution* (duplicate attempts of
+  stragglers, both of which may run side effects — exactly what S2V must
+  tolerate), fault injection hooks and whole-job cancellation ("total
+  Spark failure").
+- **DataFrames** (:mod:`repro.spark.dataframe`) — schema'd RDDs with a
+  reader/writer implementing **Spark's External Data Source API**
+  (:mod:`repro.spark.datasource`): ``df.read.format(...).options(...)
+  .load()`` / ``df.write.format(...).mode(...).save()``, with
+  column-pruning, filter and count pushdown to the source.
+- **MLlib** (:mod:`repro.spark.mllib`) — linear/logistic regression,
+  k-means and linear SVM with PMML export.
+
+Tasks execute as :mod:`repro.sim` processes, so connector code can charge
+network flows and CPU time while the same code path runs unchanged (at
+zero cost) in unit tests.
+"""
+
+from repro.spark.context import SparkSession
+from repro.spark.dataframe import DataFrame
+from repro.spark.datasource import (
+    BaseRelation,
+    EqualTo,
+    Filter,
+    GreaterThan,
+    GreaterThanOrEqual,
+    In,
+    IsNotNull,
+    IsNull,
+    LessThan,
+    LessThanOrEqual,
+    register_source,
+    source_registry,
+)
+from repro.spark.errors import JobFailedError, SparkError, TaskKilledError
+from repro.spark.faults import FaultPolicy, InjectedFailure, ProbeFailurePolicy
+from repro.spark.rdd import RDD
+from repro.spark.row import StructField, StructType
+
+__all__ = [
+    "BaseRelation",
+    "DataFrame",
+    "EqualTo",
+    "FaultPolicy",
+    "Filter",
+    "GreaterThan",
+    "GreaterThanOrEqual",
+    "In",
+    "InjectedFailure",
+    "IsNotNull",
+    "IsNull",
+    "JobFailedError",
+    "LessThan",
+    "LessThanOrEqual",
+    "ProbeFailurePolicy",
+    "RDD",
+    "SparkError",
+    "SparkSession",
+    "StructField",
+    "StructType",
+    "TaskKilledError",
+    "register_source",
+    "source_registry",
+]

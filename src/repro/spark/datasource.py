@@ -1,0 +1,221 @@
+"""Spark's External Data Source API (the interface the connector implements).
+
+Mirrors Spark 1.x `sources`:
+
+- :class:`RelationProvider` — implements ``load``: given options, return a
+  :class:`BaseRelation`;
+- :class:`CreatableRelationProvider` — implements ``save``: given a
+  DataFrame, a save mode and options, persist it;
+- :class:`BaseRelation` — a named scan with schema, supporting column
+  pruning and filter pushdown (``build_scan``), and optionally count
+  pushdown.
+
+Filters are the closed set of predicate shapes Spark pushes to sources;
+anything else is evaluated Spark-side as a residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.spark.errors import AnalysisError, SparkError
+from repro.spark.row import StructType
+
+
+# -- pushdown filters ---------------------------------------------------------
+@dataclass(frozen=True)
+class Filter:
+    """Base pushdown filter."""
+
+    attribute: str
+
+    def evaluate(self, value: Any) -> bool:
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EqualTo(Filter):
+    value: Any
+
+    def evaluate(self, value: Any) -> bool:
+        return value is not None and value == self.value
+
+    def to_sql(self) -> str:
+        return f"{self.attribute} = {_sql_literal(self.value)}"
+
+
+@dataclass(frozen=True)
+class GreaterThan(Filter):
+    value: Any
+
+    def evaluate(self, value: Any) -> bool:
+        return value is not None and value > self.value
+
+    def to_sql(self) -> str:
+        return f"{self.attribute} > {_sql_literal(self.value)}"
+
+
+@dataclass(frozen=True)
+class GreaterThanOrEqual(Filter):
+    value: Any
+
+    def evaluate(self, value: Any) -> bool:
+        return value is not None and value >= self.value
+
+    def to_sql(self) -> str:
+        return f"{self.attribute} >= {_sql_literal(self.value)}"
+
+
+@dataclass(frozen=True)
+class LessThan(Filter):
+    value: Any
+
+    def evaluate(self, value: Any) -> bool:
+        return value is not None and value < self.value
+
+    def to_sql(self) -> str:
+        return f"{self.attribute} < {_sql_literal(self.value)}"
+
+
+@dataclass(frozen=True)
+class LessThanOrEqual(Filter):
+    value: Any
+
+    def evaluate(self, value: Any) -> bool:
+        return value is not None and value <= self.value
+
+    def to_sql(self) -> str:
+        return f"{self.attribute} <= {_sql_literal(self.value)}"
+
+
+@dataclass(frozen=True)
+class In(Filter):
+    values: Tuple[Any, ...]
+
+    def evaluate(self, value: Any) -> bool:
+        return value is not None and value in self.values
+
+    def to_sql(self) -> str:
+        inner = ", ".join(_sql_literal(v) for v in self.values)
+        return f"{self.attribute} IN ({inner})"
+
+
+@dataclass(frozen=True)
+class IsNull(Filter):
+    def evaluate(self, value: Any) -> bool:
+        return value is None
+
+    def to_sql(self) -> str:
+        return f"{self.attribute} IS NULL"
+
+
+@dataclass(frozen=True)
+class IsNotNull(Filter):
+    def evaluate(self, value: Any) -> bool:
+        return value is not None
+
+    def to_sql(self) -> str:
+        return f"{self.attribute} IS NOT NULL"
+
+
+def _sql_literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return repr(value)
+
+
+def filters_to_sql(filters: Sequence[Filter]) -> str:
+    """AND-join filters into a SQL predicate ('' when empty)."""
+    return " AND ".join(f.to_sql() for f in filters)
+
+
+def apply_filters(filters: Sequence[Filter], schema: StructType,
+                  rows: Sequence[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
+    """Evaluate filters Spark-side (used for residuals and testing)."""
+    if not filters:
+        return list(rows)
+    indexed = [(schema.index_of(f.attribute), f) for f in filters]
+    return [
+        row
+        for row in rows
+        if all(f.evaluate(row[index]) for index, f in indexed)
+    ]
+
+
+# -- relations and providers ------------------------------------------------------
+class BaseRelation:
+    """A scannable external relation with pruning/pushdown support."""
+
+    @property
+    def schema(self) -> StructType:
+        raise NotImplementedError
+
+    def build_scan(
+        self,
+        required_columns: Optional[Sequence[str]] = None,
+        filters: Sequence[Filter] = (),
+    ) -> "RDD":  # noqa: F821
+        """Return an RDD of tuples for the (pruned, filtered) scan."""
+        raise NotImplementedError
+
+    def count(self, filters: Sequence[Filter] = ()) -> Optional[int]:
+        """Pushdown count; None means 'not supported, scan instead'."""
+        return None
+
+    def unhandled_filters(self, filters: Sequence[Filter]) -> List[Filter]:
+        """Filters the source cannot evaluate (re-checked Spark-side)."""
+        return []
+
+
+class RelationProvider:
+    """Implements LOAD for one format name."""
+
+    def create_relation(self, session: "SparkSession", options: Dict[str, Any]) -> BaseRelation:  # noqa: F821
+        raise NotImplementedError
+
+
+class CreatableRelationProvider:
+    """Implements SAVE for one format name."""
+
+    def save(
+        self,
+        session: "SparkSession",  # noqa: F821
+        mode: str,
+        options: Dict[str, Any],
+        dataframe: "DataFrame",  # noqa: F821
+    ) -> None:
+        raise NotImplementedError
+
+
+SAVE_MODES = ("overwrite", "append", "errorifexists", "ignore")
+
+_REGISTRY: Dict[str, Any] = {}
+
+
+def register_source(name: str, provider: Any, replace: bool = True) -> None:
+    """Register a DefaultSource class/instance under a format name."""
+    if name in _REGISTRY and not replace:
+        raise SparkError(f"source {name!r} already registered")
+    _REGISTRY[name] = provider
+
+
+def source_registry() -> Dict[str, Any]:
+    return dict(_REGISTRY)
+
+
+def lookup_source(name: str) -> Any:
+    try:
+        provider = _REGISTRY[name]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown data source format {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+    return provider() if isinstance(provider, type) else provider

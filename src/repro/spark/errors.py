@@ -1,0 +1,24 @@
+"""Error types for the Spark substrate."""
+
+from __future__ import annotations
+
+
+class SparkError(Exception):
+    """Base class for Spark-substrate errors."""
+
+
+class JobFailedError(SparkError):
+    """A job failed: some task exhausted its retries, or the job was
+    cancelled (total Spark failure)."""
+
+    def __init__(self, message: str, cause: Exception = None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class TaskKilledError(SparkError):
+    """A task attempt was killed (speculative loser or job cancellation)."""
+
+
+class AnalysisError(SparkError):
+    """Schema/column resolution errors on DataFrames."""

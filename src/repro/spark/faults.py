@@ -1,0 +1,98 @@
+"""Fault injection for Spark tasks.
+
+The paper's exactly-once argument has to hold under task failures at any
+point, restarts, speculative duplicates and total Spark failure (§2.2.2,
+§3.2.1).  To test that, task code announces *probes* — named points in its
+execution (``ctx.probe("phase1_committed")``) — and a
+:class:`FaultPolicy` decides whether a given attempt dies there.  The
+production code path is identical whether or not a policy is installed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+
+class InjectedFailure(Exception):
+    """A deliberately injected task failure."""
+
+
+class FaultPolicy:
+    """Base policy: never fails anything."""
+
+    def on_probe(self, ctx: "TaskContext", label: str) -> None:  # noqa: F821
+        """Called at every probe point; raise :class:`InjectedFailure` to
+        kill this attempt there."""
+
+    def on_task_start(self, ctx: "TaskContext") -> None:  # noqa: F821
+        """Called when an attempt begins executing."""
+
+
+class ProbeFailurePolicy(FaultPolicy):
+    """Fail specific (partition, attempt) pairs at specific probe labels.
+
+    ``failures`` maps ``(partition_id, attempt_number)`` to the probe label
+    at which that attempt must die.  Attempts not listed run normally, so a
+    task scheduled with ``max_failures >= 2`` fails once and then succeeds
+    on retry — the scenario the S2V phases must survive.
+    """
+
+    def __init__(self, failures: Dict[Tuple[int, int], str]):
+        self.failures = dict(failures)
+        self.injected: Set[Tuple[int, int, str]] = set()
+
+    def on_probe(self, ctx, label: str) -> None:
+        key = (ctx.partition_id, ctx.attempt_number)
+        if self.failures.get(key) == label:
+            self.injected.add((ctx.partition_id, ctx.attempt_number, label))
+            raise InjectedFailure(
+                f"injected failure at {label!r} for partition "
+                f"{ctx.partition_id} attempt {ctx.attempt_number}"
+            )
+
+
+class FailOncePerTaskPolicy(FaultPolicy):
+    """Every task's first attempt dies at the given probe label."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.injected: Set[int] = set()
+
+    def on_probe(self, ctx, label: str) -> None:
+        if label == self.label and ctx.attempt_number == 0:
+            self.injected.add(ctx.partition_id)
+            raise InjectedFailure(
+                f"injected first-attempt failure at {label!r} for partition "
+                f"{ctx.partition_id}"
+            )
+
+
+class FailureRatePolicy(FaultPolicy):
+    """Fail a deterministic pseudo-random fraction of attempts at a label.
+
+    Uses a hash of (partition, attempt, label) rather than a RNG so runs
+    are reproducible.
+    """
+
+    def __init__(self, rate: float, label: str = "", max_attempt: int = 2):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1]: {rate}")
+        self.rate = rate
+        self.label = label
+        self.max_attempt = max_attempt
+        self.injected: Set[Tuple[int, int]] = set()
+
+    def on_probe(self, ctx, label: str) -> None:
+        from repro.vertica.hashring import HASH_SPACE, vertica_hash
+
+        if self.label and label != self.label:
+            return
+        if ctx.attempt_number >= self.max_attempt:
+            return  # guarantee eventual success
+        draw = vertica_hash(ctx.partition_id, ctx.attempt_number, label)
+        if draw < self.rate * HASH_SPACE:
+            self.injected.add((ctx.partition_id, ctx.attempt_number))
+            raise InjectedFailure(
+                f"injected random failure at {label!r} for partition "
+                f"{ctx.partition_id} attempt {ctx.attempt_number}"
+            )

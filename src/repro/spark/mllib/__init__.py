@@ -1,0 +1,28 @@
+"""MLlib-lite: the model families the paper's MD component deploys.
+
+Spark 1.x could export linear models, logistic regression, k-means and
+linear SVMs to PMML; those are exactly the families implemented here.
+Each trainer accepts either a plain sequence or an RDD of
+:class:`LabeledPoint`/vectors, trains deterministically (fixed seeds),
+and every model supports ``predict`` plus ``to_pmml()`` for deployment
+into Vertica.
+"""
+
+from repro.spark.mllib.base import LabeledPoint, MllibError
+from repro.spark.mllib.regression import LinearRegressionModel, train_linear_regression
+from repro.spark.mllib.logistic import LogisticRegressionModel, train_logistic_regression
+from repro.spark.mllib.kmeans import KMeansModel, train_kmeans
+from repro.spark.mllib.svm import SVMModel, train_svm
+
+__all__ = [
+    "KMeansModel",
+    "LabeledPoint",
+    "LinearRegressionModel",
+    "LogisticRegressionModel",
+    "MllibError",
+    "SVMModel",
+    "train_kmeans",
+    "train_linear_regression",
+    "train_logistic_regression",
+    "train_svm",
+]

@@ -1,0 +1,70 @@
+"""Shared MLlib types and helpers."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class MllibError(Exception):
+    """Training/validation errors."""
+
+
+class LabeledPoint:
+    """A (label, features) training example, like MLlib's LabeledPoint."""
+
+    __slots__ = ("label", "features")
+
+    def __init__(self, label: float, features: Sequence[float]):
+        self.label = float(label)
+        self.features = [float(v) for v in features]
+
+    def __repr__(self) -> str:
+        return f"LabeledPoint({self.label}, {self.features})"
+
+
+def collect_points(data: Any) -> List[LabeledPoint]:
+    """Accept an RDD, a list of LabeledPoint, or (label, features) pairs."""
+    if hasattr(data, "collect"):
+        data = data.collect()
+    points: List[LabeledPoint] = []
+    for item in data:
+        if isinstance(item, LabeledPoint):
+            points.append(item)
+        else:
+            label, features = item
+            points.append(LabeledPoint(label, features))
+    if not points:
+        raise MllibError("training requires at least one example")
+    width = len(points[0].features)
+    for point in points:
+        if len(point.features) != width:
+            raise MllibError("inconsistent feature dimensionality")
+    return points
+
+
+def collect_vectors(data: Any) -> np.ndarray:
+    """Accept an RDD or sequence of feature vectors; returns a 2-D array."""
+    if hasattr(data, "collect"):
+        data = data.collect()
+    matrix = np.asarray([[float(v) for v in row] for row in data], dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] == 0:
+        raise MllibError("training requires a non-empty 2-D dataset")
+    return matrix
+
+
+def design_matrix(points: Sequence[LabeledPoint]) -> Tuple[np.ndarray, np.ndarray]:
+    features = np.asarray([p.features for p in points], dtype=float)
+    labels = np.asarray([p.label for p in points], dtype=float)
+    return features, labels
+
+
+def feature_names(num_features: int, names: Optional[Sequence[str]]) -> List[str]:
+    if names is not None:
+        if len(names) != num_features:
+            raise MllibError(
+                f"{len(names)} feature names for {num_features} features"
+            )
+        return list(names)
+    return [f"field_{i}" for i in range(num_features)]

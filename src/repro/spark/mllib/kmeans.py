@@ -1,0 +1,97 @@
+"""K-means clustering (Lloyd's algorithm, deterministic seeding)."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.pmml import ClusteringModel, PmmlDocument, to_xml
+from repro.spark.mllib.base import MllibError, collect_vectors, feature_names
+
+
+class KMeansModel:
+    """k cluster centres; predict returns the nearest centre's index."""
+
+    def __init__(self, centers: Sequence[Sequence[float]],
+                 names: Optional[Sequence[str]] = None):
+        self.centers = np.asarray([[float(v) for v in c] for c in centers], dtype=float)
+        if self.centers.ndim != 2 or self.centers.shape[0] == 0:
+            raise MllibError("a k-means model requires at least one centre")
+        self.names = feature_names(self.centers.shape[1], names)
+
+    @property
+    def k(self) -> int:
+        return self.centers.shape[0]
+
+    def predict(self, features: Sequence[float]) -> int:
+        point = np.asarray(features, dtype=float)
+        distances = np.sum((self.centers - point) ** 2, axis=1)
+        return int(np.argmin(distances))
+
+    def predict_all(self, rows: Sequence[Sequence[float]]) -> List[int]:
+        return [self.predict(row) for row in rows]
+
+    def cost(self, rows: Sequence[Sequence[float]]) -> float:
+        """Within-cluster sum of squared distances."""
+        total = 0.0
+        for row in rows:
+            point = np.asarray(row, dtype=float)
+            total += float(np.min(np.sum((self.centers - point) ** 2, axis=1)))
+        return total
+
+    def to_pmml(self, model_name: str = "kmeans") -> str:
+        document = PmmlDocument(
+            ClusteringModel(
+                self.names,
+                [list(c) for c in self.centers],
+                model_name=model_name,
+            ),
+            description="trained by repro.spark.mllib",
+        )
+        return to_xml(document)
+
+
+def train_kmeans(
+    data: Any,
+    k: int,
+    iterations: int = 50,
+    seed: int = 7,
+    names: Optional[Sequence[str]] = None,
+) -> KMeansModel:
+    """Lloyd's algorithm with deterministic k-means++ style seeding."""
+    matrix = collect_vectors(data)
+    count = matrix.shape[0]
+    if k <= 0 or k > count:
+        raise MllibError(f"k must be in [1, {count}]: {k}")
+    rng = np.random.RandomState(seed)
+    # k-means++ seeding
+    centers = [matrix[rng.randint(count)]]
+    while len(centers) < k:
+        distances = np.min(
+            [np.sum((matrix - c) ** 2, axis=1) for c in centers], axis=0
+        )
+        total = float(distances.sum())
+        if total <= 0:
+            centers.append(matrix[rng.randint(count)])
+            continue
+        draw = rng.rand() * total
+        index = int(np.searchsorted(np.cumsum(distances), draw))
+        centers.append(matrix[min(index, count - 1)])
+    centers = np.asarray(centers, dtype=float)
+    for __ in range(iterations):
+        distances = np.stack(
+            [np.sum((matrix - c) ** 2, axis=1) for c in centers], axis=1
+        )
+        assignment = np.argmin(distances, axis=1)
+        moved = False
+        for j in range(k):
+            members = matrix[assignment == j]
+            if len(members):
+                new_center = members.mean(axis=0)
+                if not np.allclose(new_center, centers[j]):
+                    centers[j] = new_center
+                    moved = True
+        if not moved:
+            break
+    return KMeansModel(centers, names=names)

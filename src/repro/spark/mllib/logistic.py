@@ -1,0 +1,78 @@
+"""Binary logistic regression via batch gradient descent, with PMML export."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.pmml import PmmlDocument, RegressionModel, to_xml
+from repro.spark.mllib.base import MllibError, collect_points, design_matrix, feature_names
+
+
+class LogisticRegressionModel:
+    """P(y=1 | x) = sigmoid(intercept + w · x)."""
+
+    def __init__(self, weights: Sequence[float], intercept: float,
+                 names: Optional[Sequence[str]] = None, threshold: float = 0.5):
+        self.weights = np.asarray(weights, dtype=float)
+        self.intercept = float(intercept)
+        self.names = feature_names(len(self.weights), names)
+        self.threshold = threshold
+
+    def predict_probability(self, features: Sequence[float]) -> float:
+        score = self.intercept + float(
+            np.dot(self.weights, np.asarray(features, dtype=float))
+        )
+        if score >= 0:
+            return 1.0 / (1.0 + np.exp(-score))
+        expx = np.exp(score)
+        return float(expx / (1.0 + expx))
+
+    def predict(self, features: Sequence[float]) -> float:
+        """Class label (0.0 / 1.0) at the configured threshold."""
+        return 1.0 if self.predict_probability(features) >= self.threshold else 0.0
+
+    def predict_all(self, rows: Sequence[Sequence[float]]) -> List[float]:
+        return [self.predict(row) for row in rows]
+
+    def to_pmml(self, model_name: str = "logistic_regression") -> str:
+        document = PmmlDocument(
+            RegressionModel(
+                self.names,
+                list(self.weights),
+                intercept=self.intercept,
+                function_name="classification",
+                normalization="logit",
+                model_name=model_name,
+            ),
+            description="trained by repro.spark.mllib",
+        )
+        return to_xml(document)
+
+
+def train_logistic_regression(
+    data: Any,
+    iterations: int = 200,
+    step: float = 0.5,
+    regularization: float = 0.0,
+    names: Optional[Sequence[str]] = None,
+) -> LogisticRegressionModel:
+    """Full-batch gradient descent on the logistic loss (deterministic)."""
+    points = collect_points(data)
+    for point in points:
+        if point.label not in (0.0, 1.0):
+            raise MllibError(f"labels must be 0/1, got {point.label}")
+    features, labels = design_matrix(points)
+    count, width = features.shape
+    weights = np.zeros(width)
+    intercept = 0.0
+    for __ in range(iterations):
+        scores = features @ weights + intercept
+        probs = 1.0 / (1.0 + np.exp(-np.clip(scores, -30, 30)))
+        error = probs - labels
+        grad_w = features.T @ error / count + regularization * weights
+        grad_b = float(np.mean(error))
+        weights -= step * grad_w
+        intercept -= step * grad_b
+    return LogisticRegressionModel(weights, intercept, names=names)

@@ -1,0 +1,52 @@
+"""Linear regression (least squares), with PMML export."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.pmml import PmmlDocument, RegressionModel, to_xml
+from repro.spark.mllib.base import collect_points, design_matrix, feature_names
+
+
+class LinearRegressionModel:
+    """y = intercept + w · x."""
+
+    def __init__(self, weights: Sequence[float], intercept: float,
+                 names: Optional[Sequence[str]] = None):
+        self.weights = [float(w) for w in weights]
+        self.intercept = float(intercept)
+        self.names = feature_names(len(self.weights), names)
+
+    def predict(self, features: Sequence[float]) -> float:
+        return self.intercept + float(
+            np.dot(self.weights, np.asarray(features, dtype=float))
+        )
+
+    def predict_all(self, rows: Sequence[Sequence[float]]) -> List[float]:
+        return [self.predict(row) for row in rows]
+
+    def to_pmml(self, model_name: str = "linear_regression") -> str:
+        document = PmmlDocument(
+            RegressionModel(
+                self.names,
+                self.weights,
+                intercept=self.intercept,
+                function_name="regression",
+                model_name=model_name,
+            ),
+            description="trained by repro.spark.mllib",
+        )
+        return to_xml(document)
+
+
+def train_linear_regression(
+    data: Any, names: Optional[Sequence[str]] = None
+) -> LinearRegressionModel:
+    """Ordinary least squares with an intercept term (deterministic)."""
+    points = collect_points(data)
+    features, labels = design_matrix(points)
+    design = np.hstack([np.ones((features.shape[0], 1)), features])
+    solution, *__ = np.linalg.lstsq(design, labels, rcond=None)
+    return LinearRegressionModel(solution[1:], solution[0], names=names)

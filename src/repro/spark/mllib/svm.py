@@ -1,0 +1,73 @@
+"""Linear SVM (hinge loss, batch sub-gradient descent), with PMML export."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.pmml import PmmlDocument, SupportVectorMachineModel, to_xml
+from repro.spark.mllib.base import MllibError, collect_points, design_matrix, feature_names
+
+
+class SVMModel:
+    """Binary classification by the sign of intercept + w · x."""
+
+    def __init__(self, weights: Sequence[float], intercept: float,
+                 names: Optional[Sequence[str]] = None):
+        self.weights = np.asarray(weights, dtype=float)
+        self.intercept = float(intercept)
+        self.names = feature_names(len(self.weights), names)
+
+    def margin(self, features: Sequence[float]) -> float:
+        return self.intercept + float(
+            np.dot(self.weights, np.asarray(features, dtype=float))
+        )
+
+    def predict(self, features: Sequence[float]) -> float:
+        return 1.0 if self.margin(features) >= 0 else 0.0
+
+    def predict_all(self, rows: Sequence[Sequence[float]]) -> List[float]:
+        return [self.predict(row) for row in rows]
+
+    def to_pmml(self, model_name: str = "svm") -> str:
+        document = PmmlDocument(
+            SupportVectorMachineModel(
+                self.names,
+                list(self.weights),
+                intercept=self.intercept,
+                model_name=model_name,
+            ),
+            description="trained by repro.spark.mllib",
+        )
+        return to_xml(document)
+
+
+def train_svm(
+    data: Any,
+    iterations: int = 200,
+    step: float = 0.1,
+    regularization: float = 0.01,
+    names: Optional[Sequence[str]] = None,
+) -> SVMModel:
+    """Batch sub-gradient descent on the L2-regularised hinge loss."""
+    points = collect_points(data)
+    for point in points:
+        if point.label not in (0.0, 1.0):
+            raise MllibError(f"labels must be 0/1, got {point.label}")
+    features, labels = design_matrix(points)
+    signs = labels * 2.0 - 1.0  # {0,1} -> {-1,+1}
+    count, width = features.shape
+    weights = np.zeros(width)
+    intercept = 0.0
+    for iteration in range(iterations):
+        margins = signs * (features @ weights + intercept)
+        active = margins < 1.0
+        grad_w = regularization * weights - (
+            features[active].T @ signs[active]
+        ) / count
+        grad_b = -float(np.sum(signs[active])) / count
+        rate = step / (1.0 + 0.01 * iteration)
+        weights -= rate * grad_w
+        intercept -= rate * grad_b
+    return SVMModel(weights, intercept, names=names)

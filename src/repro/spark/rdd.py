@@ -1,0 +1,248 @@
+"""Resilient Distributed Datasets.
+
+An RDD is an immutable, partitioned collection evaluated lazily: each RDD
+remembers its parent and a per-partition compute function (its *lineage*),
+so a failed task simply recomputes its partition from scratch — there is
+no checkpointing and no partial state (§2.1.2).
+
+``compute(split, ctx)`` is a *generator* so data sources can yield
+simulation events (network transfers, CPU work) while producing rows;
+pure in-memory transformations yield nothing and are free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Optional, Sequence
+
+from repro.spark.errors import SparkError
+
+
+class RDD:
+    """Base class; subclasses define partitioning and compute."""
+
+    def __init__(self, context: "SparkContext", num_partitions: int):  # noqa: F821
+        if num_partitions <= 0:
+            raise SparkError(f"an RDD needs >= 1 partition: {num_partitions}")
+        self.context = context
+        self.num_partitions = num_partitions
+
+    # -- lineage node ---------------------------------------------------------
+    def compute(self, split: int, ctx) -> Generator:
+        """Yield sim events; return the list of rows of partition ``split``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- transformations (lazy) --------------------------------------------------
+    def map(self, fn: Callable[[Any], Any]) -> "RDD":
+        return MapPartitionsRDD(self, lambda split, rows: [fn(r) for r in rows])
+
+    def filter(self, fn: Callable[[Any], bool]) -> "RDD":
+        return MapPartitionsRDD(self, lambda split, rows: [r for r in rows if fn(r)])
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "RDD":
+        return MapPartitionsRDD(
+            self, lambda split, rows: [o for r in rows for o in fn(r)]
+        )
+
+    def map_partitions(self, fn: Callable[[List[Any]], Iterable[Any]]) -> "RDD":
+        return MapPartitionsRDD(self, lambda split, rows: list(fn(rows)))
+
+    def map_partitions_with_index(
+        self, fn: Callable[[int, List[Any]], Iterable[Any]]
+    ) -> "RDD":
+        return MapPartitionsRDD(self, lambda split, rows: list(fn(split, rows)))
+
+    def union(self, other: "RDD") -> "RDD":
+        return UnionRDD(self, other)
+
+    def coalesce(self, num_partitions: int) -> "RDD":
+        """Reduce partition count without shuffling (§3.2 setup phase)."""
+        if num_partitions >= self.num_partitions:
+            return self
+        return CoalescedRDD(self, num_partitions)
+
+    def repartition(self, num_partitions: int) -> "RDD":
+        """Change partition count, redistributing rows round-robin."""
+        if num_partitions == self.num_partitions:
+            return self
+        if num_partitions < self.num_partitions:
+            return self.coalesce(num_partitions)
+        return RepartitionedRDD(self, num_partitions)
+
+    def partition_by(self, num_partitions: int, key_fn: Callable[[Any], int]) -> "RDD":
+        """Hash-partition rows by ``key_fn`` (used by pre-hashed S2V)."""
+        return RepartitionedRDD(self, num_partitions, key_fn=key_fn)
+
+    # -- actions (eager) -----------------------------------------------------------
+    def collect(self) -> List[Any]:
+        parts = self.context.run_job(self)
+        return [row for part in parts for row in part]
+
+    def count(self) -> int:
+        parts = self.context.run_job(
+            self, result_fn=lambda split, rows: len(rows)
+        )
+        return sum(parts)
+
+    def take(self, n: int) -> List[Any]:
+        out: List[Any] = []
+        for part in self.context.run_job(self):
+            out.extend(part)
+            if len(out) >= n:
+                break
+        return out[:n]
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        parts = [p for p in self.collect_partitions() if p]
+        if not parts:
+            raise SparkError("reduce() on an empty RDD")
+        accumulator: Optional[Any] = None
+        for part in parts:
+            for row in part:
+                accumulator = row if accumulator is None else fn(accumulator, row)
+        return accumulator
+
+    def collect_partitions(self) -> List[List[Any]]:
+        return self.context.run_job(self)
+
+    def glom(self) -> List[List[Any]]:
+        return self.collect_partitions()
+
+    def cache(self) -> "RDD":
+        """Persist computed partitions (like ``RDD.cache()``).
+
+        The first computation of each partition stores its rows; later
+        jobs (and retried tasks) reuse the stored copy instead of
+        recomputing the lineage — including any data-source reads.
+        """
+        return CachedRDD(self)
+
+
+class CachedRDD(RDD):
+    """Memoises a parent RDD's partitions after first computation."""
+
+    def __init__(self, parent: RDD):
+        super().__init__(parent.context, parent.num_partitions)
+        self.parent = parent
+        self._cached: dict = {}
+
+    @property
+    def cached_partitions(self) -> int:
+        return len(self._cached)
+
+    def unpersist(self) -> None:
+        self._cached.clear()
+
+    def compute(self, split: int, ctx) -> Generator:
+        if split not in self._cached:
+            rows = yield from _materialize(self.parent, split, ctx)
+            self._cached[split] = rows
+        return list(self._cached[split])
+
+
+class ParallelCollectionRDD(RDD):
+    """An RDD over an in-memory list, split into even slices."""
+
+    def __init__(self, context, data: Sequence[Any], num_partitions: int):
+        super().__init__(context, num_partitions)
+        self._slices: List[List[Any]] = []
+        data = list(data)
+        count = len(data)
+        for i in range(num_partitions):
+            lo = (count * i) // num_partitions
+            hi = (count * (i + 1)) // num_partitions
+            self._slices.append(data[lo:hi])
+
+    def compute(self, split: int, ctx) -> Generator:
+        return list(self._slices[split])
+        yield  # pragma: no cover
+
+
+class MapPartitionsRDD(RDD):
+    def __init__(self, parent: RDD, fn: Callable[[int, List[Any]], List[Any]]):
+        super().__init__(parent.context, parent.num_partitions)
+        self.parent = parent
+        self.fn = fn
+
+    def compute(self, split: int, ctx) -> Generator:
+        rows = yield from _materialize(self.parent, split, ctx)
+        return self.fn(split, rows)
+
+
+class UnionRDD(RDD):
+    def __init__(self, left: RDD, right: RDD):
+        super().__init__(left.context, left.num_partitions + right.num_partitions)
+        self.left = left
+        self.right = right
+
+    def compute(self, split: int, ctx) -> Generator:
+        if split < self.left.num_partitions:
+            rows = yield from _materialize(self.left, split, ctx)
+        else:
+            rows = yield from _materialize(
+                self.right, split - self.left.num_partitions, ctx
+            )
+        return rows
+
+
+class CoalescedRDD(RDD):
+    """Merges parent partitions into fewer, without moving rows between
+    nodes (each output partition simply concatenates a contiguous group)."""
+
+    def __init__(self, parent: RDD, num_partitions: int):
+        super().__init__(parent.context, num_partitions)
+        self.parent = parent
+
+    def parent_splits(self, split: int) -> List[int]:
+        total = self.parent.num_partitions
+        lo = (total * split) // self.num_partitions
+        hi = (total * (split + 1)) // self.num_partitions
+        return list(range(lo, hi))
+
+    def compute(self, split: int, ctx) -> Generator:
+        out: List[Any] = []
+        for parent_split in self.parent_splits(split):
+            rows = yield from _materialize(self.parent, parent_split, ctx)
+            out.extend(rows)
+        return out
+
+
+class RepartitionedRDD(RDD):
+    """Round-robin (or keyed) redistribution across more partitions.
+
+    This is a narrow simulation of a shuffle: each output partition
+    recomputes every parent partition it draws from.  With ``key_fn`` the
+    destination is ``key_fn(row) % num_partitions`` (hash partitioning);
+    otherwise rows go round-robin by position.
+    """
+
+    def __init__(self, parent: RDD, num_partitions: int,
+                 key_fn: Optional[Callable[[Any], int]] = None):
+        super().__init__(parent.context, num_partitions)
+        self.parent = parent
+        self.key_fn = key_fn
+
+    def compute(self, split: int, ctx) -> Generator:
+        out: List[Any] = []
+        position = 0
+        for parent_split in range(self.parent.num_partitions):
+            rows = yield from _materialize(self.parent, parent_split, ctx)
+            for row in rows:
+                if self.key_fn is not None:
+                    destination = self.key_fn(row) % self.num_partitions
+                else:
+                    destination = position % self.num_partitions
+                if destination == split:
+                    out.append(row)
+                position += 1
+        return out
+
+
+def _materialize(rdd: RDD, split: int, ctx) -> Generator:
+    """Run a parent's compute, tolerating plain-value returns."""
+    body = rdd.compute(split, ctx)
+    if hasattr(body, "__next__"):
+        rows = yield from body
+    else:  # pragma: no cover - all built-in RDDs are generators
+        rows = body
+    return list(rows) if rows is not None else []

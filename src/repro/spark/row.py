@@ -1,0 +1,136 @@
+"""DataFrame schemas: StructType/StructField, and type conversions.
+
+Field data types use a compact string vocabulary (``long``, ``double``,
+``string``, ``boolean``), with converters to/from the Vertica SQL types
+and the Avro-like schema language, since rows cross all three systems.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Sequence, Tuple
+
+from repro.avrolite.schema import Schema
+from repro.spark.errors import AnalysisError
+from repro.vertica.types import BOOLEAN, FLOAT, INTEGER, SqlType, VARCHAR, VarcharType
+
+DATA_TYPES = ("long", "double", "string", "boolean")
+
+_TO_SQL = {"long": INTEGER, "double": FLOAT, "boolean": BOOLEAN}
+_FROM_SQL = {"INTEGER": "long", "FLOAT": "double", "BOOLEAN": "boolean"}
+_TO_AVRO = {"long": "long", "double": "double", "string": "string", "boolean": "boolean"}
+
+
+class StructField:
+    """One named, typed DataFrame column."""
+
+    def __init__(self, name: str, data_type: str, nullable: bool = True):
+        if data_type not in DATA_TYPES:
+            raise AnalysisError(
+                f"unknown data type {data_type!r}; expected one of {DATA_TYPES}"
+            )
+        if not name:
+            raise AnalysisError("field name must be non-empty")
+        self.name = name
+        self.data_type = data_type
+        self.nullable = nullable
+
+    def __repr__(self) -> str:
+        return f"StructField({self.name!r}, {self.data_type!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StructField):
+            return NotImplemented
+        return (self.name, self.data_type) == (other.name, other.data_type)
+
+    def to_sql_type(self, varchar_length: int = 65000) -> SqlType:
+        if self.data_type == "string":
+            return VARCHAR(varchar_length)
+        return _TO_SQL[self.data_type]
+
+    def to_avro(self) -> Schema:
+        return Schema.primitive(_TO_AVRO[self.data_type], nullable=self.nullable)
+
+
+class StructType:
+    """An ordered collection of fields — a DataFrame's schema."""
+
+    def __init__(self, fields: Sequence[StructField]):
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise AnalysisError(f"duplicate column names: {names}")
+        self.fields = list(fields)
+
+    def __iter__(self) -> Iterator[StructField]:
+        return iter(self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StructType):
+            return NotImplemented
+        return self.fields == other.fields
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f.name}:{f.data_type}" for f in self.fields)
+        return f"StructType({inner})"
+
+    @property
+    def names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+    def field(self, name: str) -> StructField:
+        for field in self.fields:
+            if field.name.upper() == name.upper():
+                return field
+        raise AnalysisError(f"no column {name!r} in schema {self!r}")
+
+    def index_of(self, name: str) -> int:
+        for index, field in enumerate(self.fields):
+            if field.name.upper() == name.upper():
+                return index
+        raise AnalysisError(f"no column {name!r} in schema {self!r}")
+
+    def select(self, names: Sequence[str]) -> "StructType":
+        return StructType([self.field(n) for n in names])
+
+    def to_avro(self, record_name: str = "row") -> Schema:
+        return Schema.record(
+            record_name, [(f.name.lower(), f.to_avro()) for f in self.fields]
+        )
+
+    @classmethod
+    def from_sql_types(cls, pairs: Sequence[Tuple[str, SqlType]]) -> "StructType":
+        fields = []
+        for name, sql_type in pairs:
+            if isinstance(sql_type, VarcharType):
+                data_type = "string"
+            else:
+                data_type = _FROM_SQL[repr(sql_type)]
+            fields.append(StructField(name, data_type))
+        return cls(fields)
+
+    def create_table_sql(
+        self, table: str, segmented_by: Sequence[str] = (),
+        varchar_length: int = 65000,
+    ) -> str:
+        """Render CREATE TABLE DDL for this schema (used by S2V)."""
+        columns = ", ".join(
+            f"{f.name} {f.to_sql_type(varchar_length).name}" for f in self.fields
+        )
+        ddl = f"CREATE TABLE {table} ({columns})"
+        if segmented_by:
+            ddl += f" SEGMENTED BY HASH({', '.join(segmented_by)}) ALL NODES"
+        return ddl
+
+    def row_width(self, row: Sequence[Any]) -> int:
+        """Estimated bytes of one row (for transfer cost accounting)."""
+        total = 0
+        for field, value in zip(self.fields, row):
+            if field.data_type == "string":
+                total += len(value.encode("utf-8")) if isinstance(value, str) else 1
+            elif field.data_type == "boolean":
+                total += 1
+            else:
+                total += 8
+        return total

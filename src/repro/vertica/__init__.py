@@ -1,0 +1,68 @@
+"""An MPP columnar database substrate modelled on HPE Vertica.
+
+This package implements, from scratch, the Vertica behaviours the paper's
+connector relies on:
+
+- **Segmentation / hash ring** — tables are hash-segmented into contiguous
+  hash ranges, one segment per node (:mod:`repro.vertica.hashring`);
+  unsegmented tables are replicated on every node.
+- **Columnar storage** — per-node ROS containers with container commit
+  epochs and delete vectors, plus a WOS staging area per transaction
+  (:mod:`repro.vertica.storage`).
+- **Epochs + ACID** — MVCC snapshot reads (``AT EPOCH n``), table-level
+  two-phase locking, atomic commits that advance the epoch counter
+  (:mod:`repro.vertica.txn`).
+- **SQL** — a lexer/parser/executor for the dialect the connector speaks:
+  CREATE/DROP/ALTER RENAME, INSERT (incl. INSERT..SELECT), UPDATE, DELETE,
+  SELECT with WHERE / joins / GROUP BY / ORDER BY / LIMIT / AT EPOCH,
+  COPY, views, system catalog queries and UDF invocation
+  (:mod:`repro.vertica.sql`, :mod:`repro.vertica.engine`).
+- **COPY** — the bulk-load path with Avro and CSV sources, rejected-row
+  accounting and REJECTMAX (:mod:`repro.vertica.copyload`), programmable
+  via a ``VerticaCopyStream``-style API.
+- **UDx** — a user-defined-function registry so ``PMMLPredict`` can run
+  in-database (:mod:`repro.vertica.udx`).
+- **Internal DFS** — the distributed file store the MD component deploys
+  PMML models into (:mod:`repro.vertica.dfs`).
+
+The database itself is synchronous and deterministic; every statement also
+returns a :class:`~repro.vertica.engine.CostReport` describing rows/bytes
+touched and their node locality, which the simulation bridge turns into
+simulated time and network flows.
+"""
+
+from repro.vertica.errors import (
+    CatalogError,
+    CopyRejectError,
+    LockContention,
+    SqlError,
+    TransactionError,
+    TypeMismatchError,
+    VerticaError,
+)
+from repro.vertica.types import BOOLEAN, FLOAT, INTEGER, SqlType, VARCHAR, parse_type
+from repro.vertica.hashring import HASH_SPACE, HashRing, Segment, vertica_hash
+from repro.vertica.database import VerticaDatabase
+from repro.vertica.session import Session
+
+__all__ = [
+    "BOOLEAN",
+    "CatalogError",
+    "CopyRejectError",
+    "FLOAT",
+    "HASH_SPACE",
+    "HashRing",
+    "INTEGER",
+    "LockContention",
+    "Segment",
+    "Session",
+    "SqlError",
+    "SqlType",
+    "TransactionError",
+    "TypeMismatchError",
+    "VARCHAR",
+    "VerticaDatabase",
+    "VerticaError",
+    "parse_type",
+    "vertica_hash",
+]

@@ -1,0 +1,168 @@
+"""The database facade: a whole Vertica cluster in one object.
+
+``VerticaDatabase`` owns the catalog, per-node storage, the epoch/lock
+managers, the UDx registry and the internal DFS, and exposes
+``connect()`` returning JDBC-like :class:`~repro.vertica.session.Session`
+objects bound to a specific node (connection-per-node is what lets the
+connector balance load and exploit locality).
+
+DDL statements (CREATE/DROP/ALTER/TRUNCATE) auto-commit, as in Vertica.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.vertica.catalog import Catalog
+from repro.vertica.dfs import DistributedFileSystem
+from repro.vertica.engine import Engine
+from repro.vertica.errors import CatalogError, ConnectionLimitError, SqlError
+from repro.vertica.sql import ast_nodes as ast
+from repro.vertica.txn import EpochManager, LockManager, Transaction
+from repro.vertica.storage import NodeStorage
+from repro.vertica.udx import UdxRegistry
+
+#: the paper raised MAX-CLIENT-SESSIONS to 100 for its parallelism sweeps
+DEFAULT_MAX_CLIENT_SESSIONS = 100
+
+
+class VerticaDatabase:
+    """An MPP cluster: nodes, catalog, storage, transactions."""
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        node_names: Optional[List[str]] = None,
+        k_safety: int = 0,
+        max_client_sessions: int = DEFAULT_MAX_CLIENT_SESSIONS,
+    ):
+        if node_names is None:
+            node_names = [f"node{i + 1:04d}" for i in range(num_nodes)]
+        if not node_names:
+            raise CatalogError("a cluster requires at least one node")
+        if k_safety not in (0, 1):
+            raise CatalogError(f"k-safety {k_safety} is not supported (0 or 1)")
+        if k_safety == 1 and len(node_names) < 2:
+            raise CatalogError("k-safety 1 requires at least two nodes")
+        self.node_names = list(node_names)
+        self.k_safety = k_safety
+        self.max_client_sessions = max_client_sessions
+        self.catalog = Catalog(self.node_names)
+        self.storage: Dict[str, NodeStorage] = {
+            name: NodeStorage(name) for name in self.node_names
+        }
+        self.epochs = EpochManager()
+        self.locks = LockManager()
+        self.engine = Engine(self)
+        self.udx = UdxRegistry()
+        self.dfs = DistributedFileSystem(self.node_names)
+        self.node_states: Dict[str, str] = {name: "UP" for name in self.node_names}
+        self._session_counts: Dict[str, int] = {name: 0 for name in self.node_names}
+        from repro.vertica.tuplemover import TupleMover
+
+        self.tuple_mover = TupleMover(self)
+
+    # -- topology ------------------------------------------------------------
+    def buddy_of(self, node: str) -> str:
+        """The node holding ``node``'s k-safety replicas (next on the ring)."""
+        index = self.node_names.index(node)
+        return self.node_names[(index + 1) % len(self.node_names)]
+
+    def fail_node(self, node: str) -> None:
+        if node not in self.node_states:
+            raise CatalogError(f"unknown node {node!r}")
+        self.node_states[node] = "DOWN"
+
+    def recover_node(self, node: str) -> None:
+        if node not in self.node_states:
+            raise CatalogError(f"unknown node {node!r}")
+        self.node_states[node] = "UP"
+
+    # -- connections -----------------------------------------------------------
+    def connect(self, node: Optional[str] = None) -> "Session":
+        from repro.vertica.session import Session
+
+        target = node or self.node_names[0]
+        if target not in self.node_states:
+            raise CatalogError(f"unknown node {target!r}")
+        if self.node_states[target] != "UP":
+            raise CatalogError(f"node {target!r} is down")
+        if self._session_counts[target] >= self.max_client_sessions:
+            raise ConnectionLimitError(
+                f"node {target!r} is at MAX-CLIENT-SESSIONS "
+                f"({self.max_client_sessions})"
+            )
+        self._session_counts[target] += 1
+        return Session(self, target)
+
+    def _release_connection(self, node: str) -> None:
+        if self._session_counts.get(node, 0) > 0:
+            self._session_counts[node] -= 1
+
+    def session_count(self, node: str) -> int:
+        return self._session_counts.get(node, 0)
+
+    def begin(self) -> Transaction:
+        return Transaction(self.epochs, self.locks)
+
+    # -- DDL (auto-committing) ----------------------------------------------------
+    def execute_ddl(self, statement) -> int:
+        """Apply one DDL statement immediately; returns affected count."""
+        if isinstance(statement, ast.CreateTable):
+            created = self.catalog.create_table(
+                statement.table,
+                statement.columns,
+                segmented_by=statement.segmented_by,
+                unsegmented=statement.unsegmented,
+                if_not_exists=statement.if_not_exists,
+            )
+            return 1 if created else 0
+        if isinstance(statement, ast.DropTable):
+            self._check_unlocked(statement.table)
+            dropped = self.catalog.drop_table(statement.table, statement.if_exists)
+            if dropped:
+                for storage in self.storage.values():
+                    storage.drop_table(statement.table.upper())
+            return 1 if dropped else 0
+        if isinstance(statement, ast.RenameTable):
+            self._check_unlocked(statement.table)
+            self._check_unlocked(statement.new_name)
+            self.catalog.rename_table(statement.table, statement.new_name)
+            for storage in self.storage.values():
+                storage.rename_table(
+                    statement.table.upper(), statement.new_name.upper()
+                )
+            return 1
+        if isinstance(statement, ast.TruncateTable):
+            self._check_unlocked(statement.table)
+            table = self.catalog.table(statement.table)
+            for storage in self.storage.values():
+                storage.drop_table(table.name)
+            return 1
+        if isinstance(statement, ast.CreateView):
+            self.catalog.create_view(
+                statement.view, statement.query, or_replace=statement.or_replace
+            )
+            return 1
+        if isinstance(statement, ast.DropView):
+            return 1 if self.catalog.drop_view(statement.view, statement.if_exists) else 0
+        raise SqlError(f"not a DDL statement: {type(statement).__name__}")
+
+    def _check_unlocked(self, table: str) -> None:
+        holder = self.locks.holder(table.upper())
+        if holder is not None:
+            from repro.vertica.errors import LockContention
+
+            raise LockContention(table.upper(), holder, -1)
+
+    # -- convenience -----------------------------------------------------------------
+    def table_row_count(self, table: str) -> int:
+        """Committed live row count (one logical copy) at the latest epoch."""
+        table_def = self.catalog.table(table)
+        epoch = self.epochs.current
+        if table_def.unsegmented:
+            return self.storage[self.node_names[0]].live_row_count(table_def.name, epoch)
+        return sum(
+            self.storage[node].live_row_count(table_def.name, epoch)
+            for node in self.node_names
+        )

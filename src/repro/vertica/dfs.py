@@ -1,0 +1,70 @@
+"""Vertica's internal distributed file system.
+
+The paper stores PMML models "in an internal distributed file system (DFS)
+and hence ... accessible to the database query engine and User-Defined
+Functions" (§3.3).  This module provides that store: whole files keyed by
+path, placed on a node chosen by hashing the path, and readable from any
+node (a read from a non-owning node counts as an internal transfer, which
+the cost model can charge).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Sequence
+
+from repro.vertica.errors import CatalogError
+from repro.vertica.hashring import vertica_hash
+
+
+class DfsFile(NamedTuple):
+    path: str
+    data: bytes
+    node: str
+
+
+class DistributedFileSystem:
+    """A path → bytes store spread over the cluster's nodes."""
+
+    def __init__(self, node_names: Sequence[str]):
+        if not node_names:
+            raise CatalogError("DFS requires at least one node")
+        self.node_names = list(node_names)
+        self._files: Dict[str, DfsFile] = {}
+
+    def _node_for(self, path: str) -> str:
+        return self.node_names[vertica_hash(path) % len(self.node_names)]
+
+    def write(self, path: str, data: bytes, overwrite: bool = False) -> DfsFile:
+        if not path or path.endswith("/"):
+            raise CatalogError(f"invalid DFS path {path!r}")
+        if path in self._files and not overwrite:
+            raise CatalogError(f"DFS file {path!r} already exists")
+        entry = DfsFile(path, bytes(data), self._node_for(path))
+        self._files[path] = entry
+        return entry
+
+    def read(self, path: str) -> bytes:
+        return self._entry(path).data
+
+    def owner_node(self, path: str) -> str:
+        return self._entry(path).node
+
+    def _entry(self, path: str) -> DfsFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise CatalogError(f"DFS file {path!r} does not exist") from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        if path not in self._files:
+            raise CatalogError(f"DFS file {path!r} does not exist")
+        del self._files[path]
+
+    def list(self, prefix: str = "") -> List[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def size(self, path: str) -> int:
+        return len(self._entry(path).data)

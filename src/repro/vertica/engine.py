@@ -1,0 +1,915 @@
+"""Statement execution: scans, DML, queries, and cost accounting.
+
+Every executed statement returns a :class:`ResultSet` whose
+:class:`CostReport` records how many rows were scanned on which node and
+how many output bytes each node produced.  The simulation bridge uses that
+locality information to decide which bytes cross the Vertica-internal
+network (shuffle) versus flow straight out to the client — the effect at
+the heart of the paper's locality-aware V2S design.
+
+Notable behaviours:
+
+- **Segment pruning** — a WHERE clause containing ``HASH(seg_cols) >= lo
+  AND HASH(seg_cols) < hi`` conjuncts is recognised and nodes whose
+  segment does not intersect ``[lo, hi)`` are skipped entirely, so a
+  hash-range query touches exactly one node's storage.
+- **Epoch snapshots** — ``AT EPOCH n SELECT ...`` reads the table as of
+  epoch ``n``; otherwise a transaction's first read pins its snapshot.
+- **Unsegmented tables** are replicated on every node; queries read the
+  initiator node's copy (zero shuffle), DML touches every copy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.vertica.errors import CatalogError, SqlError
+from repro.vertica.expr import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Literal,
+    predicate_holds,
+)
+from repro.vertica.hashring import HASH_SPACE
+from repro.vertica.sql import ast_nodes as ast
+from repro.vertica.storage import RosContainer
+from repro.vertica.txn import Transaction
+
+
+class CostReport:
+    """Rows/bytes touched by a statement, attributed to storage nodes."""
+
+    def __init__(self) -> None:
+        self.rows_scanned = 0
+        self.rows_output = 0
+        self.bytes_output = 0.0
+        self.node_rows_scanned: Dict[str, int] = {}
+        self.node_output_bytes: Dict[str, float] = {}
+        self.node_rows_output: Dict[str, int] = {}
+        self.rows_written = 0
+        self.node_rows_written: Dict[str, int] = {}
+
+    def scanned(self, node: str, rows: int = 1) -> None:
+        self.rows_scanned += rows
+        self.node_rows_scanned[node] = self.node_rows_scanned.get(node, 0) + rows
+
+    def output(self, node: str, nbytes: float, rows: int = 1) -> None:
+        self.rows_output += rows
+        self.bytes_output += nbytes
+        self.node_output_bytes[node] = self.node_output_bytes.get(node, 0.0) + nbytes
+        self.node_rows_output[node] = self.node_rows_output.get(node, 0) + rows
+
+    def wrote(self, node: str, rows: int = 1) -> None:
+        self.rows_written += rows
+        self.node_rows_written[node] = self.node_rows_written.get(node, 0) + rows
+
+    def merge(self, other: "CostReport") -> None:
+        self.rows_scanned += other.rows_scanned
+        self.rows_output += other.rows_output
+        self.bytes_output += other.bytes_output
+        self.rows_written += other.rows_written
+        for node, rows in other.node_rows_scanned.items():
+            self.node_rows_scanned[node] = self.node_rows_scanned.get(node, 0) + rows
+        for node, nbytes in other.node_output_bytes.items():
+            self.node_output_bytes[node] = (
+                self.node_output_bytes.get(node, 0.0) + nbytes
+            )
+        for node, rows in other.node_rows_output.items():
+            self.node_rows_output[node] = self.node_rows_output.get(node, 0) + rows
+        for node, rows in other.node_rows_written.items():
+            self.node_rows_written[node] = self.node_rows_written.get(node, 0) + rows
+
+
+class ResultSet:
+    """Columns + rows + affected-row count + cost of one statement."""
+
+    def __init__(
+        self,
+        columns: Optional[List[str]] = None,
+        rows: Optional[List[Tuple[Any, ...]]] = None,
+        rowcount: int = 0,
+        cost: Optional[CostReport] = None,
+    ):
+        self.columns = columns or []
+        self.rows = rows or []
+        self.rowcount = rowcount if rowcount else len(self.rows)
+        self.cost = cost or CostReport()
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise SqlError(
+                f"scalar() on a {len(self.rows)}x"
+                f"{len(self.rows[0]) if self.rows else 0} result"
+            )
+        return self.rows[0][0]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __repr__(self) -> str:
+        return f"ResultSet({self.columns}, {len(self.rows)} rows)"
+
+
+class HashRange:
+    """An extracted ``[lo, hi)`` restriction on the segmentation hash."""
+
+    def __init__(self, lo: int = 0, hi: int = HASH_SPACE):
+        self.lo = lo
+        self.hi = hi
+
+    def intersects(self, lo: int, hi: int) -> bool:
+        return self.lo < hi and lo < self.hi
+
+    @property
+    def is_full(self) -> bool:
+        return self.lo <= 0 and self.hi >= HASH_SPACE
+
+
+def _value_bytes(value: Any) -> int:
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    return 8
+
+
+def extract_hash_range(
+    where: Optional[Expression], segmentation_columns: Sequence[str]
+) -> HashRange:
+    """Find hash-range bounds over the segmentation columns in ``where``.
+
+    Only top-level AND conjuncts are considered (a disjunction cannot be
+    pruned safely).  Recognises ``HASH(cols) <op> literal`` in either
+    orientation and ``HASH(cols) BETWEEN a AND b``.
+    """
+    hash_range = HashRange()
+    if where is None or not segmentation_columns:
+        return hash_range
+    for conjunct in _conjuncts(where):
+        _tighten(conjunct, list(segmentation_columns), hash_range)
+    return hash_range
+
+
+def _conjuncts(expression: Expression) -> Iterator[Expression]:
+    if isinstance(expression, BinaryOp) and expression.op == "AND":
+        yield from _conjuncts(expression.left)
+        yield from _conjuncts(expression.right)
+    else:
+        yield expression
+
+
+def _is_seg_hash(expression: Expression, seg_cols: List[str]) -> bool:
+    return (
+        isinstance(expression, FunctionCall)
+        and expression.name == "HASH"
+        and all(isinstance(a, ColumnRef) for a in expression.args)
+        and [a.name for a in expression.args] == seg_cols
+    )
+
+
+def _tighten(conjunct: Expression, seg_cols: List[str], hash_range: HashRange) -> None:
+    if isinstance(conjunct, Between) and _is_seg_hash(conjunct.operand, seg_cols):
+        if isinstance(conjunct.low, Literal) and isinstance(conjunct.low.value, int):
+            hash_range.lo = max(hash_range.lo, conjunct.low.value)
+        if isinstance(conjunct.high, Literal) and isinstance(conjunct.high.value, int):
+            hash_range.hi = min(hash_range.hi, conjunct.high.value + 1)
+        return
+    if not isinstance(conjunct, BinaryOp):
+        return
+    op = conjunct.op
+    left, right = conjunct.left, conjunct.right
+    if _is_seg_hash(left, seg_cols) and isinstance(right, Literal):
+        bound = right.value
+    elif _is_seg_hash(right, seg_cols) and isinstance(left, Literal):
+        bound = left.value
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        left = right
+    else:
+        return
+    if not isinstance(bound, int):
+        return
+    if op == ">=":
+        hash_range.lo = max(hash_range.lo, bound)
+    elif op == ">":
+        hash_range.lo = max(hash_range.lo, bound + 1)
+    elif op == "<":
+        hash_range.hi = min(hash_range.hi, bound)
+    elif op == "<=":
+        hash_range.hi = min(hash_range.hi, bound + 1)
+    elif op == "=":
+        hash_range.lo = max(hash_range.lo, bound)
+        hash_range.hi = min(hash_range.hi, bound + 1)
+
+
+class ScanRow:
+    """One visible row with its physical location (for DML staging)."""
+
+    __slots__ = ("node", "data", "container", "row_index")
+
+    def __init__(
+        self,
+        node: str,
+        data: Dict[str, Any],
+        container: Optional[RosContainer] = None,
+        row_index: int = -1,
+    ):
+        self.node = node
+        self.data = data
+        self.container = container
+        self.row_index = row_index
+
+
+class Engine:
+    """Executes parsed statements against a database's storage."""
+
+    def __init__(self, database: "repro.vertica.database.VerticaDatabase"):  # noqa: F821
+        self.database = database
+
+    # ------------------------------------------------------------------ scans
+    def scan(
+        self,
+        table_name: str,
+        snapshot_epoch: int,
+        txn: Optional[Transaction],
+        initiator: str,
+        hash_range: Optional[HashRange] = None,
+        cost: Optional[CostReport] = None,
+        for_update: bool = False,
+    ) -> Iterator[ScanRow]:
+        """Yield visible rows of a table at a snapshot.
+
+        ``for_update`` scans every physical copy (so DML can touch each
+        replica of an unsegmented table); plain reads scan the initiator's
+        copy of unsegmented tables and all (pruned) segments of segmented
+        tables.
+        """
+        db = self.database
+        table = db.catalog.table(table_name)
+        hash_range = hash_range or HashRange()
+        if table.unsegmented:
+            nodes = db.node_names if for_update else [initiator]
+        else:
+            nodes = []
+            assert table.ring is not None
+            for segment in table.ring.segments:
+                if hash_range.intersects(segment.lo, segment.hi):
+                    nodes.append(segment.node)
+        for node in nodes:
+            storage, attributed = self._storage_for(node, table_name)
+            for container in storage:
+                for row_index in container.live_rows(snapshot_epoch):
+                    if txn is not None and txn.is_deleted_by_self(container, row_index):
+                        continue
+                    if cost is not None:
+                        cost.scanned(attributed)
+                    row_hash = container.row_hashes[row_index]
+                    if not table.unsegmented and not (
+                        hash_range.lo <= row_hash < hash_range.hi
+                    ):
+                        continue
+                    yield ScanRow(attributed, container.row(row_index), container, row_index)
+        # Read-your-writes: rows staged by this transaction.
+        if txn is not None:
+            pending_nodes = set(nodes)
+            for (wos_table, node), buffer in list(txn.wos.items()):
+                if wos_table != table.name or node not in pending_nodes:
+                    continue
+                for index, row in enumerate(buffer.rows):
+                    if cost is not None:
+                        cost.scanned(node)
+                    row_hash = buffer.row_hashes[index]
+                    if not table.unsegmented and not (
+                        hash_range.lo <= row_hash < hash_range.hi
+                    ):
+                        continue
+                    yield ScanRow(node, dict(zip(buffer.column_names, row)))
+
+    def _storage_for(self, node: str, table_name: str):
+        """Containers for ``table_name`` on ``node``, with failover.
+
+        When the node is down and k-safety >= 1, the buddy node serves its
+        replica containers; scanned rows are attributed to the buddy.
+        """
+        db = self.database
+        key = table_name.upper()
+        if db.node_states.get(node, "UP") == "UP":
+            return db.storage[node].table_containers(key), node
+        if db.k_safety >= 1:
+            buddy = db.buddy_of(node)
+            if db.node_states.get(buddy, "UP") == "UP":
+                return db.storage[buddy].replica_containers(key), buddy
+        raise CatalogError(
+            f"node {node!r} is down and no replica is available (k-safety "
+            f"{db.k_safety})"
+        )
+
+    # ------------------------------------------------------------------- SELECT
+    def select(
+        self,
+        statement: ast.Select,
+        txn: Transaction,
+        initiator: str,
+        cost: Optional[CostReport] = None,
+    ) -> ResultSet:
+        cost = cost if cost is not None else CostReport()
+        if (
+            statement.at_epoch is not None
+            and statement.at_epoch < self.database.tuple_mover.ahm_epoch
+        ):
+            from repro.vertica.errors import TransactionError
+
+            raise TransactionError(
+                f"epoch {statement.at_epoch} is below the Ancient History "
+                f"Mark ({self.database.tuple_mover.ahm_epoch}); its history "
+                "has been merged out"
+            )
+        snapshot = txn.snapshot_epoch(statement.at_epoch)
+        rows, source_columns = self._source_rows(statement, txn, initiator, snapshot, cost)
+
+        if statement.where is not None:
+            rows = [r for r in rows if predicate_holds(statement.where, r[1])]
+
+        has_aggregate = any(item.aggregate for item in statement.items)
+        if has_aggregate or statement.group_by:
+            columns, out_rows = self._aggregate(statement, rows, initiator, cost)
+        else:
+            columns, out_rows = self._project(statement, rows, source_columns, cost)
+
+        if statement.order_by:
+            out_rows = self._order(statement, columns, out_rows)
+        if statement.limit is not None:
+            out_rows = out_rows[: statement.limit]
+        result_rows = [row for __, row in out_rows]
+        return ResultSet(columns, result_rows, cost=cost)
+
+    def explain(
+        self, statement: ast.Explain, txn: Transaction, initiator: str
+    ) -> ResultSet:
+        """Render a query plan: access path, pruning, pushdowns, estimates."""
+        db = self.database
+        query = statement.query
+        lines: List[str] = []
+        if query.source is None:
+            lines.append("EXPR: constant projection (no FROM)")
+        else:
+            key = query.source.name.upper()
+            if db.catalog.is_system_table(key) or key.startswith("V_MONITOR."):
+                lines.append(f"SCAN SYSTEM TABLE {key}")
+            elif db.catalog.has_view(key):
+                lines.append(f"SCAN VIEW {key} (expanded at execution)")
+            else:
+                table = db.catalog.table(key)
+                snapshot = (
+                    query.at_epoch
+                    if query.at_epoch is not None
+                    else db.epochs.current
+                )
+                if table.unsegmented:
+                    lines.append(
+                        f"SCAN {key} [unsegmented, local copy on {initiator}]"
+                    )
+                    estimate = db.storage[initiator].live_row_count(key, snapshot)
+                else:
+                    hash_range = extract_hash_range(
+                        query.where, table.segmentation_columns
+                    )
+                    assert table.ring is not None
+                    scanned = [
+                        s.node
+                        for s in table.ring.segments
+                        if hash_range.intersects(s.lo, s.hi)
+                    ]
+                    pruned = [n for n in table.ring.nodes if n not in scanned]
+                    seg = ", ".join(table.segmentation_columns)
+                    lines.append(f"SCAN {key} [segmented by HASH({seg})]")
+                    if hash_range.is_full:
+                        lines.append(f"  segments: all ({len(scanned)} nodes)")
+                    else:
+                        lines.append(
+                            f"  hash range: [{hash_range.lo}, {hash_range.hi})"
+                        )
+                        lines.append(f"  segments scanned: {scanned}")
+                        if pruned:
+                            lines.append(f"  segments pruned: {pruned}")
+                    estimate = sum(
+                        db.storage[node].live_row_count(key, snapshot)
+                        for node in scanned
+                    )
+                lines.append(f"  estimated rows: {estimate}")
+                if query.at_epoch is not None:
+                    lines.append(f"  snapshot: AT EPOCH {query.at_epoch}")
+        for join in query.joins:
+            lines.append(
+                f"JOIN {join.table.name.upper()} ON {join.condition.sql()}"
+            )
+        if query.where is not None:
+            lines.append(f"FILTER: {query.where.sql()}")
+        aggregates = [i for i in query.items if i.aggregate]
+        if aggregates or query.group_by:
+            names = ", ".join(self._item_name(i) for i in query.items)
+            lines.append(f"AGGREGATE: {names}")
+            if query.group_by:
+                keys = ", ".join(e.sql() for e in query.group_by)
+                lines.append(f"  group by: {keys}")
+        else:
+            names = ", ".join(self._item_name(i) if not i.star else "*"
+                              for i in query.items)
+            lines.append(f"PROJECT: {names}")
+        if query.order_by:
+            keys = ", ".join(
+                o.expression.sql() + (" DESC" if o.descending else "")
+                for o in query.order_by
+            )
+            lines.append(f"SORT: {keys}")
+        if query.limit is not None:
+            lines.append(f"LIMIT: {query.limit}")
+        return ResultSet(["QUERY_PLAN"], [(line,) for line in lines])
+
+    def _source_rows(
+        self,
+        statement: ast.Select,
+        txn: Transaction,
+        initiator: str,
+        snapshot: int,
+        cost: CostReport,
+    ) -> Tuple[List[Tuple[str, Dict[str, Any]]], List[str]]:
+        """Rows as (producing node, dict) plus the source column order."""
+        db = self.database
+        if statement.source is None:
+            return [(initiator, {})], []
+        source = statement.source
+        rows = self._relation_rows(source, txn, initiator, snapshot, cost, statement.where)
+        columns = self._relation_columns(source.name)
+        for join in statement.joins:
+            right_rows = self._relation_rows(join.table, txn, initiator, snapshot, cost, None)
+            right_columns = self._relation_columns(join.table.name)
+            joined: List[Tuple[str, Dict[str, Any]]] = []
+            for node, left_row in rows:
+                for __, right_row in right_rows:
+                    merged = dict(right_row)
+                    merged.update(left_row)  # left wins on ambiguity
+                    merged.update(
+                        {k: v for k, v in right_row.items() if "." in k}
+                    )
+                    if predicate_holds(join.condition, {**right_row, **left_row, **merged}):
+                        joined.append((node, merged))
+            rows = joined
+            columns = columns + [c for c in right_columns if c not in columns]
+        return rows, columns
+
+    def _relation_columns(self, name: str) -> List[str]:
+        db = self.database
+        key = name.upper()
+        if key == "V_MONITOR.STORAGE_CONTAINERS":
+            return ["NODE_NAME", "TABLE_NAME", "CONTAINER_COUNT", "LIVE_ROWS"]
+        if db.catalog.is_system_table(key):
+            columns, __ = db.catalog.system_table_rows(
+                key, db.epochs.current, db.node_states
+            )
+            return columns
+        if db.catalog.has_view(key):
+            view = db.catalog.view(key)
+            return self._select_output_columns(view.query)
+        return db.catalog.table(key).column_names()
+
+    def _relation_rows(
+        self,
+        ref: ast.TableRef,
+        txn: Transaction,
+        initiator: str,
+        snapshot: int,
+        cost: CostReport,
+        where: Optional[Expression],
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        db = self.database
+        key = ref.name.upper()
+        alias = (ref.alias or ref.name.split(".")[-1]).upper()
+        if key == "V_MONITOR.STORAGE_CONTAINERS":
+            from repro.vertica.tuplemover import storage_container_stats
+
+            out = [
+                (
+                    initiator,
+                    {
+                        "NODE_NAME": node,
+                        "TABLE_NAME": table,
+                        "CONTAINER_COUNT": count,
+                        "LIVE_ROWS": rows,
+                    },
+                )
+                for node, table, count, rows in storage_container_stats(db)
+            ]
+        elif db.catalog.is_system_table(key):
+            __, sys_rows = db.catalog.system_table_rows(
+                key, db.epochs.current, db.node_states
+            )
+            out = [(initiator, dict(row)) for row in sys_rows]
+        elif db.catalog.has_view(key):
+            out = self._view_rows(key, txn, initiator, snapshot, cost)
+        else:
+            table = db.catalog.table(key)
+            hash_range = extract_hash_range(where, table.segmentation_columns)
+            out = [
+                (scan_row.node, scan_row.data)
+                for scan_row in self.scan(
+                    key, snapshot, txn, initiator, hash_range=hash_range, cost=cost
+                )
+            ]
+        # Expose alias-qualified names alongside plain ones.
+        qualified = []
+        for node, row in out:
+            merged = dict(row)
+            for column, value in row.items():
+                if "." not in column:
+                    merged[f"{alias}.{column}"] = value
+            qualified.append((node, merged))
+        return qualified
+
+    def _view_rows(
+        self,
+        view_name: str,
+        txn: Transaction,
+        initiator: str,
+        snapshot: int,
+        cost: CostReport,
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        """Execute a view and attribute its rows via the synthetic ring.
+
+        Views have no physical segmentation; the connector parallelises
+        them with SYNTHETIC_HASH ranges, so we attribute each output row to
+        the node that owns its synthetic hash — mirroring which node would
+        serve that range.
+        """
+        from repro.vertica.hashring import synthetic_ring, vertica_hash
+
+        db = self.database
+        view = db.catalog.view(view_name)
+        query = view.query
+        if query.at_epoch is None and snapshot is not None:
+            query = ast.Select(
+                query.items,
+                query.source,
+                joins=query.joins,
+                where=query.where,
+                group_by=query.group_by,
+                having=query.having,
+                order_by=query.order_by,
+                limit=query.limit,
+                at_epoch=snapshot,
+            )
+        result = self.select(query, txn, initiator, cost=cost)
+        ring = synthetic_ring(db.node_names)
+        out = []
+        for row in result.rows:
+            data = dict(zip(result.columns, row))
+            values = [data[k] for k in sorted(data)]
+            node = ring.node_for(vertica_hash(*values)) if values else initiator
+            out.append((node, data))
+        return out
+
+    # -------------------------------------------------------------- projection
+    def _select_output_columns(self, statement: ast.Select) -> List[str]:
+        out: List[str] = []
+        for item in statement.items:
+            if item.star:
+                if statement.source is None:
+                    raise SqlError("SELECT * requires a FROM clause")
+                out.extend(self._relation_columns(statement.source.name))
+                for join in statement.joins:
+                    for column in self._relation_columns(join.table.name):
+                        if column not in out:
+                            out.append(column)
+            else:
+                out.append(self._item_name(item))
+        return out
+
+    @staticmethod
+    def _item_name(item: ast.SelectItem) -> str:
+        if item.alias:
+            return item.alias
+        if item.aggregate:
+            if item.aggregate_arg is None:
+                return f"{item.aggregate}(*)"
+            return f"{item.aggregate}({item.aggregate_arg.sql()})"
+        if item.udf:
+            return item.udf
+        assert item.expression is not None
+        if isinstance(item.expression, ColumnRef):
+            return item.expression.name.split(".")[-1]
+        return item.expression.sql()
+
+    def _project(
+        self,
+        statement: ast.Select,
+        rows: List[Tuple[str, Dict[str, Any]]],
+        source_columns: List[str],
+        cost: CostReport,
+    ) -> Tuple[List[str], List[Tuple[str, Tuple[Any, ...]]]]:
+        db = self.database
+        columns: List[str] = []
+        extractors = []
+        for item in statement.items:
+            if item.star:
+                for column in source_columns:
+                    columns.append(column)
+                    extractors.append(
+                        lambda row, c=column: row.get(c)
+                    )
+            elif item.udf:
+                columns.append(self._item_name(item))
+                function = db.udx.lookup(item.udf)
+                extractors.append(
+                    lambda row, f=function, it=item: f(
+                        [a.evaluate(row) for a in it.udf_args], it.parameters
+                    )
+                )
+            else:
+                columns.append(self._item_name(item))
+                assert item.expression is not None
+                extractors.append(lambda row, e=item.expression: e.evaluate(row))
+        out: List[Tuple[str, Tuple[Any, ...]]] = []
+        for node, row in rows:
+            values = tuple(extract(row) for extract in extractors)
+            nbytes = sum(_value_bytes(v) for v in values)
+            cost.output(node, nbytes)
+            out.append((node, values))
+        return columns, out
+
+    def _aggregate(
+        self,
+        statement: ast.Select,
+        rows: List[Tuple[str, Dict[str, Any]]],
+        initiator: str,
+        cost: CostReport,
+    ) -> Tuple[List[str], List[Tuple[str, Tuple[Any, ...]]]]:
+        groups: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = {}
+        if statement.group_by:
+            for __, row in rows:
+                key = tuple(expr.evaluate(row) for expr in statement.group_by)
+                groups.setdefault(key, []).append(row)
+        else:
+            groups[()] = [row for __, row in rows]
+
+        columns = [self._item_name(item) for item in statement.items]
+        out: List[Tuple[str, Tuple[Any, ...]]] = []
+        for key in groups:
+            group_rows = groups[key]
+            values: List[Any] = []
+            for item in statement.items:
+                if item.aggregate:
+                    values.append(self._aggregate_value(item, group_rows))
+                elif item.expression is not None:
+                    if not group_rows:
+                        values.append(None)
+                    else:
+                        values.append(item.expression.evaluate(group_rows[0]))
+                else:
+                    raise SqlError("SELECT * cannot be combined with aggregates")
+            row_tuple = tuple(values)
+            if statement.having is not None:
+                # HAVING is evaluated against the aggregate output row
+                # (reference aggregates by their select-list aliases).
+                output_row = dict(zip(columns, row_tuple))
+                if not predicate_holds(statement.having, output_row):
+                    continue
+            cost.output(initiator, sum(_value_bytes(v) for v in row_tuple))
+            out.append((initiator, row_tuple))
+        if not statement.group_by and not out:
+            # Aggregates over an empty input still return one row.
+            row_tuple = tuple(
+                self._aggregate_value(item, []) if item.aggregate else None
+                for item in statement.items
+            )
+            out.append((initiator, row_tuple))
+        return columns, out
+
+    @staticmethod
+    def _aggregate_value(item: ast.SelectItem, group_rows: List[Dict[str, Any]]) -> Any:
+        name = item.aggregate
+        if item.aggregate_arg is None:
+            if name != "COUNT":
+                raise SqlError(f"{name} requires an argument")
+            return len(group_rows)
+        values = [item.aggregate_arg.evaluate(row) for row in group_rows]
+        values = [v for v in values if v is not None]
+        if item.distinct:
+            values = list(dict.fromkeys(values))
+        if name == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if name == "SUM":
+            return sum(values)
+        if name == "AVG":
+            return sum(values) / len(values)
+        if name == "MIN":
+            return min(values)
+        if name == "MAX":
+            return max(values)
+        raise SqlError(f"unknown aggregate {name!r}")  # pragma: no cover
+
+    def _order(
+        self,
+        statement: ast.Select,
+        columns: List[str],
+        out_rows: List[Tuple[str, Tuple[Any, ...]]],
+    ) -> List[Tuple[str, Tuple[Any, ...]]]:
+        def sort_key(entry: Tuple[str, Tuple[Any, ...]]):
+            __, row = entry
+            data = dict(zip(columns, row))
+            key = []
+            for order in statement.order_by:
+                try:
+                    value = order.expression.evaluate(data)
+                except SqlError:
+                    value = None
+                # NULLs always sort last, in both directions.
+                null_rank = 1 if value is None else 0
+                if order.descending:
+                    key.append((null_rank, _Reversed(value)))
+                else:
+                    key.append((null_rank, _Sortable(value)))
+            return tuple(key)
+
+        return sorted(out_rows, key=sort_key)
+
+    # ------------------------------------------------------------------- DML
+    def insert_rows(
+        self,
+        table_name: str,
+        rows: List[Dict[str, Any]],
+        txn: Transaction,
+        cost: Optional[CostReport] = None,
+    ) -> int:
+        """Stage coerced rows into the transaction's WOS, routed by segment."""
+        db = self.database
+        table = db.catalog.table(table_name)
+        txn.lock(table.name, mode="I")
+        cost = cost if cost is not None else CostReport()
+        column_names = table.column_names()
+        for row in rows:
+            coerced = {}
+            for column_def in table.columns:
+                value = row.get(column_def.name)
+                coerced[column_def.name] = column_def.sql_type.coerce(value)
+            ordered = [coerced[c] for c in column_names]
+            if table.unsegmented:
+                for node in db.node_names:
+                    txn.wos_for(table.name, node, column_names).append(ordered, 0)
+                cost.wrote(db.node_names[0])
+            else:
+                row_hash = table.row_hash(coerced)
+                assert table.ring is not None
+                node = table.ring.node_for(row_hash)
+                txn.wos_for(table.name, node, column_names).append(ordered, row_hash)
+                cost.wrote(node)
+                if db.k_safety >= 1:
+                    buddy = db.buddy_of(node)
+                    txn.replica_wos_for(table.name, buddy, column_names).append(
+                        ordered, row_hash
+                    )
+        return len(rows)
+
+    def insert_values(
+        self, statement: ast.InsertValues, txn: Transaction, initiator: str
+    ) -> ResultSet:
+        table = self.database.catalog.table(statement.table)
+        target_columns = (
+            [c.upper() for c in statement.columns]
+            if statement.columns
+            else table.column_names()
+        )
+        rows = []
+        for value_exprs in statement.rows:
+            if len(value_exprs) != len(target_columns):
+                raise SqlError(
+                    f"INSERT has {len(value_exprs)} values for "
+                    f"{len(target_columns)} columns"
+                )
+            values = [e.evaluate({}) for e in value_exprs]
+            rows.append(dict(zip(target_columns, values)))
+        cost = CostReport()
+        count = self.insert_rows(table.name, rows, txn, cost)
+        return ResultSet(rowcount=count, cost=cost)
+
+    def insert_select(
+        self, statement: ast.InsertSelect, txn: Transaction, initiator: str
+    ) -> ResultSet:
+        table = self.database.catalog.table(statement.table)
+        cost = CostReport()
+        result = self.select(statement.query, txn, initiator, cost=cost)
+        target_columns = (
+            [c.upper() for c in statement.columns]
+            if statement.columns
+            else table.column_names()
+        )
+        if result.columns and len(result.columns) != len(target_columns):
+            raise SqlError(
+                f"INSERT SELECT arity mismatch: query yields "
+                f"{len(result.columns)} columns for {len(target_columns)}"
+            )
+        rows = [dict(zip(target_columns, row)) for row in result.rows]
+        count = self.insert_rows(table.name, rows, txn, cost)
+        return ResultSet(rowcount=count, cost=cost)
+
+    def update(
+        self, statement: ast.Update, txn: Transaction, initiator: str
+    ) -> ResultSet:
+        db = self.database
+        table = db.catalog.table(statement.table)
+        txn.lock(table.name)
+        cost = CostReport()
+        snapshot = db.epochs.current
+        assignments = [(c.upper(), e) for c, e in statement.assignments]
+        for column, __ in assignments:
+            if not table.has_column(column):
+                raise SqlError(f"table {table.name!r} has no column {column!r}")
+        matched: List[Dict[str, Any]] = []
+        seen_keys = set()
+        for scan_row in self.scan(
+            table.name, snapshot, txn, initiator, cost=cost, for_update=True
+        ):
+            if not predicate_holds(statement.where, scan_row.data):
+                continue
+            if scan_row.container is not None:
+                txn.stage_delete(scan_row.container, scan_row.row_index)
+            if table.unsegmented:
+                # Replicated copies: update counts once per logical row.
+                key = tuple(sorted(scan_row.data.items()))
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+            updated = dict(scan_row.data)
+            for column, expression in assignments:
+                updated[column] = expression.evaluate(scan_row.data)
+            matched.append(updated)
+        if matched:
+            self.insert_rows(table.name, matched, txn, cost)
+        return ResultSet(rowcount=len(matched), cost=cost)
+
+    def delete(
+        self, statement: ast.Delete, txn: Transaction, initiator: str
+    ) -> ResultSet:
+        db = self.database
+        table = db.catalog.table(statement.table)
+        txn.lock(table.name)
+        cost = CostReport()
+        snapshot = db.epochs.current
+        count = 0
+        seen_keys = set()
+        for scan_row in self.scan(
+            table.name, snapshot, txn, initiator, cost=cost, for_update=True
+        ):
+            if not predicate_holds(statement.where, scan_row.data):
+                continue
+            if scan_row.container is not None:
+                txn.stage_delete(scan_row.container, scan_row.row_index)
+            if table.unsegmented:
+                key = tuple(sorted(scan_row.data.items()))
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+            count += 1
+        return ResultSet(rowcount=count, cost=cost)
+
+
+class _Sortable:
+    """Wrapper making heterogeneous sort keys comparable (SQL-ish)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Sortable") -> bool:
+        a, b = self.value, other.value
+        if a is None or b is None:
+            return False
+        try:
+            return a < b
+        except TypeError:
+            return str(a) < str(b)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Sortable) and self.value == other.value
+
+
+class _Reversed(_Sortable):
+    def __lt__(self, other: "_Sortable") -> bool:  # type: ignore[override]
+        a, b = self.value, other.value
+        if a is None or b is None:
+            return False
+        try:
+            return b < a
+        except TypeError:
+            return str(b) < str(a)

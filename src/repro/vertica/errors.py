@@ -1,0 +1,58 @@
+"""Error hierarchy for the Vertica substrate."""
+
+from __future__ import annotations
+
+
+class VerticaError(Exception):
+    """Base class for all database errors."""
+
+
+class SqlError(VerticaError):
+    """Syntax or semantic error in a SQL statement."""
+
+
+class CatalogError(VerticaError):
+    """Unknown / duplicate tables, columns, views or nodes."""
+
+
+class TypeMismatchError(VerticaError):
+    """A value does not fit the declared column type."""
+
+
+class TransactionError(VerticaError):
+    """Illegal transaction state transitions (commit without begin, ...)."""
+
+
+class LockContention(TransactionError):
+    """A table lock is held by another transaction.
+
+    The substrate uses no-wait table locks: within one instant of simulated
+    time there is no true concurrency, so instead of blocking, conflicting
+    statements fail fast and the caller retries after a backoff (the
+    connector's S2V tasks do exactly this during their commit races).
+    """
+
+    def __init__(self, table: str, holder: int, requester: int):
+        super().__init__(
+            f"lock on table {table!r} held by transaction {holder}, "
+            f"requested by transaction {requester}"
+        )
+        self.table = table
+        self.holder = holder
+        self.requester = requester
+
+
+class CopyRejectError(VerticaError):
+    """COPY aborted because rejected rows exceeded REJECTMAX."""
+
+    def __init__(self, rejected: int, limit: int, sample: list):
+        super().__init__(
+            f"COPY rejected {rejected} rows, exceeding REJECTMAX {limit}"
+        )
+        self.rejected = rejected
+        self.limit = limit
+        self.sample = sample
+
+
+class ConnectionLimitError(VerticaError):
+    """A node refused a connection (MAX-CLIENT-SESSIONS exceeded)."""

@@ -1,0 +1,165 @@
+"""Client sessions: the JDBC-like statement interface.
+
+A session is bound to one node (the node a Spark task connects to) and
+executes SQL text.  Without an explicit BEGIN, each statement runs in its
+own transaction and commits on success / rolls back on error
+(autocommit); BEGIN/COMMIT/ROLLBACK give explicit control, which the S2V
+protocol uses for its "write + mark done under one transaction" phases.
+
+Every executed statement leaves its :class:`ResultSet` (with cost report)
+in ``last_result``, and COPY additionally fills ``last_copy_result``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.vertica.copyload import CopyResult, run_copy
+from repro.vertica.engine import ResultSet
+from repro.vertica.errors import TransactionError, VerticaError
+from repro.vertica.sql import ast_nodes as ast
+from repro.vertica.sql.parser import parse_statement
+from repro.vertica.txn import ACTIVE, Transaction
+
+_DDL_NODES = (
+    ast.CreateTable,
+    ast.DropTable,
+    ast.RenameTable,
+    ast.TruncateTable,
+    ast.CreateView,
+    ast.DropView,
+)
+
+
+class Session:
+    """One client connection to one Vertica node."""
+
+    def __init__(self, database: "repro.vertica.database.VerticaDatabase", node: str):  # noqa: F821
+        self.database = database
+        self.node = node
+        self._txn: Optional[Transaction] = None
+        self._explicit = False
+        self._closed = False
+        self.last_result: Optional[ResultSet] = None
+        self.last_copy_result: Optional[CopyResult] = None
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._txn is not None and self._txn.status == ACTIVE:
+            self._txn.abort()
+        self._txn = None
+        self._closed = True
+        self.database._release_connection(self.node)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._explicit and self._txn is not None and self._txn.status == ACTIVE
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise TransactionError("session is closed")
+
+    def _current_txn(self) -> Transaction:
+        if self._txn is None or self._txn.status != ACTIVE:
+            self._txn = self.database.begin()
+        return self._txn
+
+    # -- execution ------------------------------------------------------------
+    def execute(
+        self, sql: str, copy_data: Union[bytes, str, None] = None
+    ) -> ResultSet:
+        """Parse and run one statement; returns its result set."""
+        self._require_open()
+        statement = parse_statement(sql)
+
+        if isinstance(statement, ast.BeginTransaction):
+            if self.in_transaction:
+                raise TransactionError("transaction already in progress")
+            self._txn = self.database.begin()
+            self._explicit = True
+            self.last_result = ResultSet()
+            return self.last_result
+        if isinstance(statement, ast.CommitTransaction):
+            self._finish(commit=True)
+            self.last_result = ResultSet()
+            return self.last_result
+        if isinstance(statement, ast.RollbackTransaction):
+            self._finish(commit=False)
+            self.last_result = ResultSet()
+            return self.last_result
+
+        if isinstance(statement, _DDL_NODES):
+            # DDL auto-commits any open transaction, as in Vertica.
+            if self.in_transaction:
+                self._finish(commit=True)
+            count = self.database.execute_ddl(statement)
+            self.last_result = ResultSet(rowcount=count)
+            return self.last_result
+
+        txn = self._current_txn()
+        engine = self.database.engine
+        try:
+            if isinstance(statement, ast.Select):
+                result = engine.select(statement, txn, self.node)
+            elif isinstance(statement, ast.Explain):
+                result = engine.explain(statement, txn, self.node)
+            elif isinstance(statement, ast.InsertValues):
+                result = engine.insert_values(statement, txn, self.node)
+            elif isinstance(statement, ast.InsertSelect):
+                result = engine.insert_select(statement, txn, self.node)
+            elif isinstance(statement, ast.Update):
+                result = engine.update(statement, txn, self.node)
+            elif isinstance(statement, ast.Delete):
+                result = engine.delete(statement, txn, self.node)
+            elif isinstance(statement, ast.CopyStatement):
+                result, copy_result = run_copy(engine, statement, txn, copy_data)
+                self.last_copy_result = copy_result
+            else:  # pragma: no cover - parser restricts statement types
+                raise VerticaError(f"unhandled statement {type(statement).__name__}")
+        except VerticaError:
+            if not self._explicit:
+                if self._txn is not None and self._txn.status == ACTIVE:
+                    self._txn.abort()
+                self._txn = None
+            raise
+        if not self._explicit:
+            self._finish(commit=True)
+        self.last_result = result
+        return result
+
+    def _finish(self, commit: bool) -> None:
+        txn = self._txn
+        self._txn = None
+        self._explicit = False
+        if txn is None or txn.status != ACTIVE:
+            if commit and txn is None:
+                return  # COMMIT with no open transaction is a no-op
+            return
+        if commit:
+            txn.commit(self.database.storage)
+        else:
+            txn.abort()
+
+    # -- convenience ---------------------------------------------------------------
+    def query(self, sql: str) -> ResultSet:
+        """Alias of :meth:`execute` for read statements."""
+        return self.execute(sql)
+
+    def scalar(self, sql: str) -> Any:
+        return self.execute(sql).scalar()
+
+    def commit(self) -> None:
+        self._require_open()
+        self._finish(commit=True)
+
+    def rollback(self) -> None:
+        self._require_open()
+        self._finish(commit=False)

@@ -1,0 +1,15 @@
+"""SQL front end: lexer, AST and recursive-descent parser.
+
+The dialect covers everything the connector and the paper's experiments
+issue against Vertica: DDL (CREATE/DROP/ALTER RENAME/TRUNCATE, views),
+DML (INSERT .. VALUES, INSERT .. SELECT, UPDATE, DELETE), queries
+(WHERE, inner joins, GROUP BY, ORDER BY, LIMIT, ``AT EPOCH`` snapshot
+reads, aggregate and UDF calls with ``USING PARAMETERS``), COPY bulk
+loads, and transaction control.
+"""
+
+from repro.vertica.sql.lexer import Token, tokenize
+from repro.vertica.sql.parser import parse_statement
+from repro.vertica.sql import ast_nodes as ast
+
+__all__ = ["Token", "ast", "parse_statement", "tokenize"]

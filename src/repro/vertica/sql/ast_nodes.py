@@ -1,0 +1,170 @@
+"""SQL statement AST nodes.
+
+Plain dataclasses; expressions inside statements are
+:class:`repro.vertica.expr.Expression` trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.vertica.expr import Expression
+from repro.vertica.types import SqlType
+
+AGGREGATE_NAMES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    sql_type: SqlType
+
+
+@dataclass
+class CreateTable:
+    table: str
+    columns: List[ColumnDef]
+    segmented_by: Optional[List[str]] = None  # None => default (all columns)
+    unsegmented: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass
+class CreateView:
+    view: str
+    query: "Select"
+    or_replace: bool = False
+
+
+@dataclass
+class DropTable:
+    table: str
+    if_exists: bool = False
+
+
+@dataclass
+class DropView:
+    view: str
+    if_exists: bool = False
+
+
+@dataclass
+class TruncateTable:
+    table: str
+
+
+@dataclass
+class RenameTable:
+    table: str
+    new_name: str
+
+
+@dataclass
+class InsertValues:
+    table: str
+    columns: Optional[List[str]]
+    rows: List[List[Expression]]
+
+
+@dataclass
+class InsertSelect:
+    table: str
+    columns: Optional[List[str]]
+    query: "Select"
+
+
+@dataclass
+class Update:
+    table: str
+    assignments: List[Tuple[str, Expression]]
+    where: Optional[Expression] = None
+
+
+@dataclass
+class Delete:
+    table: str
+    where: Optional[Expression] = None
+
+
+@dataclass
+class SelectItem:
+    """One select-list entry.
+
+    ``aggregate`` is set (COUNT/SUM/...) when the item is an aggregate
+    call; ``udf`` is set when the item is a non-builtin function resolved
+    against the UDx registry, with ``udf_args``/``parameters`` carrying the
+    call.  Otherwise ``expression`` holds a scalar expression.
+    """
+
+    expression: Optional[Expression] = None
+    alias: str = ""
+    star: bool = False
+    aggregate: str = ""
+    aggregate_arg: Optional[Expression] = None  # None for COUNT(*)
+    distinct: bool = False
+    udf: str = ""
+    udf_args: List[Expression] = field(default_factory=list)
+    parameters: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class TableRef:
+    name: str
+    alias: str = ""
+
+
+@dataclass
+class Join:
+    table: TableRef
+    condition: Expression
+
+
+@dataclass
+class OrderItem:
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass
+class Select:
+    items: List[SelectItem]
+    source: Optional[TableRef]  # None for SELECT without FROM
+    joins: List[Join] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: List[Expression] = field(default_factory=list)
+    #: evaluated against the aggregate output row (use select-list aliases)
+    having: Optional[Expression] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    at_epoch: Optional[int] = None  # None => latest committed; int => snapshot
+
+
+@dataclass
+class CopyStatement:
+    table: str
+    source: str = "STDIN"
+    file_format: str = "CSV"  # CSV | AVRO
+    delimiter: str = ","
+    reject_max: Optional[int] = None
+    direct: bool = False  # load straight to ROS (bulk path)
+
+
+@dataclass
+class Explain:
+    query: "Select"
+
+
+@dataclass
+class BeginTransaction:
+    pass
+
+
+@dataclass
+class CommitTransaction:
+    pass
+
+
+@dataclass
+class RollbackTransaction:
+    pass

@@ -1,0 +1,19 @@
+"""Dataset generators for the paper's experiments (§4.1)."""
+
+from repro.workloads.datasets import (
+    Dataset,
+    load_direct,
+    make_d1,
+    make_d1_reshaped,
+    make_d1_with_int_column,
+    make_d2,
+)
+
+__all__ = [
+    "Dataset",
+    "load_direct",
+    "make_d1",
+    "make_d1_reshaped",
+    "make_d1_with_int_column",
+    "make_d2",
+]

@@ -1,0 +1,289 @@
+"""Unit and property tests for the Avro-like serialization substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.avrolite import (
+    BinaryDecoder,
+    BinaryEncoder,
+    CodecError,
+    ContainerReader,
+    ContainerWriter,
+    DatumReader,
+    DatumWriter,
+    Schema,
+    SchemaError,
+    compress_block,
+    decode_rows,
+    decompress_block,
+    encode_rows,
+)
+from repro.avrolite.io import zigzag_decode, zigzag_encode
+
+
+class TestZigzag:
+    @pytest.mark.parametrize(
+        "value,encoded",
+        [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4), (2147483647, 4294967294)],
+    )
+    def test_known_values(self, value, encoded):
+        assert zigzag_encode(value) == encoded
+        assert zigzag_decode(encoded) == value
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_round_trip(self, value):
+        assert zigzag_decode(zigzag_encode(value) & ((1 << 64) - 1)) == value
+
+
+class TestBinaryIO:
+    def test_long_round_trip_boundaries(self):
+        enc = BinaryEncoder()
+        values = [0, 1, -1, 63, -64, 64, 2**31 - 1, -(2**31), 2**63 - 1, -(2**63)]
+        for v in values:
+            enc.write_long(v)
+        dec = BinaryDecoder(enc.getvalue())
+        assert [dec.read_long() for __ in values] == values
+        assert dec.exhausted
+
+    def test_small_longs_are_one_byte(self):
+        enc = BinaryEncoder()
+        enc.write_long(0)
+        enc.write_long(-1)
+        enc.write_long(1)
+        assert len(enc) == 3
+
+    def test_string_round_trip_unicode(self):
+        enc = BinaryEncoder()
+        enc.write_string("héllo wörld ✓")
+        assert BinaryDecoder(enc.getvalue()).read_string() == "héllo wörld ✓"
+
+    def test_double_round_trip(self):
+        enc = BinaryEncoder()
+        enc.write_double(3.141592653589793)
+        assert BinaryDecoder(enc.getvalue()).read_double() == 3.141592653589793
+
+    def test_truncated_data_raises(self):
+        enc = BinaryEncoder()
+        enc.write_string("hello")
+        data = enc.getvalue()[:-2]
+        with pytest.raises(SchemaError):
+            BinaryDecoder(data).read_string()
+
+    def test_truncated_varint_raises(self):
+        with pytest.raises(SchemaError):
+            BinaryDecoder(b"\x80").read_long()
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_long_property_round_trip(self, value):
+        enc = BinaryEncoder()
+        enc.write_long(value)
+        assert BinaryDecoder(enc.getvalue()).read_long() == value
+
+
+class TestSchema:
+    def test_primitive_json_round_trip(self):
+        schema = Schema.primitive("double")
+        assert Schema.loads(schema.dumps()) == schema
+
+    def test_record_json_round_trip(self):
+        schema = Schema.record(
+            "tweet",
+            [
+                ("tweet_id", Schema.primitive("long")),
+                ("tweet_text", Schema.primitive("string", nullable=True)),
+            ],
+        )
+        parsed = Schema.loads(schema.dumps())
+        assert parsed == schema
+        assert parsed.field("tweet_text").nullable
+
+    def test_array_schema(self):
+        schema = Schema.array(Schema.primitive("double"))
+        assert Schema.loads(schema.dumps()) == schema
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.record("r", [("a", Schema.primitive("int"))] * 2)
+
+    def test_record_requires_name(self):
+        with pytest.raises(SchemaError):
+            Schema("record", fields=[])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("uuid")
+
+    def test_unsupported_union_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.from_json(["int", "string"])
+
+    def test_validate_accepts_matching_row(self):
+        schema = Schema.record(
+            "r", [("a", Schema.primitive("long")), ("b", Schema.primitive("string"))]
+        )
+        schema.validate((1, "x"))
+        schema.validate({"a": 1, "b": "x"})
+
+    def test_validate_rejects_type_mismatch(self):
+        schema = Schema.record("r", [("a", Schema.primitive("long"))])
+        with pytest.raises(SchemaError):
+            schema.validate(("not a long",))
+
+    def test_validate_rejects_null_in_non_nullable(self):
+        schema = Schema.record("r", [("a", Schema.primitive("long"))])
+        with pytest.raises(SchemaError):
+            schema.validate((None,))
+
+    def test_validate_rejects_out_of_range_int(self):
+        with pytest.raises(SchemaError):
+            Schema.primitive("int").validate(2**40)
+
+    def test_validate_wrong_arity(self):
+        schema = Schema.record("r", [("a", Schema.primitive("long"))])
+        with pytest.raises(SchemaError):
+            schema.validate((1, 2))
+
+    def test_field_lookup_missing(self):
+        schema = Schema.record("r", [("a", Schema.primitive("long"))])
+        with pytest.raises(SchemaError):
+            schema.field("zzz")
+
+
+ROW_SCHEMA = Schema.record(
+    "row",
+    [
+        ("id", Schema.primitive("long")),
+        ("score", Schema.primitive("double")),
+        ("label", Schema.primitive("string", nullable=True)),
+        ("flag", Schema.primitive("boolean")),
+    ],
+)
+
+
+class TestDatumRoundTrip:
+    def test_record_round_trip(self):
+        enc = BinaryEncoder()
+        DatumWriter(ROW_SCHEMA).write((7, 0.5, "yes", True), enc)
+        out = DatumReader(ROW_SCHEMA).read(BinaryDecoder(enc.getvalue()))
+        assert out == (7, 0.5, "yes", True)
+
+    def test_null_branch(self):
+        enc = BinaryEncoder()
+        DatumWriter(ROW_SCHEMA).write((7, 0.5, None, False), enc)
+        out = DatumReader(ROW_SCHEMA).read(BinaryDecoder(enc.getvalue()))
+        assert out == (7, 0.5, None, False)
+
+    def test_dict_datum(self):
+        enc = BinaryEncoder()
+        DatumWriter(ROW_SCHEMA).write(
+            {"id": 1, "score": 2.0, "label": "a", "flag": False}, enc
+        )
+        out = DatumReader(ROW_SCHEMA).read(BinaryDecoder(enc.getvalue()))
+        assert out == (1, 2.0, "a", False)
+
+    def test_array_round_trip(self):
+        schema = Schema.array(Schema.primitive("long"))
+        enc = BinaryEncoder()
+        DatumWriter(schema).write([1, 2, 3], enc)
+        assert DatumReader(schema).read(BinaryDecoder(enc.getvalue())) == [1, 2, 3]
+
+    def test_empty_array(self):
+        schema = Schema.array(Schema.primitive("long"))
+        enc = BinaryEncoder()
+        DatumWriter(schema).write([], enc)
+        assert DatumReader(schema).read(BinaryDecoder(enc.getvalue())) == []
+
+    def test_none_in_non_nullable_raises(self):
+        enc = BinaryEncoder()
+        with pytest.raises(SchemaError):
+            DatumWriter(Schema.primitive("long")).write(None, enc)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-(2**63), max_value=2**63 - 1),
+                st.floats(allow_nan=False, allow_infinity=False),
+                st.one_of(st.none(), st.text(max_size=40)),
+                st.booleans(),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_round_trip(self, rows):
+        data = encode_rows(ROW_SCHEMA, rows, codec="null")
+        assert decode_rows(data) == rows
+
+
+class TestCodecs:
+    def test_null_codec_is_identity(self):
+        assert compress_block("null", b"abc") == b"abc"
+        assert decompress_block("null", b"abc") == b"abc"
+
+    def test_deflate_round_trip(self):
+        data = b"hello " * 1000
+        compressed = compress_block("deflate", data)
+        assert len(compressed) < len(data)
+        assert decompress_block("deflate", compressed) == data
+
+    def test_unknown_codec(self):
+        with pytest.raises(CodecError):
+            compress_block("snappy", b"x")
+
+    def test_corrupt_deflate(self):
+        with pytest.raises(CodecError):
+            decompress_block("deflate", b"\x00garbage")
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_deflate_property(self, data):
+        assert decompress_block("deflate", compress_block("deflate", data)) == data
+
+
+class TestContainer:
+    def test_round_trip_with_blocks(self):
+        rows = [(i, float(i), f"r{i}", i % 2 == 0) for i in range(1000)]
+        writer = ContainerWriter(ROW_SCHEMA, codec="deflate", block_rows=100)
+        writer.extend(rows)
+        data = writer.getvalue()
+        reader = ContainerReader(data)
+        assert reader.codec == "deflate"
+        assert reader.schema == ROW_SCHEMA
+        assert reader.read_all() == rows
+
+    def test_empty_container(self):
+        data = ContainerWriter(ROW_SCHEMA).getvalue()
+        assert decode_rows(data) == []
+
+    def test_deterministic_output(self):
+        rows = [(1, 1.0, "a", True)]
+        assert encode_rows(ROW_SCHEMA, rows) == encode_rows(ROW_SCHEMA, rows)
+
+    def test_bad_magic(self):
+        with pytest.raises(SchemaError):
+            ContainerReader(b"NOPE" + b"\x00" * 40)
+
+    def test_schema_check_on_decode(self):
+        data = encode_rows(ROW_SCHEMA, [(1, 1.0, None, False)])
+        other = Schema.record("other", [("x", Schema.primitive("long"))])
+        with pytest.raises(SchemaError):
+            decode_rows(data, expected_schema=other)
+
+    def test_corrupt_sync_marker_detected(self):
+        data = bytearray(encode_rows(ROW_SCHEMA, [(1, 1.0, "a", True)], codec="null"))
+        data[-1] ^= 0xFF  # flip a sync byte
+        with pytest.raises(SchemaError):
+            decode_rows(bytes(data))
+
+    def test_deflate_shrinks_repetitive_rows(self):
+        rows = [(i, 0.0, "same text", True) for i in range(2000)]
+        null_size = len(encode_rows(ROW_SCHEMA, rows, codec="null"))
+        deflate_size = len(encode_rows(ROW_SCHEMA, rows, codec="deflate"))
+        assert deflate_size < null_size / 2
+
+    def test_rows_written_counter(self):
+        writer = ContainerWriter(ROW_SCHEMA, block_rows=10)
+        writer.extend([(i, 0.0, None, False) for i in range(25)])
+        assert writer.rows_written == 25
+        assert len(decode_rows(writer.getvalue())) == 25

@@ -1,0 +1,282 @@
+"""Tests for the §4.7 baselines: JDBC Default Source, HDFS, native COPY."""
+
+import pytest
+
+from repro.baselines import SimHdfsCluster, parallel_copy
+from repro.baselines.native_copy import split_csv
+from repro.connector import SimVerticaCluster
+from repro.sim import Environment
+from repro.spark import GreaterThan, SparkSession, StructField, StructType
+from repro.spark.errors import AnalysisError
+
+SCHEMA = StructType([StructField("id", "long"), StructField("val", "double")])
+
+
+@pytest.fixture
+def fabric():
+    env = Environment()
+    vc = SimVerticaCluster(env=env, num_nodes=4)
+    spark = SparkSession(env=env, cluster=vc.sim_cluster, num_workers=8)
+    return vc, spark
+
+
+@pytest.fixture
+def populated(fabric):
+    vc, spark = fabric
+    session = vc.db.connect()
+    session.execute(
+        "CREATE TABLE src (id INTEGER, val FLOAT) SEGMENTED BY HASH(id) ALL NODES"
+    )
+    values = ", ".join(f"({i}, {i * 1.5})" for i in range(200))
+    session.execute(f"INSERT INTO src VALUES {values}")
+    return vc, spark, session
+
+
+class TestJdbcLoad:
+    def test_single_partition_without_bounds(self, populated):
+        vc, spark, __ = populated
+        df = spark.read.format("jdbc").options(db=vc, table="src").load()
+        assert df.rdd().num_partitions == 1  # zero parallelism by default
+        assert len(df.collect()) == 200
+
+    def test_parallel_load_requires_integer_column_bounds(self, populated):
+        vc, spark, __ = populated
+        with pytest.raises(AnalysisError):
+            spark.read.format("jdbc").options(
+                db=vc, table="src", partitioncolumn="id", numpartitions=4
+            ).load()
+
+    def test_parallel_load_with_bounds(self, populated):
+        vc, spark, __ = populated
+        df = spark.read.format("jdbc").options(
+            db=vc, table="src", partitioncolumn="id",
+            lowerbound=0, upperbound=200, numpartitions=8,
+        ).load()
+        assert df.rdd().num_partitions == 8
+        rows = df.collect()
+        assert sorted(r[0] for r in rows) == list(range(200))
+
+    def test_value_ranges_cover_data_outside_bounds(self, populated):
+        # Spark's first/last partitions are unbounded, so rows outside
+        # [lowerbound, upperbound) are still loaded exactly once.
+        vc, spark, session = populated
+        session.execute("INSERT INTO src VALUES (-50, 0.0), (900, 0.0)")
+        df = spark.read.format("jdbc").options(
+            db=vc, table="src", partitioncolumn="id",
+            lowerbound=0, upperbound=200, numpartitions=4,
+        ).load()
+        ids = sorted(r[0] for r in df.collect())
+        assert ids[0] == -50 and ids[-1] == 900
+        assert len(ids) == 202
+
+    def test_filter_pushdown_supported(self, populated):
+        vc, spark, __ = populated
+        df = spark.read.format("jdbc").options(
+            db=vc, table="src", partitioncolumn="id",
+            lowerbound=0, upperbound=200, numpartitions=4,
+        ).load().filter(GreaterThan("ID", 194))
+        assert sorted(r[0] for r in df.collect()) == [195, 196, 197, 198, 199]
+
+    def test_all_queries_go_through_single_host(self, populated):
+        vc, spark, __ = populated
+        spark.read.format("jdbc").options(
+            db=vc, table="src", partitioncolumn="id",
+            lowerbound=0, upperbound=200, numpartitions=8,
+        ).load().collect()
+        model = vc.cost_model
+        external_tx = {
+            name: node.nics[model.external_nic].tx.bytes_total
+            for name, node in vc.sim_nodes.items()
+        }
+        senders = [name for name, nbytes in external_tx.items() if nbytes > 0]
+        assert senders == [vc.node_names[0]]
+
+    def test_jdbc_load_shuffles_internally(self, populated):
+        """Value-range queries touch all nodes: intra-Vertica traffic > 0,
+        unlike the connector's hash-range queries."""
+        vc, spark, __ = populated
+        spark.read.format("jdbc").options(
+            db=vc, table="src", partitioncolumn="id",
+            lowerbound=0, upperbound=200, numpartitions=8,
+        ).load().collect()
+        assert vc.internal_bytes() > 0
+
+    def test_no_snapshot_consistency(self, populated):
+        """JDBC tasks see whatever is committed when they run — a
+        mid-job write tears the loaded view (V2S's epoch pinning fixes
+        exactly this)."""
+        vc, spark, session = populated
+        df = spark.read.format("jdbc").options(
+            db=vc, table="src", partitioncolumn="id",
+            lowerbound=0, upperbound=200, numpartitions=2,
+        ).load()
+        rdd = df.rdd()
+
+        results = []
+
+        def task0(ctx):
+            rows = yield from rdd.compute(0, ctx)
+            results.extend(rows)
+            # a writer commits between task 0 and task 1
+            writer = vc.db.connect(vc.node_names[1])
+            writer.execute("DELETE FROM src WHERE id >= 100")
+            writer.close()
+
+        def task1(ctx):
+            rows = yield from rdd.compute(1, ctx)
+            results.extend(rows)
+
+        def driver():
+            yield vc.env.process(task0(_Ctx(spark)))
+            yield vc.env.process(task1(_Ctx(spark)))
+
+        class _Ctx:
+            def __init__(self, spark):
+                self.node = spark.workers[0]
+                self.env = spark.env
+
+        vc.env.run(vc.env.process(driver()))
+        # Torn read: first half loaded, second half missing.
+        assert len(results) == 100
+
+
+class TestJdbcSave:
+    def test_save_via_inserts(self, fabric):
+        vc, spark = fabric
+        df = spark.create_dataframe(
+            [(i, float(i)) for i in range(100)], SCHEMA, num_partitions=4
+        )
+        df.write.format("jdbc").options(db=vc, table="out").mode("overwrite").save()
+        session = vc.db.connect()
+        assert session.scalar("SELECT COUNT(*) FROM out") == 100
+
+    def test_append(self, fabric):
+        vc, spark = fabric
+        df = spark.create_dataframe([(1, 1.0)], SCHEMA, num_partitions=1)
+        df.write.format("jdbc").options(db=vc, table="out").mode("overwrite").save()
+        df.write.format("jdbc").options(db=vc, table="out").mode("append").save()
+        session = vc.db.connect()
+        assert session.scalar("SELECT COUNT(*) FROM out") == 2
+
+    def test_task_retry_duplicates_rows(self, fabric):
+        """The §4.7.1 hazard the connector fixes: a task that fails after
+        inserting and is retried loads its batch twice."""
+        from repro.spark.faults import ProbeFailurePolicy
+
+        env = Environment()
+        vc = SimVerticaCluster(env=env, num_nodes=4)
+        policy = ProbeFailurePolicy({(0, 0): "jdbc:after_first_batch"})
+
+        class AfterBatchPolicy(ProbeFailurePolicy):
+            def __init__(self):
+                super().__init__({})
+                self.batches = 0
+
+            def on_probe(self, ctx, label):
+                if label == "jdbc:before_insert_batch":
+                    self.batches += 1
+                    if self.batches == 2 and ctx.attempt_number == 0:
+                        from repro.spark.faults import InjectedFailure
+
+                        raise InjectedFailure("dies after first batch committed")
+
+        policy = AfterBatchPolicy()
+        spark = SparkSession(
+            env=env, cluster=vc.sim_cluster, num_workers=2, fault_policy=policy
+        )
+        rows = [(i, float(i)) for i in range(32)]
+        df = spark.create_dataframe(rows, SCHEMA, num_partitions=1)
+        df.write.format("jdbc").options(
+            db=vc, table="dup", batchsize=16
+        ).mode("overwrite").save()
+        session = vc.db.connect()
+        count = session.scalar("SELECT COUNT(*) FROM dup")
+        assert count > 32  # duplicated rows: not exactly-once
+
+
+class TestHdfsBaseline:
+    def make_hdfs(self, fabric, block_size=4096):
+        vc, spark = fabric
+        hdfs = SimHdfsCluster(
+            vc.env, vc.sim_cluster, num_nodes=4, block_size=block_size
+        )
+        return vc, spark, hdfs
+
+    def test_write_read_round_trip(self, fabric):
+        vc, spark, hdfs = self.make_hdfs(fabric)
+        rows = [(i, float(i) / 7) for i in range(500)]
+        df = spark.create_dataframe(rows, SCHEMA, num_partitions=4)
+        df.write.format("hdfs").options(fs=hdfs, path="/data/d1").save()
+        back = spark.read.format("hdfs").options(fs=hdfs, path="/data/d1").load()
+        assert sorted(back.collect()) == sorted(rows)
+        assert back.schema.names == ["id", "val"]
+
+    def test_one_partition_per_block(self, fabric):
+        vc, spark, hdfs = self.make_hdfs(fabric, block_size=512)
+        rows = [(i, float(i)) for i in range(2000)]
+        df = spark.create_dataframe(rows, SCHEMA, num_partitions=2)
+        df.write.format("hdfs").options(fs=hdfs, path="/blocks").save()
+        back = spark.read.format("hdfs").options(fs=hdfs, path="/blocks").load()
+        total_blocks = sum(
+            hdfs.fs.total_blocks(p) for p in hdfs.fs.list("/blocks/part-")
+        )
+        assert back.rdd().num_partitions == total_blocks
+        assert total_blocks > 2
+        assert sorted(back.collect()) == sorted(rows)
+
+    def test_replication_on_write(self, fabric):
+        vc, spark, hdfs = self.make_hdfs(fabric)
+        df = spark.create_dataframe([(1, 1.0)], SCHEMA, num_partitions=1)
+        df.write.format("hdfs").options(fs=hdfs, path="/rep").save()
+        block = hdfs.fs.block_locations("/rep/part-00000")[0]
+        assert len(block.replicas) == 3
+
+    def test_overwrite_mode(self, fabric):
+        vc, spark, hdfs = self.make_hdfs(fabric)
+        df1 = spark.create_dataframe([(1, 1.0)], SCHEMA, num_partitions=1)
+        df2 = spark.create_dataframe([(2, 2.0), (3, 3.0)], SCHEMA, num_partitions=1)
+        df1.write.format("hdfs").options(fs=hdfs, path="/ow").save()
+        df2.write.format("hdfs").options(fs=hdfs, path="/ow").mode("overwrite").save()
+        back = spark.read.format("hdfs").options(fs=hdfs, path="/ow").load()
+        assert sorted(back.collect()) == [(2, 2.0), (3, 3.0)]
+
+    def test_missing_path(self, fabric):
+        vc, spark, hdfs = self.make_hdfs(fabric)
+        with pytest.raises(AnalysisError):
+            spark.read.format("hdfs").options(fs=hdfs, path="/nope").load()
+
+
+class TestNativeCopy:
+    def test_split_csv(self):
+        text = "".join(f"{i},x\n" for i in range(10))
+        parts = split_csv(text, 3)
+        assert len(parts) == 3
+        assert "".join(parts) == text
+
+    def test_parallel_copy_loads_table(self, fabric):
+        vc, __ = fabric
+        session = vc.db.connect()
+        session.execute(
+            "CREATE TABLE bulk (id INTEGER, val FLOAT) SEGMENTED BY HASH(id) ALL NODES"
+        )
+        csv = "".join(f"{i},{i * 0.5}\n" for i in range(400))
+        elapsed = parallel_copy(vc, "bulk", split_csv(csv, 8))
+        assert session.scalar("SELECT COUNT(*) FROM bulk") == 400
+        assert elapsed >= 0.0
+
+    def test_copy_time_scales_with_splits(self):
+        """More parallel splits amortise the disk read (§4.7.3's sweep)."""
+        times = {}
+        for parts in (1, 8):
+            env = Environment()
+            vc = SimVerticaCluster(env=env, num_nodes=4)
+            session = vc.db.connect()
+            session.execute(
+                "CREATE TABLE bulk (id INTEGER, val FLOAT) "
+                "SEGMENTED BY HASH(id) ALL NODES"
+            )
+            csv = "".join(f"{i},{i * 0.5}\n" for i in range(100))
+            times[parts] = parallel_copy(
+                vc, "bulk", split_csv(csv, parts), scale_factor=1e6
+            )
+        assert times[8] < times[1]

@@ -1,0 +1,177 @@
+"""Unit tests for the simulation bridge: how statements become time.
+
+Uses small purpose-built cost models so each charge (latency, DDL
+latency, plan CPU, producer caps, shuffle flows, virtual weight) is
+observable in isolation on the simulated clock.
+"""
+
+import pytest
+
+from repro.connector import SimVerticaCluster, VerticaCostModel
+from repro.sim import Environment
+
+
+def make_cluster(**model_kwargs):
+    env = Environment()
+    cluster = SimVerticaCluster(
+        env=env, num_nodes=2, cost_model=VerticaCostModel(**model_kwargs)
+    )
+    client = cluster.sim_cluster.add_node("client", nics={"default": 125e6})
+    return env, cluster, client
+
+
+def run(env, generator):
+    return env.run(env.process(generator))
+
+
+class TestLatencies:
+    def test_connect_charged_once(self):
+        env, cluster, client = make_cluster(connect_latency=0.5)
+
+        def driver():
+            conn = cluster.connect(client_node=client)
+            yield from conn.execute("SELECT 1")
+            yield from conn.execute("SELECT 1")
+            conn.close()
+
+        run(env, driver())
+        assert env.now == pytest.approx(0.5)  # once, not twice
+
+    def test_query_vs_ddl_latency(self):
+        env, cluster, client = make_cluster(query_latency=0.1, ddl_latency=1.0)
+
+        def driver():
+            conn = cluster.connect(client_node=client)
+            yield from conn.execute("CREATE TABLE t (a INTEGER)")
+            mark = env.now
+            yield from conn.execute("SELECT 1")
+            conn.close()
+            return mark
+
+        ddl_done = run(env, driver())
+        assert ddl_done == pytest.approx(1.0)
+        assert env.now == pytest.approx(1.1)
+
+    def test_commit_statements_are_light(self):
+        env, cluster, client = make_cluster(query_latency=0.1, query_plan_cpu=5.0)
+
+        def driver():
+            conn = cluster.connect(client_node=client)
+            yield from conn.execute("BEGIN")
+            yield from conn.execute("COMMIT")
+            conn.close()
+
+        run(env, driver())
+        # BEGIN/COMMIT pay latency but never the planner CPU.
+        assert env.now == pytest.approx(0.2)
+
+
+class TestDataCharges:
+    def populate(self, cluster, rows=10):
+        session = cluster.db.connect()
+        session.execute("CREATE TABLE t (a INTEGER) SEGMENTED BY HASH(a) ALL NODES")
+        values = ", ".join(f"({i})" for i in range(rows))
+        session.execute(f"INSERT INTO t VALUES {values}")
+        session.close()
+
+    def test_result_bytes_flow_at_connection_cap(self):
+        env, cluster, client = make_cluster(
+            per_connection_rate_cap=100.0, jdbc_int_bytes=10
+        )
+        self.populate(cluster, rows=10)
+
+        def driver():
+            conn = cluster.connect(client_node=client)
+            result = yield from conn.execute("SELECT a FROM t")
+            conn.close()
+            return result
+
+        run(env, driver())
+        # 10 rows x 10 wire bytes at 100 B/s = 1 s.
+        assert env.now == pytest.approx(1.0)
+
+    def test_weight_scales_transfer_time(self):
+        env, cluster, client = make_cluster(
+            per_connection_rate_cap=100.0, jdbc_int_bytes=10
+        )
+        self.populate(cluster, rows=10)
+
+        def driver():
+            conn = cluster.connect(client_node=client)
+            yield from conn.execute("SELECT a FROM t", weight=5.0)
+            conn.close()
+
+        run(env, driver())
+        assert env.now == pytest.approx(5.0)
+
+    def test_remote_rows_cross_internal_network(self):
+        env, cluster, client = make_cluster(jdbc_int_bytes=10)
+        self.populate(cluster, rows=50)
+
+        def driver():
+            conn = cluster.connect(cluster.node_names[0], client_node=client)
+            yield from conn.execute("SELECT a FROM t")
+            conn.close()
+
+        run(env, driver())
+        # Rows living on node 2 shuffled to the contacted node 1.
+        assert cluster.internal_bytes() > 0
+        assert cluster.external_bytes() == pytest.approx(500.0)
+
+    def test_local_only_query_has_no_shuffle(self):
+        env, cluster, client = make_cluster(jdbc_int_bytes=10)
+        self.populate(cluster, rows=50)
+        table = cluster.db.catalog.table("t")
+        segment = table.ring.segments[0]
+
+        def driver():
+            conn = cluster.connect(segment.node, client_node=client)
+            yield from conn.execute(
+                f"SELECT a FROM t WHERE HASH(a) >= {segment.lo} "
+                f"AND HASH(a) < {segment.hi}"
+            )
+            conn.close()
+
+        run(env, driver())
+        assert cluster.internal_bytes() == 0.0
+
+    def test_copy_charges_ingest_and_redistribution(self):
+        env, cluster, client = make_cluster(copy_rate_cap=1000.0)
+        session = cluster.db.connect()
+        session.execute("CREATE TABLE t (a INTEGER) SEGMENTED BY HASH(a) ALL NODES")
+        session.close()
+        payload = "".join(f"{i}\n" for i in range(100))
+
+        def driver():
+            conn = cluster.connect(cluster.node_names[0], client_node=client)
+            yield from conn.execute("COPY t FROM STDIN", copy_data=payload)
+            conn.close()
+
+        run(env, driver())
+        nbytes = len(payload.encode())
+        assert env.now >= nbytes / 1000.0
+        assert cluster.internal_bytes() > 0  # rows redistributed to node 2
+
+    def test_retry_backs_off_on_contention(self):
+        env, cluster, client = make_cluster(query_latency=0.01)
+        session = cluster.db.connect()
+        session.execute("CREATE TABLE t (a INTEGER)")
+        session.execute("INSERT INTO t VALUES (1)")
+        # Hold the X lock with an open transaction.
+        session.execute("BEGIN")
+        session.execute("UPDATE t SET a = 2")
+
+        def releaser():
+            yield env.timeout(1.0)
+            session.execute("COMMIT")
+
+        def driver():
+            conn = cluster.connect(cluster.node_names[1], client_node=client)
+            result = yield from conn.execute_with_retry("UPDATE t SET a = 3")
+            conn.close()
+            return result.rowcount
+
+        env.process(releaser())
+        count = run(env, driver())
+        assert count == 1
+        assert env.now >= 1.0  # had to wait for the lock holder

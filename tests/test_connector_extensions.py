@@ -1,0 +1,190 @@
+"""Tests for the RDD-based connector API and the two-stage writer."""
+
+import pytest
+
+from repro.baselines.hdfs_source import SimHdfsCluster
+from repro.connector import SimVerticaCluster
+from repro.connector.rdd_api import (
+    rdd_to_vertica,
+    vertica_to_labeled_points,
+    vertica_to_rdd,
+)
+from repro.connector.twostage import TwoStageWriter, save_two_stage
+from repro.sim import Environment
+from repro.spark import SparkSession, StructField, StructType
+from repro.spark.errors import AnalysisError
+
+SCHEMA = StructType([StructField("id", "long"), StructField("v", "double")])
+
+
+@pytest.fixture
+def fabric():
+    env = Environment()
+    vertica = SimVerticaCluster(env=env, num_nodes=4)
+    spark = SparkSession(env=env, cluster=vertica.sim_cluster, num_workers=4)
+    return vertica, spark
+
+
+@pytest.fixture
+def populated(fabric):
+    vertica, spark = fabric
+    session = vertica.db.connect()
+    session.execute(
+        "CREATE TABLE src (id INTEGER, x FLOAT, label INTEGER) "
+        "SEGMENTED BY HASH(id) ALL NODES"
+    )
+    values = ", ".join(
+        f"({i}, {i * 0.5}, {1 if i % 2 else 0})" for i in range(100)
+    )
+    session.execute(f"INSERT INTO src VALUES {values}")
+    return vertica, spark, session
+
+
+class TestRddApi:
+    def test_vertica_to_rdd(self, populated):
+        vertica, spark, __ = populated
+        rdd = vertica_to_rdd(spark, {"db": vertica, "table": "src",
+                                     "numpartitions": 8})
+        rows = rdd.collect()
+        assert len(rows) == 100
+        assert sorted(r[0] for r in rows) == list(range(100))
+
+    def test_rdd_transformations_compose(self, populated):
+        vertica, spark, __ = populated
+        rdd = vertica_to_rdd(spark, {"db": vertica, "table": "src",
+                                     "numpartitions": 4})
+        doubled = rdd.map(lambda r: r[1] * 2).filter(lambda v: v > 90)
+        assert len(doubled.collect()) == 9
+
+    def test_column_pruning(self, populated):
+        vertica, spark, __ = populated
+        rdd = vertica_to_rdd(
+            spark, {"db": vertica, "table": "src", "numpartitions": 4},
+            columns=["X"],
+        )
+        rows = rdd.collect()
+        assert all(len(r) == 1 for r in rows)
+
+    def test_labeled_points(self, populated):
+        vertica, spark, __ = populated
+        points = vertica_to_labeled_points(
+            spark,
+            {"db": vertica, "table": "src", "numpartitions": 4},
+            label_column="LABEL",
+            feature_columns=["X", "ID"],
+        ).collect()
+        assert len(points) == 100
+        sample = next(p for p in points if p.features[1] == 3.0)
+        assert sample.label == 1.0
+        assert sample.features == [1.5, 3.0]
+
+    def test_labeled_points_validates_columns(self, populated):
+        vertica, spark, __ = populated
+        with pytest.raises(AnalysisError):
+            vertica_to_labeled_points(
+                spark, {"db": vertica, "table": "src"},
+                label_column="NOPE", feature_columns=["X"],
+            )
+        with pytest.raises(AnalysisError):
+            vertica_to_labeled_points(
+                spark, {"db": vertica, "table": "src"},
+                label_column="LABEL", feature_columns=[],
+            )
+
+    def test_rdd_to_vertica_round_trip(self, fabric):
+        vertica, spark = fabric
+        rdd = spark.parallelize([(i, float(i)) for i in range(50)], 4)
+        result = rdd_to_vertica(
+            spark, rdd, SCHEMA, {"db": vertica, "table": "out",
+                                 "numpartitions": 4}
+        )
+        assert result.status == "SUCCESS"
+        assert result.rows_loaded == 50
+        back = vertica_to_rdd(spark, {"db": vertica, "table": "out",
+                                      "numpartitions": 4})
+        assert sorted(back.collect()) == [(i, float(i)) for i in range(50)]
+
+    def test_rdd_arity_validated(self, fabric):
+        vertica, spark = fabric
+        from repro.spark.errors import JobFailedError
+
+        rdd = spark.parallelize([(1, 2.0, "extra")], 1)
+        with pytest.raises(JobFailedError):
+            rdd_to_vertica(spark, rdd, SCHEMA,
+                           {"db": vertica, "table": "bad", "numpartitions": 1})
+
+
+class TestTwoStage:
+    def make_hdfs(self, vertica):
+        return SimHdfsCluster(vertica.env, vertica.sim_cluster, num_nodes=4,
+                              block_size=1 << 20)
+
+    def test_overwrite_round_trip(self, fabric):
+        vertica, spark = fabric
+        hdfs = self.make_hdfs(vertica)
+        rows = [(i, i * 0.5) for i in range(120)]
+        df = spark.create_dataframe(rows, SCHEMA, num_partitions=4)
+        result = save_two_stage(
+            spark, hdfs, df, {"db": vertica, "table": "ts", "numpartitions": 4}
+        )
+        assert result.status == "SUCCESS"
+        assert result.rows_loaded == 120
+        session = vertica.db.connect()
+        assert sorted(session.execute("SELECT * FROM ts").rows) == sorted(rows)
+
+    def test_landing_zone_cleaned_up(self, fabric):
+        vertica, spark = fabric
+        hdfs = self.make_hdfs(vertica)
+        df = spark.create_dataframe([(1, 1.0)], SCHEMA, num_partitions=1)
+        save_two_stage(spark, hdfs, df,
+                       {"db": vertica, "table": "ts", "numpartitions": 1})
+        assert hdfs.fs.list("/twostage/") == []
+
+    def test_append_mode(self, fabric):
+        vertica, spark = fabric
+        hdfs = self.make_hdfs(vertica)
+        df1 = spark.create_dataframe([(1, 1.0)], SCHEMA, num_partitions=1)
+        df2 = spark.create_dataframe([(2, 2.0)], SCHEMA, num_partitions=1)
+        save_two_stage(spark, hdfs, df1,
+                       {"db": vertica, "table": "ts", "numpartitions": 1})
+        save_two_stage(spark, hdfs, df2,
+                       {"db": vertica, "table": "ts", "numpartitions": 1},
+                       mode="append")
+        session = vertica.db.connect()
+        assert session.scalar("SELECT COUNT(*) FROM ts") == 2
+
+    def test_append_requires_target(self, fabric):
+        vertica, spark = fabric
+        hdfs = self.make_hdfs(vertica)
+        df = spark.create_dataframe([(1, 1.0)], SCHEMA, num_partitions=1)
+        with pytest.raises(AnalysisError):
+            save_two_stage(spark, hdfs, df,
+                           {"db": vertica, "table": "missing",
+                            "numpartitions": 1}, mode="append")
+
+    def test_invalid_mode(self, fabric):
+        vertica, spark = fabric
+        hdfs = self.make_hdfs(vertica)
+        df = spark.create_dataframe([(1, 1.0)], SCHEMA, num_partitions=1)
+        with pytest.raises(AnalysisError):
+            TwoStageWriter(spark, hdfs, "ignore",
+                           {"db": vertica, "table": "ts"}, df)
+
+    def test_two_stage_moves_data_twice(self, fabric):
+        """The §5 prediction: an intermediate full copy of the data."""
+        from repro.bench.fabric import Fabric
+        from repro.workloads import make_d1
+
+        fab = Fabric(with_hdfs=True)
+        d1 = make_d1(real_rows=500)
+        df = fab.dataframe_of(d1, 16)
+        start = fab.env.now
+        save_two_stage(
+            fab.spark, fab.hdfs, df,
+            {"db": fab.vertica, "table": "ts", "numpartitions": 16,
+             "scale_factor": d1.scale},
+        )
+        two_stage_time = fab.env.now - start
+        fab2 = Fabric()
+        single_time = fab2.s2v_save(make_d1(real_rows=500), "ss", 16)
+        assert two_stage_time > single_time  # the extra copy costs time

@@ -1,0 +1,239 @@
+"""Tests for V2S: locality-aware parallel loads with snapshot consistency."""
+
+import pytest
+
+from repro.connector import SimVerticaCluster
+from repro.connector.options import OptionsError
+from repro.sim import Environment
+from repro.spark import GreaterThan, LessThan, SparkSession
+
+
+@pytest.fixture
+def fabric():
+    env = Environment()
+    vc = SimVerticaCluster(env=env, num_nodes=4)
+    spark = SparkSession(env=env, cluster=vc.sim_cluster, num_workers=8)
+    return vc, spark
+
+
+@pytest.fixture
+def loaded(fabric):
+    vc, spark = fabric
+    session = vc.db.connect()
+    session.execute(
+        "CREATE TABLE src (id INTEGER, val FLOAT, name VARCHAR(30)) "
+        "SEGMENTED BY HASH(id) ALL NODES"
+    )
+    values = ", ".join(f"({i}, {i * 0.5}, 'row{i}')" for i in range(300))
+    session.execute(f"INSERT INTO src VALUES {values}")
+    return vc, spark, session
+
+
+def read_src(vc, spark, **extra):
+    options = {"db": vc, "table": "src", "numpartitions": 8}
+    options.update(extra)
+    return spark.read.format("vertica").options(options).load()
+
+
+class TestBasicLoad:
+    def test_full_load(self, loaded):
+        vc, spark, __ = loaded
+        df = read_src(vc, spark)
+        rows = sorted(df.collect())
+        assert len(rows) == 300
+        assert rows[0] == (0, 0.0, "row0")
+        assert df.columns == ["ID", "VAL", "NAME"]
+
+    def test_partition_count_is_user_option(self, loaded):
+        vc, spark, __ = loaded
+        for partitions in (1, 2, 3, 7, 16):
+            df = read_src(vc, spark, numpartitions=partitions)
+            assert df.rdd().num_partitions == partitions
+            assert len(df.collect()) == 300
+
+    def test_more_partitions_than_segments(self, loaded):
+        vc, spark, __ = loaded
+        df = read_src(vc, spark, numpartitions=64)
+        assert len(df.collect()) == 300
+
+    def test_schema_discovered_from_catalog(self, loaded):
+        vc, spark, __ = loaded
+        df = read_src(vc, spark)
+        assert [f.data_type for f in df.schema] == ["long", "double", "string"]
+
+    def test_missing_table_fails(self, fabric):
+        vc, spark = fabric
+        from repro.vertica.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            spark.read.format("vertica").options(db=vc, table="nope").load()
+
+    def test_bad_options(self, fabric):
+        vc, spark = fabric
+        with pytest.raises(OptionsError):
+            spark.read.format("vertica").options(db=vc).load()
+        with pytest.raises(OptionsError):
+            spark.read.format("vertica").options(
+                db=vc, table="t", bogus_option=1
+            ).load()
+
+
+class TestPushdown:
+    def test_filter_pushdown(self, loaded):
+        vc, spark, __ = loaded
+        df = read_src(vc, spark).filter(GreaterThan("ID", 290))
+        rows = df.collect()
+        assert sorted(r[0] for r in rows) == list(range(291, 300))
+
+    def test_combined_filters(self, loaded):
+        vc, spark, __ = loaded
+        df = read_src(vc, spark).filter(GreaterThan("ID", 100)).filter(
+            LessThan("ID", 105)
+        )
+        assert sorted(r[0] for r in df.collect()) == [101, 102, 103, 104]
+
+    def test_column_pruning(self, loaded):
+        vc, spark, __ = loaded
+        df = read_src(vc, spark).select("NAME")
+        rows = df.collect()
+        assert len(rows) == 300
+        assert all(len(r) == 1 for r in rows)
+
+    def test_count_pushdown_single_query(self, loaded):
+        vc, spark, __ = loaded
+        df = read_src(vc, spark)
+        assert df.count() == 300
+        assert df.filter(GreaterThan("ID", 149)).count() == 150
+
+    def test_pushdown_reduces_transfer(self, loaded):
+        vc, spark, __ = loaded
+        env_before = vc.external_bytes()
+        read_src(vc, spark).filter(GreaterThan("ID", 294)).collect()
+        selective_bytes = vc.external_bytes() - env_before
+        before_full = vc.external_bytes()
+        read_src(vc, spark).collect()
+        full_bytes = vc.external_bytes() - before_full
+        assert selective_bytes < full_bytes / 10
+
+
+class TestLocality:
+    def test_no_internal_shuffle(self, loaded):
+        """§3.1.2: hash-range queries touch only node-local data."""
+        vc, spark, __ = loaded
+        read_src(vc, spark, numpartitions=16).collect()
+        assert vc.internal_bytes() == 0.0
+        assert vc.external_bytes() > 0.0
+
+    def test_tasks_connect_to_all_nodes(self, loaded):
+        vc, spark, __ = loaded
+        read_src(vc, spark, numpartitions=16).collect()
+        model = vc.cost_model
+        per_node = [
+            node.nics[model.external_nic].tx.bytes_total
+            for node in vc.sim_nodes.values()
+        ]
+        assert all(nbytes > 0 for nbytes in per_node)
+
+    def test_partition_union_is_exact(self, loaded):
+        """Ranges are disjoint + complete: no row lost, none duplicated."""
+        vc, spark, __ = loaded
+        for partitions in (2, 4, 8, 13, 32):
+            rows = read_src(vc, spark, numpartitions=partitions).collect()
+            ids = sorted(r[0] for r in rows)
+            assert ids == list(range(300)), f"partitions={partitions}"
+
+
+class TestSnapshotConsistency:
+    def test_concurrent_writes_do_not_tear_the_load(self, loaded):
+        """Tasks pin one epoch, so a mid-job commit is invisible (§3.1.2)."""
+        vc, spark, session = loaded
+        from repro.connector.v2s import VerticaRelation
+
+        relation = VerticaRelation(spark, {"db": vc, "table": "src",
+                                           "numpartitions": 4})
+        epoch = relation.pin_epoch()
+        scan = relation.build_scan()
+        # A writer commits between "job start" and task execution.
+        session.execute("DELETE FROM src WHERE id < 150")
+        rows = scan.collect()
+        assert len(rows) == 300  # the pinned snapshot still sees all rows
+        # A fresh load sees the new state.
+        fresh = read_src(vc, spark).collect()
+        assert len(fresh) == 150
+
+    def test_restarted_task_sees_same_epoch(self, loaded):
+        from repro.spark.faults import FailOncePerTaskPolicy
+
+        vc, spark, session = loaded
+
+        class Policy(FailOncePerTaskPolicy):
+            def on_task_start(self, ctx):
+                self.on_probe(ctx, self.label)
+
+        env = vc.env
+        spark_faulty = SparkSession(
+            env=env, cluster=vc.sim_cluster,
+            fault_policy=Policy("start"), worker_prefix="spark",
+        )
+        df = spark_faulty.read.format("vertica").options(
+            db=vc, table="src", numpartitions=8
+        ).load()
+        rows = df.collect()
+        assert sorted(r[0] for r in rows) == list(range(300))
+
+
+class TestViewsAndUnsegmented:
+    def test_view_load_with_synthetic_ranges(self, loaded):
+        vc, spark, session = loaded
+        session.execute(
+            "CREATE VIEW big_rows AS SELECT id, val FROM src WHERE id >= 200"
+        )
+        df = spark.read.format("vertica").options(
+            db=vc, table="big_rows", numpartitions=8
+        ).load()
+        rows = df.collect()
+        assert sorted(r[0] for r in rows) == list(range(200, 300))
+
+    def test_view_pushes_down_aggregation(self, loaded):
+        vc, spark, session = loaded
+        session.execute(
+            "CREATE VIEW stats AS SELECT COUNT(*) AS n, SUM(id) AS total FROM src"
+        )
+        df = spark.read.format("vertica").options(
+            db=vc, table="stats", numpartitions=4
+        ).load()
+        assert df.collect() == [(300, sum(range(300)))]
+
+    def test_view_join_pushdown(self, loaded):
+        vc, spark, session = loaded
+        session.execute("CREATE TABLE dims (id INTEGER, category VARCHAR(10))")
+        session.execute(
+            "INSERT INTO dims VALUES (1, 'a'), (2, 'b'), (3, 'a')"
+        )
+        session.execute(
+            "CREATE VIEW joined AS SELECT src.id, category FROM src "
+            "JOIN dims ON src.id = dims.id"
+        )
+        df = spark.read.format("vertica").options(
+            db=vc, table="joined", numpartitions=4
+        ).load()
+        assert sorted(df.collect()) == [(1, "a"), (2, "b"), (3, "a")]
+
+    def test_unsegmented_table_load(self, fabric):
+        vc, spark = fabric
+        session = vc.db.connect()
+        session.execute("CREATE TABLE u (a INTEGER, b VARCHAR(10)) UNSEGMENTED ALL NODES")
+        session.execute("INSERT INTO u VALUES " + ", ".join(f"({i}, 'x{i}')" for i in range(40)))
+        df = spark.read.format("vertica").options(
+            db=vc, table="u", numpartitions=8
+        ).load()
+        rows = df.collect()
+        assert sorted(r[0] for r in rows) == list(range(40))
+
+    def test_unsegmented_load_is_local(self, fabric):
+        vc, spark = fabric
+        session = vc.db.connect()
+        session.execute("CREATE TABLE u (a INTEGER) UNSEGMENTED ALL NODES")
+        session.execute("INSERT INTO u VALUES " + ", ".join(f"({i})" for i in range(40)))
+        spark.read.format("vertica").options(db=vc, table="u", numpartitions=8).load().collect()
+        assert vc.internal_bytes() == 0.0

@@ -1,0 +1,158 @@
+"""Tests for the HDFS substrate and the columnar file format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.avrolite import Schema
+from repro.hdfs import HdfsCluster, HdfsError, read_columnar, write_columnar
+
+NODES = [f"dn{i}" for i in range(4)]
+
+
+@pytest.fixture
+def fs():
+    return HdfsCluster(NODES, block_size=100, replication=3)
+
+
+class TestFilesystem:
+    def test_write_read_round_trip(self, fs):
+        data = bytes(range(256)) * 3
+        fs.write("/data/file1", data)
+        assert fs.read("/data/file1") == data
+
+    def test_block_splitting(self, fs):
+        fs.write("/f", b"x" * 250)
+        blocks = fs.block_locations("/f")
+        assert [b.size for b in blocks] == [100, 100, 50]
+        assert fs.total_blocks("/f") == 3
+        assert fs.file_size("/f") == 250
+
+    def test_empty_file_has_one_block(self, fs):
+        fs.write("/empty", b"")
+        assert fs.total_blocks("/empty") == 1
+        assert fs.read("/empty") == b""
+
+    def test_replication_factor(self, fs):
+        fs.write("/f", b"x" * 50)
+        block = fs.block_locations("/f")[0]
+        assert len(block.replicas) == 3
+        assert len(set(block.replicas)) == 3
+
+    def test_replication_capped_by_cluster_size(self):
+        fs = HdfsCluster(["a", "b"], replication=3)
+        fs.write("/f", b"x")
+        assert len(fs.block_locations("/f")[0].replicas) == 2
+
+    def test_read_block_from_each_replica(self, fs):
+        fs.write("/f", b"y" * 120)
+        for block in fs.block_locations("/f"):
+            payloads = {fs.read_block(block, node) for node in block.replicas}
+            assert len(payloads) == 1
+
+    def test_read_block_from_non_replica_fails(self, fs):
+        fs.write("/f", b"z")
+        block = fs.block_locations("/f")[0]
+        outsiders = [n for n in NODES if n not in block.replicas]
+        if outsiders:
+            with pytest.raises(HdfsError):
+                fs.read_block(block, outsiders[0])
+
+    def test_no_overwrite_by_default(self, fs):
+        fs.write("/f", b"1")
+        with pytest.raises(HdfsError):
+            fs.write("/f", b"2")
+        fs.write("/f", b"2", overwrite=True)
+        assert fs.read("/f") == b"2"
+
+    def test_delete_frees_blocks(self, fs):
+        fs.write("/f", b"x" * 300)
+        ids = [b.block_id for b in fs.block_locations("/f")]
+        fs.delete("/f")
+        assert not fs.exists("/f")
+        for store in fs._stores.values():
+            for block_id in ids:
+                assert block_id not in store
+
+    def test_list_prefix(self, fs):
+        fs.write("/a/1", b"x")
+        fs.write("/a/2", b"x")
+        fs.write("/b/1", b"x")
+        assert fs.list("/a/") == ["/a/1", "/a/2"]
+
+    def test_missing_file_errors(self, fs):
+        with pytest.raises(HdfsError):
+            fs.read("/nope")
+        with pytest.raises(HdfsError):
+            fs.delete("/nope")
+
+    def test_invalid_config(self):
+        with pytest.raises(HdfsError):
+            HdfsCluster([])
+        with pytest.raises(HdfsError):
+            HdfsCluster(["a"], block_size=0)
+
+    @given(st.binary(max_size=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trip(self, data):
+        fs = HdfsCluster(NODES, block_size=64)
+        fs.write("/f", data)
+        assert fs.read("/f") == data
+
+
+ROW_SCHEMA = Schema.record(
+    "row",
+    [
+        ("id", Schema.primitive("long")),
+        ("score", Schema.primitive("double", nullable=True)),
+        ("label", Schema.primitive("string", nullable=True)),
+    ],
+)
+
+
+class TestColumnar:
+    def test_round_trip(self):
+        rows = [(i, float(i) / 3, f"row{i}" if i % 3 else None) for i in range(500)]
+        data = write_columnar(ROW_SCHEMA, rows)
+        schema, decoded = read_columnar(data)
+        assert schema == ROW_SCHEMA
+        assert decoded == rows
+
+    def test_empty(self):
+        data = write_columnar(ROW_SCHEMA, [])
+        __, rows = read_columnar(data)
+        assert rows == []
+
+    def test_bad_magic(self):
+        from repro.avrolite import SchemaError
+
+        with pytest.raises(SchemaError):
+            read_columnar(b"XXXX" + b"\x00" * 10)
+
+    def test_requires_record_schema(self):
+        from repro.avrolite import SchemaError
+
+        with pytest.raises(SchemaError):
+            write_columnar(Schema.primitive("long"), [])
+
+    def test_columnar_compresses_repetitive_data(self):
+        rows = [(i, 1.0, "constant") for i in range(5000)]
+        data = write_columnar(ROW_SCHEMA, rows)
+        raw_estimate = 5000 * (8 + 8 + 8)
+        assert len(data) < raw_estimate / 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-(2**40), max_value=2**40),
+                st.one_of(st.none(), st.floats(allow_nan=False, allow_infinity=False)),
+                st.one_of(st.none(), st.text(max_size=20)),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trip(self, rows):
+        data = write_columnar(ROW_SCHEMA, rows)
+        __, decoded = read_columnar(data)
+        assert decoded == rows

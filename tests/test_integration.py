@@ -1,0 +1,200 @@
+"""Cross-module integration tests: the whole fabric, end to end."""
+
+import pytest
+
+import repro.baselines  # noqa: F401 - registers jdbc/hdfs sources
+from repro.baselines.hdfs_source import SimHdfsCluster
+from repro.connector import (
+    SimVerticaCluster,
+    deploy_pmml_model,
+    install_pmml_udx,
+)
+from repro.connector.defaultsource import DefaultSource
+from repro.sim import Environment
+from repro.spark import (
+    GreaterThan,
+    SparkSession,
+    StructField,
+    StructType,
+)
+from repro.spark.mllib import LabeledPoint, train_linear_regression
+
+
+@pytest.fixture
+def fabric():
+    env = Environment()
+    vertica = SimVerticaCluster(env=env, num_nodes=4)
+    spark = SparkSession(env=env, cluster=vertica.sim_cluster, num_workers=8)
+    return vertica, spark
+
+
+SCHEMA = StructType(
+    [
+        StructField("id", "long"),
+        StructField("score", "double"),
+        StructField("tag", "string"),
+    ]
+)
+
+
+def make_rows(n):
+    return [(i, i * 0.25, f"tag{i % 7}") for i in range(n)]
+
+
+class TestRoundTrips:
+    def test_s2v_then_v2s_is_identity(self, fabric):
+        vertica, spark = fabric
+        rows = make_rows(500)
+        df = spark.create_dataframe(rows, SCHEMA, num_partitions=8)
+        df.write.format("vertica").options(
+            db=vertica, table="t", numpartitions=16
+        ).mode("overwrite").save()
+        back = spark.read.format("vertica").options(
+            db=vertica, table="t", numpartitions=16
+        ).load()
+        assert sorted(back.collect()) == sorted(rows)
+
+    def test_repeated_round_trips_preserve_data(self, fabric):
+        vertica, spark = fabric
+        rows = make_rows(120)
+        current = rows
+        for round_number in range(3):
+            df = spark.create_dataframe(current, SCHEMA, num_partitions=4)
+            df.write.format("vertica").options(
+                db=vertica, table=f"round{round_number}", numpartitions=8
+            ).mode("overwrite").save()
+            current = sorted(
+                spark.read.format("vertica").options(
+                    db=vertica, table=f"round{round_number}", numpartitions=8
+                ).load().collect()
+            )
+        assert current == sorted(rows)
+
+    def test_hdfs_to_spark_to_vertica_etl(self, fabric):
+        vertica, spark = fabric
+        hdfs = SimHdfsCluster(vertica.env, vertica.sim_cluster, num_nodes=4,
+                              block_size=8192)
+        raw = spark.create_dataframe(make_rows(300), SCHEMA, num_partitions=4)
+        raw.write.format("hdfs").options(fs=hdfs, path="/in").save()
+        landed = spark.read.format("hdfs").options(fs=hdfs, path="/in").load()
+        transformed_rows = [
+            (i, s * 2, t.upper()) for i, s, t in landed.collect() if i % 2 == 0
+        ]
+        out = spark.create_dataframe(transformed_rows, SCHEMA, num_partitions=4)
+        out.write.format("vertica").options(
+            db=vertica, table="etl", numpartitions=8
+        ).mode("overwrite").save()
+        session = vertica.db.connect()
+        assert session.scalar("SELECT COUNT(*) FROM etl") == 150
+        assert session.scalar("SELECT MAX(tag) FROM etl") == "TAG6"
+
+    def test_vertica_to_spark_train_deploy_score(self, fabric):
+        vertica, spark = fabric
+        session = vertica.db.connect()
+        session.execute("CREATE TABLE obs (x FLOAT, y FLOAT)")
+        values = ", ".join(f"({i / 10}, {3.0 + 2.0 * i / 10})" for i in range(80))
+        session.execute(f"INSERT INTO obs VALUES {values}")
+        df = spark.read.format("vertica").options(
+            db=vertica, table="obs", numpartitions=4
+        ).load()
+        points = [LabeledPoint(y, [x]) for x, y in df.collect()]
+        model = train_linear_regression(points, names=["x"])
+        assert model.intercept == pytest.approx(3.0, abs=1e-6)
+        deploy_pmml_model(vertica.db, "line", model.to_pmml("line"))
+        install_pmml_udx(vertica.db)
+        result = session.execute(
+            "SELECT x, PMMLPredict(x USING PARAMETERS model_name='line') "
+            "FROM obs ORDER BY x LIMIT 3"
+        )
+        for x, prediction in result.rows:
+            assert prediction == pytest.approx(3.0 + 2.0 * x, abs=1e-6)
+
+
+class TestConsistencyAcrossSystems:
+    def test_pushdown_equals_spark_side_filter(self, fabric):
+        vertica, spark = fabric
+        rows = make_rows(400)
+        df = spark.create_dataframe(rows, SCHEMA, num_partitions=8)
+        df.write.format("vertica").options(
+            db=vertica, table="t", numpartitions=8
+        ).mode("overwrite").save()
+        loaded = spark.read.format("vertica").options(
+            db=vertica, table="t", numpartitions=8
+        ).load()
+        pushed = sorted(loaded.filter(GreaterThan("SCORE", 50.0)).collect())
+        local = sorted(r for r in rows if r[1] > 50.0)
+        assert pushed == local
+
+    def test_count_pushdown_equals_collect_length(self, fabric):
+        vertica, spark = fabric
+        df = spark.create_dataframe(make_rows(333), SCHEMA, num_partitions=8)
+        df.write.format("vertica").options(
+            db=vertica, table="t", numpartitions=8
+        ).mode("overwrite").save()
+        loaded = spark.read.format("vertica").options(
+            db=vertica, table="t", numpartitions=8
+        ).load()
+        assert loaded.count() == len(loaded.collect()) == 333
+
+    def test_sql_aggregate_matches_spark_aggregate(self, fabric):
+        vertica, spark = fabric
+        rows = make_rows(250)
+        df = spark.create_dataframe(rows, SCHEMA, num_partitions=8)
+        df.write.format("vertica").options(
+            db=vertica, table="t", numpartitions=8
+        ).mode("overwrite").save()
+        session = vertica.db.connect()
+        sql_sum = session.scalar("SELECT SUM(score) FROM t")
+        spark_sum = sum(r[1] for r in rows)
+        assert sql_sum == pytest.approx(spark_sum)
+
+    def test_epoch_snapshot_isolated_from_etl(self, fabric):
+        """A long-running analytical load sees none of a concurrent ETL."""
+        vertica, spark = fabric
+        df = spark.create_dataframe(make_rows(100), SCHEMA, num_partitions=4)
+        df.write.format("vertica").options(
+            db=vertica, table="t", numpartitions=4
+        ).mode("overwrite").save()
+        from repro.connector.v2s import VerticaRelation
+
+        relation = VerticaRelation(spark, {"db": vertica, "table": "t",
+                                           "numpartitions": 4})
+        scan = relation.build_scan()  # epoch pinned now
+        # Concurrent ETL appends while the "job" is queued.
+        more = spark.create_dataframe(make_rows(50), SCHEMA, num_partitions=2)
+        more.write.format("vertica").options(
+            db=vertica, table="t", numpartitions=4
+        ).mode("append").save()
+        assert len(scan.collect()) == 100
+        fresh = spark.read.format("vertica").options(
+            db=vertica, table="t", numpartitions=4
+        ).load()
+        assert fresh.count() == 150
+
+
+class TestJobRecords:
+    def test_every_save_appends_to_final_status(self, fabric):
+        vertica, spark = fabric
+        for i in range(3):
+            df = spark.create_dataframe(make_rows(10), SCHEMA, num_partitions=2)
+            df.write.format("vertica").options(
+                db=vertica, table=f"t{i}", numpartitions=4
+            ).mode("overwrite").save()
+        session = vertica.db.connect()
+        rows = session.execute(
+            "SELECT status FROM S2V_JOB_STATUS"
+        ).rows
+        assert len(rows) == 3
+        assert all(r[0] == "SUCCESS" for r in rows)
+
+    def test_save_result_statistics(self, fabric):
+        vertica, spark = fabric
+        df = spark.create_dataframe(make_rows(77), SCHEMA, num_partitions=4)
+        df.write.format("vertica").options(
+            db=vertica, table="t", numpartitions=4
+        ).mode("overwrite").save()
+        result = DefaultSource.last_save_result
+        assert result.rows_loaded == 77
+        assert result.rows_rejected == 0
+        assert result.failed_percent == 0.0
+        assert result.status == "SUCCESS"

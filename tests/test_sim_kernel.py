@@ -1,0 +1,283 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_clock_starts_at_zero(env):
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock(env):
+    def proc():
+        yield env.timeout(5.0)
+        return env.now
+
+    assert env.run(env.process(proc())) == 5.0
+    assert env.now == 5.0
+
+
+def test_timeout_carries_value(env):
+    def proc():
+        value = yield env.timeout(1.0, value="payload")
+        return value
+
+    assert env.run(env.process(proc())) == "payload"
+
+
+def test_negative_timeout_rejected(env):
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate(env):
+    def proc():
+        yield env.timeout(1.0)
+        yield env.timeout(2.5)
+        return env.now
+
+    assert env.run(env.process(proc())) == 3.5
+
+
+def test_processes_interleave_by_time(env):
+    order = []
+
+    def slow():
+        yield env.timeout(10)
+        order.append("slow")
+
+    def fast():
+        yield env.timeout(1)
+        order.append("fast")
+
+    env.process(slow())
+    env.process(fast())
+    env.run()
+    assert order == ["fast", "slow"]
+
+
+def test_process_return_value(env):
+    def child():
+        yield env.timeout(2)
+        return 42
+
+    def parent():
+        result = yield env.process(child())
+        return result + 1
+
+    assert env.run(env.process(parent())) == 43
+
+
+def test_process_exception_propagates_to_waiter(env):
+    class Boom(Exception):
+        pass
+
+    def child():
+        yield env.timeout(1)
+        raise Boom("bang")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except Boom:
+            return "caught"
+        return "missed"
+
+    assert env.run(env.process(parent())) == "caught"
+
+
+def test_unhandled_process_failure_raises_from_run(env):
+    class Boom(Exception):
+        pass
+
+    def child():
+        yield env.timeout(1)
+        raise Boom("bang")
+
+    env.process(child())
+    with pytest.raises(Boom):
+        env.run()
+
+
+def test_awaiting_failed_process_from_run(env):
+    class Boom(Exception):
+        pass
+
+    def child():
+        yield env.timeout(1)
+        raise Boom
+
+    proc = env.process(child())
+    with pytest.raises(Boom):
+        env.run(proc)
+
+
+def test_run_until_time(env):
+    ticks = []
+
+    def ticker():
+        while True:
+            yield env.timeout(1)
+            ticks.append(env.now)
+
+    env.process(ticker())
+    env.run(until=5)
+    assert ticks == [1, 2, 3, 4, 5]
+    assert env.now == 5
+
+
+def test_run_until_event_returns_its_value(env):
+    gate = env.event()
+
+    def opener():
+        yield env.timeout(3)
+        gate.succeed("open")
+
+    env.process(opener())
+    assert env.run(gate) == "open"
+    assert env.now == 3
+
+
+def test_event_double_trigger_rejected(env):
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_value_before_trigger_rejected(env):
+    event = env.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_interrupt_delivers_cause(env):
+    caught = {}
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as exc:
+            caught["cause"] = exc.cause
+            caught["time"] = env.now
+
+    def killer(proc):
+        yield env.timeout(7)
+        proc.interrupt("too slow")
+
+    proc = env.process(victim())
+    env.process(killer(proc))
+    env.run()
+    assert caught == {"cause": "too slow", "time": 7}
+
+
+def test_interrupt_finished_process_is_noop(env):
+    def quick():
+        yield env.timeout(1)
+
+    def killer(proc):
+        yield env.timeout(5)
+        proc.interrupt("late")  # must not raise
+
+    proc = env.process(quick())
+    env.process(killer(proc))
+    env.run()
+    assert not proc.is_alive
+
+
+def test_interrupted_process_can_continue(env):
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        yield env.timeout(5)
+        log.append(("done", env.now))
+
+    def killer(proc):
+        yield env.timeout(10)
+        proc.interrupt()
+
+    proc = env.process(victim())
+    env.process(killer(proc))
+    env.run()
+    assert log == [("interrupted", 10), ("done", 15)]
+
+
+def test_all_of_waits_for_every_event(env):
+    def proc():
+        results = yield env.all_of([env.timeout(3, "a"), env.timeout(1, "b")])
+        return (env.now, sorted(results))
+
+    assert env.run(env.process(proc())) == (3, ["a", "b"])
+
+
+def test_any_of_fires_on_first(env):
+    def proc():
+        results = yield env.any_of([env.timeout(3, "slow"), env.timeout(1, "fast")])
+        return (env.now, results)
+
+    now, results = env.run(env.process(proc()))
+    assert now == 1
+    assert results == ["fast"]
+
+
+def test_all_of_with_already_triggered_events(env):
+    def proc():
+        t = env.timeout(0, "x")
+        yield env.timeout(1)
+        results = yield env.all_of([t])
+        return results
+
+    assert env.run(env.process(proc())) == ["x"]
+
+
+def test_yielding_non_event_fails_the_process(env):
+    def bad():
+        yield 42
+
+    proc = env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run(proc)
+
+
+def test_deterministic_fifo_order_at_same_time(env):
+    order = []
+
+    def make(name):
+        def proc():
+            yield env.timeout(1)
+            order.append(name)
+
+        return proc
+
+    for name in "abcde":
+        env.process(make(name)())
+    env.run()
+    assert order == list("abcde")
+
+
+def test_cannot_run_backwards(env):
+    env.process(iter_timeout(env, 10))
+    env.run(until=10)
+    with pytest.raises(SimulationError):
+        env.run(until=5)
+
+
+def iter_timeout(env, delay):
+    yield env.timeout(delay)
+
+
+def test_run_until_event_that_never_fires_raises(env):
+    gate = env.event()
+    env.process(iter_timeout(env, 1))
+    with pytest.raises(SimulationError):
+        env.run(gate)

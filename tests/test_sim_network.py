@@ -1,0 +1,230 @@
+"""Unit tests for the fair-share flow network and cluster topology."""
+
+import pytest
+
+from repro.sim import Environment, Link, Network, SimCluster, SimulationError
+from repro.sim.cluster import make_nodes
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def net(env):
+    return Network(env)
+
+
+def run_transfers(env, net, specs):
+    """specs: list of (start_time, route, nbytes, cap). Returns finish times."""
+    finishes = {}
+
+    def one(i, start, route, nbytes, cap):
+        if start:
+            yield env.timeout(start)
+        yield net.transfer(route, nbytes, cap=cap, name=f"f{i}")
+        finishes[i] = env.now
+
+    for i, (start, route, nbytes, cap) in enumerate(specs):
+        env.process(one(i, start, route, nbytes, cap))
+    env.run()
+    return finishes
+
+
+def test_single_flow_runs_at_link_capacity(env, net):
+    link = Link(env, "l", 100.0)
+    finishes = run_transfers(env, net, [(0, [link], 1000.0, None)])
+    assert finishes[0] == pytest.approx(10.0)
+
+
+def test_two_flows_share_fairly(env, net):
+    link = Link(env, "l", 100.0)
+    finishes = run_transfers(
+        env, net, [(0, [link], 1000.0, None), (0, [link], 1000.0, None)]
+    )
+    # Each gets 50 B/s for the whole transfer.
+    assert finishes[0] == pytest.approx(20.0)
+    assert finishes[1] == pytest.approx(20.0)
+
+
+def test_short_flow_releases_bandwidth_to_long_flow(env, net):
+    link = Link(env, "l", 100.0)
+    finishes = run_transfers(
+        env, net, [(0, [link], 500.0, None), (0, [link], 1500.0, None)]
+    )
+    # Both at 50 B/s; short finishes at t=10 having moved 500.
+    # Long has 1000 left, then runs at 100 B/s: finishes at t=20.
+    assert finishes[0] == pytest.approx(10.0)
+    assert finishes[1] == pytest.approx(20.0)
+
+
+def test_flow_cap_limits_rate(env, net):
+    link = Link(env, "l", 100.0)
+    finishes = run_transfers(env, net, [(0, [link], 100.0, 10.0)])
+    assert finishes[0] == pytest.approx(10.0)
+
+
+def test_capped_flow_leaves_bandwidth_for_others(env, net):
+    link = Link(env, "l", 100.0)
+    finishes = run_transfers(
+        env,
+        net,
+        [(0, [link], 100.0, 10.0), (0, [link], 900.0, None)],
+    )
+    # Capped flow: 10 B/s → done at 10. Other flow gets 90 B/s while the
+    # capped one is active, then 100 B/s.
+    assert finishes[0] == pytest.approx(10.0)
+    assert finishes[1] == pytest.approx(10.0)  # 900/90 = 10
+
+
+def test_multi_link_route_bottleneck(env, net):
+    fast = Link(env, "fast", 100.0)
+    slow = Link(env, "slow", 25.0)
+    finishes = run_transfers(env, net, [(0, [fast, slow], 100.0, None)])
+    assert finishes[0] == pytest.approx(4.0)
+
+
+def test_late_arrival_slows_existing_flow(env, net):
+    link = Link(env, "l", 100.0)
+    finishes = run_transfers(
+        env,
+        net,
+        [(0, [link], 1000.0, None), (5, [link], 250.0, None)],
+    )
+    # First 5 s: flow0 alone at 100 → 500 done. Then both at 50.
+    # flow1: 250/50 = 5 s → finishes at 10. flow0: 250 more in that window,
+    # 250 left at t=10, then 100 B/s → finishes 12.5.
+    assert finishes[1] == pytest.approx(10.0)
+    assert finishes[0] == pytest.approx(12.5)
+
+
+def test_zero_byte_transfer_completes_instantly(env, net):
+    link = Link(env, "l", 100.0)
+    event = net.transfer([link], 0.0)
+    assert event.triggered
+
+
+def test_empty_route_transfer_is_free(env, net):
+    event = net.transfer([], 12345.0)
+    assert event.triggered
+
+
+def test_negative_bytes_rejected(env, net):
+    link = Link(env, "l", 100.0)
+    with pytest.raises(SimulationError):
+        net.transfer([link], -1.0)
+
+
+def test_invalid_cap_rejected(env, net):
+    link = Link(env, "l", 100.0)
+    with pytest.raises(SimulationError):
+        net.transfer([link], 10.0, cap=0.0)
+
+
+def test_link_byte_accounting(env, net):
+    link = Link(env, "l", 100.0)
+    run_transfers(env, net, [(0, [link], 300.0, None), (0, [link], 700.0, None)])
+    assert link.bytes_total == pytest.approx(1000.0)
+
+
+def test_link_rate_log_records_saturation(env, net):
+    link = Link(env, "l", 100.0)
+    run_transfers(env, net, [(0, [link], 1000.0, None)])
+    rates = dict(link.rate_log)
+    assert rates[0.0] == pytest.approx(100.0)
+    assert link.rate_log[-1][1] == 0.0
+
+
+def test_many_flows_aggregate_to_capacity(env, net):
+    link = Link(env, "l", 100.0)
+    n = 20
+    finishes = run_transfers(env, net, [(0, [link], 100.0, None)] * n)
+    # 20 flows × 100 B over a 100 B/s link = 20 s for all.
+    for i in range(n):
+        assert finishes[i] == pytest.approx(20.0)
+
+
+class TestCluster:
+    def test_local_transfer_is_free(self, env):
+        cluster = SimCluster(env)
+        node = cluster.add_node("n0")
+        event = cluster.transfer(node, node, 1e9)
+        assert event.triggered
+
+    def test_remote_transfer_uses_both_nics(self, env):
+        cluster = SimCluster(env)
+        a = cluster.add_node("a", nics={"default": 100.0})
+        b = cluster.add_node("b", nics={"default": 100.0})
+
+        def proc():
+            yield cluster.transfer(a, b, 1000.0)
+            return env.now
+
+        assert env.run(env.process(proc())) == pytest.approx(10.0)
+        assert a.nic().bytes_sent == pytest.approx(1000.0)
+        assert b.nic().bytes_received == pytest.approx(1000.0)
+
+    def test_separate_networks_do_not_contend(self, env):
+        # Paper setup: Vertica-internal traffic on one NIC, Spark traffic on
+        # the other. Flows on different NICs must not share capacity.
+        cluster = SimCluster(env)
+        a = cluster.add_node("a", nics={"internal": 100.0, "external": 100.0})
+        b = cluster.add_node("b", nics={"internal": 100.0, "external": 100.0})
+        finishes = {}
+
+        def via(nic):
+            def proc():
+                yield cluster.transfer(a, b, 1000.0, nic=nic)
+                finishes[nic] = env.now
+
+            return proc
+
+        env.process(via("internal")())
+        env.process(via("external")())
+        env.run()
+        assert finishes["internal"] == pytest.approx(10.0)
+        assert finishes["external"] == pytest.approx(10.0)
+
+    def test_unknown_nic_raises(self, env):
+        cluster = SimCluster(env)
+        node = cluster.add_node("n0")
+        with pytest.raises(SimulationError):
+            node.nic("bogus")
+
+    def test_duplicate_node_rejected(self, env):
+        cluster = SimCluster(env)
+        cluster.add_node("n0")
+        with pytest.raises(SimulationError):
+            cluster.add_node("n0")
+
+    def test_make_nodes_names(self, env):
+        cluster = SimCluster(env)
+        nodes = make_nodes(cluster, "v", 4)
+        assert [n.name for n in nodes] == ["v0", "v1", "v2", "v3"]
+
+    def test_compute_occupies_core(self, env):
+        cluster = SimCluster(env)
+        node = cluster.add_node("n0", cores=1)
+        order = []
+
+        def job(name):
+            yield from node.compute(5.0)
+            order.append((name, env.now))
+
+        env.process(job("first"))
+        env.process(job("second"))
+        env.run()
+        assert order == [("first", 5.0), ("second", 10.0)]
+
+    def test_zero_compute_is_free(self, env):
+        cluster = SimCluster(env)
+        node = cluster.add_node("n0", cores=1)
+
+        def job():
+            yield from node.compute(0.0)
+            yield env.timeout(0)
+            return env.now
+
+        assert env.run(env.process(job())) == 0.0
+        assert node.cores.in_use == 0

@@ -1,0 +1,71 @@
+"""Unit tests for utilisation tracing."""
+
+import pytest
+
+from repro.sim import UsageTrace, bucket_series
+
+
+def test_constant_log_averages_to_value():
+    log = [(0.0, 10.0)]
+    assert bucket_series(log, 0, 4, 1) == [10.0, 10.0, 10.0, 10.0]
+
+
+def test_step_change_splits_buckets():
+    log = [(0.0, 0.0), (2.0, 100.0)]
+    assert bucket_series(log, 0, 4, 2) == [0.0, 100.0]
+
+
+def test_change_mid_bucket_is_time_weighted():
+    log = [(0.0, 0.0), (1.0, 100.0)]
+    assert bucket_series(log, 0, 2, 2) == [50.0]
+
+
+def test_value_before_window_carries_in():
+    log = [(0.0, 42.0)]
+    assert bucket_series(log, 10, 12, 1) == [42.0, 42.0]
+
+
+def test_empty_log_is_zero():
+    assert bucket_series([], 0, 3, 1) == [0.0, 0.0, 0.0]
+
+
+def test_empty_window():
+    assert bucket_series([(0.0, 1.0)], 5, 5, 1) == []
+
+
+def test_invalid_step_rejected():
+    with pytest.raises(ValueError):
+        bucket_series([], 0, 1, 0)
+
+
+def test_multiple_changes_within_bucket():
+    log = [(0.0, 0.0), (0.25, 40.0), (0.75, 80.0)]
+    # 0.25*0 + 0.5*40 + 0.25*80 = 40
+    assert bucket_series(log, 0, 1, 1) == [pytest.approx(40.0)]
+
+
+class TestUsageTrace:
+    def test_from_log_and_stats(self):
+        trace = UsageTrace.from_log("cpu", [(0.0, 0.0), (5.0, 100.0)], 0, 10, 1)
+        assert len(trace.values) == 10
+        assert trace.peak == 100.0
+        assert trace.mean == pytest.approx(50.0)
+
+    def test_steady_state_skips_rampup(self):
+        values = [0, 0, 0, 100, 100, 100, 100, 100]
+        trace = UsageTrace("net", list(range(8)), values)
+        assert trace.steady_state(skip_fraction=0.5) == 100.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            UsageTrace("x", [0, 1], [1.0])
+
+    def test_sparkline_shape(self):
+        trace = UsageTrace("x", list(range(4)), [0.0, 50.0, 100.0, 0.0])
+        line = trace.sparkline(width=4)
+        assert len(line) == 4
+        assert line[0] == " "
+        assert line[2] == "@"
+
+    def test_sparkline_empty(self):
+        assert UsageTrace("x", [], []).sparkline() == ""

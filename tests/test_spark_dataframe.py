@@ -1,0 +1,307 @@
+"""Tests for DataFrames, the External Data Source API, and MLlib."""
+
+import pytest
+
+from repro.spark import (
+    BaseRelation,
+    EqualTo,
+    GreaterThan,
+    In,
+    IsNotNull,
+    LessThan,
+    SparkSession,
+    StructField,
+    StructType,
+    register_source,
+)
+from repro.spark.datasource import apply_filters, filters_to_sql
+from repro.spark.errors import AnalysisError
+
+SCHEMA = StructType(
+    [
+        StructField("id", "long"),
+        StructField("score", "double"),
+        StructField("label", "string"),
+    ]
+)
+
+ROWS = [
+    (1, 0.5, "a"),
+    (2, 1.5, "b"),
+    (3, 2.5, None),
+    (4, 3.5, "d"),
+]
+
+
+@pytest.fixture
+def spark():
+    return SparkSession(num_workers=2, cores_per_worker=2)
+
+
+@pytest.fixture
+def df(spark):
+    return spark.create_dataframe(ROWS, SCHEMA, num_partitions=2)
+
+
+class TestDataFrameBasics:
+    def test_collect(self, df):
+        assert df.collect() == ROWS
+
+    def test_columns(self, df):
+        assert df.columns == ["id", "score", "label"]
+
+    def test_count(self, df):
+        assert df.count() == 4
+
+    def test_select(self, df):
+        out = df.select("label", "id")
+        assert out.columns == ["label", "id"]
+        assert out.collect() == [(r[2], r[0]) for r in ROWS]
+
+    def test_select_unknown_column(self, df):
+        with pytest.raises(AnalysisError):
+            df.select("nope")
+
+    def test_filter_with_pushdown_filter_object(self, df):
+        out = df.filter(GreaterThan("score", 1.0))
+        assert out.collect() == ROWS[1:]
+
+    def test_filter_with_callable(self, df):
+        out = df.filter(lambda row: row[0] % 2 == 0)
+        assert out.collect() == [ROWS[1], ROWS[3]]
+
+    def test_schema_arity_check(self, spark):
+        with pytest.raises(Exception):
+            spark.create_dataframe([(1,)], SCHEMA)
+
+    def test_take_and_show(self, df):
+        assert df.take(2) == ROWS[:2]
+        text = df.show(2)
+        assert "id | score | label" in text
+
+    def test_repartition(self, df):
+        out = df.repartition(4)
+        assert out.num_partitions == 4
+        assert sorted(out.collect()) == sorted(ROWS)
+
+
+class TestFilters:
+    def test_filter_semantics(self):
+        rows = [(1, None), (2, 5)]
+        schema = StructType([StructField("a", "long"), StructField("b", "long")])
+        assert apply_filters([IsNotNull("b")], schema, rows) == [(2, 5)]
+        assert apply_filters([EqualTo("a", 1)], schema, rows) == [(1, None)]
+        assert apply_filters([In("a", (2, 3))], schema, rows) == [(2, 5)]
+        assert apply_filters([LessThan("a", 2)], schema, rows) == [(1, None)]
+
+    def test_null_never_matches_comparisons(self):
+        schema = StructType([StructField("a", "long")])
+        assert apply_filters([GreaterThan("a", 0)], schema, [(None,)]) == []
+        assert apply_filters([EqualTo("a", None)], schema, [(None,)]) == []
+
+    def test_to_sql(self):
+        sql = filters_to_sql(
+            [GreaterThan("A", 5), EqualTo("B", "x'y"), IsNotNull("C")]
+        )
+        assert sql == "A > 5 AND B = 'x''y' AND C IS NOT NULL"
+
+
+class _ListRelation(BaseRelation):
+    """A toy relation recording what gets pushed down to it."""
+
+    def __init__(self, session, rows, schema):
+        self.session = session
+        self.rows = rows
+        self._schema = schema
+        self.scans = []
+        self.count_calls = []
+
+    @property
+    def schema(self):
+        return self._schema
+
+    def build_scan(self, required_columns=None, filters=()):
+        self.scans.append((tuple(required_columns or ()), tuple(filters)))
+        columns = list(required_columns) if required_columns else self._schema.names
+        indices = [self._schema.index_of(c) for c in columns]
+        rows = apply_filters(list(filters), self._schema, self.rows)
+        pruned = [tuple(r[i] for i in indices) for r in rows]
+        return self.session.parallelize(pruned, 2)
+
+    def count(self, filters=()):
+        self.count_calls.append(tuple(filters))
+        return len(apply_filters(list(filters), self._schema, self.rows))
+
+
+class _ListSource:
+    last_relation = None
+
+    def create_relation(self, session, options):
+        relation = _ListRelation(session, ROWS, SCHEMA)
+        _ListSource.last_relation = relation
+        return relation
+
+
+register_source("test.list", _ListSource)
+
+
+class TestExternalDataSource:
+    def test_load_via_format(self, spark):
+        df = spark.read.format("test.list").options(path="x").load()
+        assert df.is_relation_backed
+        assert df.collect() == ROWS
+
+    def test_filter_pushdown_reaches_source(self, spark):
+        df = spark.read.format("test.list").load()
+        out = df.filter(GreaterThan("score", 1.0)).collect()
+        relation = _ListSource.last_relation
+        assert out == ROWS[1:]
+        assert relation.scans[-1][1] == (GreaterThan("score", 1.0),)
+
+    def test_column_pruning_reaches_source(self, spark):
+        df = spark.read.format("test.list").load()
+        out = df.select("id").collect()
+        assert out == [(r[0],) for r in ROWS]
+        assert _ListSource.last_relation.scans[-1][0] == ("id",)
+
+    def test_count_pushdown(self, spark):
+        df = spark.read.format("test.list").load()
+        assert df.filter(GreaterThan("id", 2)).count() == 2
+        relation = _ListSource.last_relation
+        assert relation.count_calls == [(GreaterThan("id", 2),)]
+        assert relation.scans == []  # no scan was needed
+
+    def test_unknown_format(self, spark):
+        with pytest.raises(AnalysisError):
+            spark.read.format("no.such.source").load()
+
+    def test_reader_requires_format(self, spark):
+        with pytest.raises(AnalysisError):
+            spark.read.load()
+
+    def test_writer_rejects_bad_mode(self, df):
+        with pytest.raises(AnalysisError):
+            df.write.format("test.list").mode("sideways")
+
+
+class TestStructType:
+    def test_create_table_sql(self):
+        ddl = SCHEMA.create_table_sql("target", segmented_by=["id"])
+        assert ddl == (
+            "CREATE TABLE target (id INTEGER, score FLOAT, label VARCHAR(65000)) "
+            "SEGMENTED BY HASH(id) ALL NODES"
+        )
+
+    def test_to_avro(self):
+        avro = SCHEMA.to_avro("rec")
+        assert avro.field_names() == ["id", "score", "label"]
+        assert avro.field("id").kind == "long"
+        assert avro.field("id").nullable
+
+    def test_from_sql_types(self):
+        from repro.vertica import FLOAT, INTEGER, VARCHAR
+
+        schema = StructType.from_sql_types(
+            [("A", INTEGER), ("B", FLOAT), ("C", VARCHAR(10))]
+        )
+        assert [f.data_type for f in schema] == ["long", "double", "string"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(AnalysisError):
+            StructType([StructField("a", "long"), StructField("a", "long")])
+
+    def test_row_width(self):
+        assert SCHEMA.row_width((1, 2.0, "abc")) == 8 + 8 + 3
+
+
+class TestMllib:
+    def test_linear_regression_recovers_coefficients(self, spark):
+        from repro.spark.mllib import LabeledPoint, train_linear_regression
+
+        points = [
+            LabeledPoint(3.0 + 2.0 * x1 - 1.0 * x2, [x1, x2])
+            for x1 in range(5)
+            for x2 in range(5)
+        ]
+        model = train_linear_regression(spark.parallelize(points, 2))
+        assert model.intercept == pytest.approx(3.0, abs=1e-6)
+        assert model.weights[0] == pytest.approx(2.0, abs=1e-6)
+        assert model.weights[1] == pytest.approx(-1.0, abs=1e-6)
+        assert model.predict([10.0, 1.0]) == pytest.approx(22.0, abs=1e-5)
+
+    def test_logistic_regression_separates(self):
+        from repro.spark.mllib import LabeledPoint, train_logistic_regression
+
+        points = [LabeledPoint(1.0, [x]) for x in (2.0, 3.0, 4.0)]
+        points += [LabeledPoint(0.0, [x]) for x in (-2.0, -3.0, -4.0)]
+        model = train_logistic_regression(points, iterations=300)
+        assert model.predict([3.0]) == 1.0
+        assert model.predict([-3.0]) == 0.0
+        assert 0.4 < model.predict_probability([0.0]) < 0.6
+
+    def test_logistic_rejects_bad_labels(self):
+        from repro.spark.mllib import LabeledPoint, MllibError, train_logistic_regression
+
+        with pytest.raises(MllibError):
+            train_logistic_regression([LabeledPoint(2.0, [1.0])])
+
+    def test_kmeans_finds_clusters(self):
+        from repro.spark.mllib import train_kmeans
+
+        data = [[0.0, 0.0], [0.1, 0.1], [10.0, 10.0], [10.1, 9.9]]
+        model = train_kmeans(data, k=2)
+        assert model.predict([0.05, 0.05]) != model.predict([10.0, 10.0])
+        assert model.cost(data) < 0.1
+
+    def test_kmeans_deterministic(self):
+        from repro.spark.mllib import train_kmeans
+
+        data = [[float(i % 7), float(i % 3)] for i in range(50)]
+        a = train_kmeans(data, k=3, seed=5)
+        b = train_kmeans(data, k=3, seed=5)
+        assert (a.centers == b.centers).all()
+
+    def test_svm_separates(self):
+        from repro.spark.mllib import LabeledPoint, train_svm
+
+        points = [LabeledPoint(1.0, [x, 0.0]) for x in (2.0, 3.0, 4.0)]
+        points += [LabeledPoint(0.0, [x, 0.0]) for x in (-2.0, -3.0, -4.0)]
+        model = train_svm(points, iterations=300)
+        assert model.predict([3.0, 0.0]) == 1.0
+        assert model.predict([-3.0, 0.0]) == 0.0
+
+    def test_pmml_round_trips_match_model(self):
+        from repro.pmml import ModelEvaluator
+        from repro.spark.mllib import (
+            LabeledPoint,
+            train_kmeans,
+            train_linear_regression,
+            train_logistic_regression,
+            train_svm,
+        )
+
+        points = [
+            LabeledPoint(1.0 if x > 0 else 0.0, [float(x), float(x * x % 5)])
+            for x in range(-10, 11)
+            if x != 0
+        ]
+        vectors = [p.features for p in points]
+        linreg = train_linear_regression(points)
+        logreg = train_logistic_regression(points, iterations=100)
+        svm = train_svm(points, iterations=100)
+        kmeans = train_kmeans(vectors, k=3)
+        for model, convert in (
+            (linreg, lambda v: v),
+            (svm, lambda v: v),
+            (kmeans, lambda v: float(v)),
+        ):
+            evaluator = ModelEvaluator.from_xml(model.to_pmml())
+            for vector in vectors[:5]:
+                assert evaluator.evaluate(vector) == pytest.approx(
+                    convert(model.predict(vector))
+                )
+        evaluator = ModelEvaluator.from_xml(logreg.to_pmml())
+        for vector in vectors[:5]:
+            assert evaluator.evaluate(vector) == pytest.approx(
+                logreg.predict_probability(vector)
+            )

@@ -1,0 +1,135 @@
+"""Tests for DataFrame group_by/agg, union, and order_by."""
+
+import pytest
+
+from repro.spark import SparkSession, StructField, StructType
+from repro.spark.errors import AnalysisError
+
+SCHEMA = StructType(
+    [
+        StructField("region", "string"),
+        StructField("amount", "double"),
+        StructField("units", "long"),
+    ]
+)
+
+ROWS = [
+    ("east", 10.0, 1),
+    ("east", 20.0, 2),
+    ("west", 5.0, None),
+    ("west", None, 4),
+    ("north", 7.5, 3),
+]
+
+
+@pytest.fixture
+def spark():
+    return SparkSession(num_workers=2, cores_per_worker=2)
+
+
+@pytest.fixture
+def df(spark):
+    return spark.create_dataframe(ROWS, SCHEMA, num_partitions=2)
+
+
+class TestGroupBy:
+    def test_count_rows(self, df):
+        out = df.group_by("region").count()
+        assert sorted(out.collect()) == [("east", 2), ("north", 1), ("west", 2)]
+        assert out.columns == ["region", "count_all"]
+
+    def test_sum_and_avg(self, df):
+        out = df.group_by("region").agg(("amount", "sum"), ("amount", "avg"))
+        by_region = {r[0]: r[1:] for r in out.collect()}
+        assert by_region["east"] == (30.0, 15.0)
+        assert by_region["west"] == (5.0, 5.0)  # NULL excluded
+        assert out.columns == ["region", "sum_amount", "avg_amount"]
+
+    def test_min_max(self, df):
+        out = df.group_by("region").agg(("units", "min"), ("units", "max"))
+        by_region = {r[0]: r[1:] for r in out.collect()}
+        assert by_region["east"] == (1, 2)
+        assert by_region["west"] == (4, 4)  # NULL excluded
+
+    def test_count_column_skips_nulls(self, df):
+        out = df.group_by("region").agg(("amount", "count"))
+        by_region = dict(out.collect())
+        assert by_region == {"east": 2, "west": 1, "north": 1}
+
+    def test_all_null_group_aggregates_to_none(self, spark):
+        frame = spark.create_dataframe(
+            [("a", None, None)], SCHEMA, num_partitions=1
+        )
+        out = frame.group_by("region").agg(("amount", "sum"))
+        assert out.collect() == [("a", None)]
+
+    def test_result_is_dataframe(self, df):
+        out = df.group_by("region").count().filter(lambda r: r[1] > 1)
+        assert sorted(out.collect()) == [("east", 2), ("west", 2)]
+
+    def test_matches_vertica_sql_group_by(self, df):
+        """Spark-side group_by agrees with Vertica's SQL GROUP BY."""
+        from repro.connector import SimVerticaCluster
+        from repro.sim import Environment
+
+        env = Environment()
+        vertica = SimVerticaCluster(env=env, num_nodes=2)
+        spark = SparkSession(env=env, cluster=vertica.sim_cluster, num_workers=2)
+        frame = spark.create_dataframe(ROWS, SCHEMA, num_partitions=2)
+        frame.write.format("vertica").options(
+            db=vertica, table="sales", numpartitions=2, varchar_length=20
+        ).mode("overwrite").save()
+        session = vertica.db.connect()
+        sql = dict(
+            session.execute(
+                "SELECT region, SUM(amount) FROM sales GROUP BY region"
+            ).rows
+        )
+        spark_side = dict(
+            (r[0], r[1])
+            for r in frame.group_by("region").agg(("amount", "sum")).collect()
+        )
+        assert sql == spark_side
+
+    def test_unknown_aggregate(self, df):
+        with pytest.raises(AnalysisError):
+            df.group_by("region").agg(("amount", "median"))
+
+    def test_star_only_counts(self, df):
+        with pytest.raises(AnalysisError):
+            df.group_by("region").agg(("*", "sum"))
+
+    def test_requires_columns(self, df):
+        with pytest.raises(AnalysisError):
+            df.group_by()
+
+    def test_unknown_group_column(self, df):
+        with pytest.raises(AnalysisError):
+            df.group_by("nope")
+
+
+class TestUnionAndOrder:
+    def test_union(self, spark, df):
+        extra = spark.create_dataframe(
+            [("south", 1.0, 1)], SCHEMA, num_partitions=1
+        )
+        assert len(df.union(extra).collect()) == 6
+
+    def test_union_schema_mismatch(self, spark, df):
+        other = spark.create_dataframe(
+            [(1,)], StructType([StructField("x", "long")]), num_partitions=1
+        )
+        with pytest.raises(AnalysisError):
+            df.union(other)
+
+    def test_order_by(self, df):
+        out = df.order_by("region", "units")
+        regions = [r[0] for r in out.collect()]
+        assert regions == sorted(regions)
+
+    def test_order_by_descending(self, df):
+        out = df.order_by("amount", descending=True)
+        amounts = [r[1] for r in out.collect()]
+        assert amounts[0] is None or amounts[0] == max(
+            a for a in amounts if a is not None
+        )

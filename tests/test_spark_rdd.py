@@ -1,0 +1,118 @@
+"""Tests for RDDs and the SparkSession basics."""
+
+import pytest
+
+from repro.spark import SparkSession
+from repro.spark.errors import SparkError
+
+
+@pytest.fixture
+def spark():
+    return SparkSession(num_workers=2, cores_per_worker=4)
+
+
+class TestParallelize:
+    def test_collect_round_trip(self, spark):
+        rdd = spark.parallelize(list(range(100)), 8)
+        assert rdd.collect() == list(range(100))
+        assert rdd.num_partitions == 8
+
+    def test_partition_slices_cover_data(self, spark):
+        rdd = spark.parallelize(list(range(10)), 3)
+        parts = rdd.collect_partitions()
+        assert len(parts) == 3
+        assert [r for part in parts for r in part] == list(range(10))
+
+    def test_empty_partitions_allowed(self, spark):
+        rdd = spark.parallelize([1], 4)
+        assert rdd.collect() == [1]
+
+    def test_default_parallelism(self, spark):
+        rdd = spark.parallelize(list(range(100)))
+        assert rdd.num_partitions == spark.default_parallelism
+
+
+class TestTransformations:
+    def test_map(self, spark):
+        assert spark.parallelize([1, 2, 3], 2).map(lambda x: x * 2).collect() == [2, 4, 6]
+
+    def test_filter(self, spark):
+        rdd = spark.parallelize(range(10), 3).filter(lambda x: x % 2 == 0)
+        assert rdd.collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, spark):
+        rdd = spark.parallelize([1, 2], 1).flat_map(lambda x: [x] * x)
+        assert rdd.collect() == [1, 2, 2]
+
+    def test_map_partitions_with_index(self, spark):
+        rdd = spark.parallelize(range(4), 2).map_partitions_with_index(
+            lambda i, rows: [(i, len(rows))]
+        )
+        assert rdd.collect() == [(0, 2), (1, 2)]
+
+    def test_chained_lineage(self, spark):
+        rdd = (
+            spark.parallelize(range(20), 4)
+            .map(lambda x: x + 1)
+            .filter(lambda x: x % 2 == 0)
+            .map(lambda x: x * 10)
+        )
+        assert rdd.collect() == [x * 10 for x in range(1, 21) if x % 2 == 0]
+
+    def test_union(self, spark):
+        a = spark.parallelize([1, 2], 2)
+        b = spark.parallelize([3], 1)
+        union = a.union(b)
+        assert union.num_partitions == 3
+        assert union.collect() == [1, 2, 3]
+
+    def test_immutability(self, spark):
+        base = spark.parallelize([1, 2, 3], 1)
+        doubled = base.map(lambda x: x * 2)
+        assert base.collect() == [1, 2, 3]
+        assert doubled.collect() == [2, 4, 6]
+
+
+class TestRepartitioning:
+    def test_coalesce_reduces_without_losing_rows(self, spark):
+        rdd = spark.parallelize(range(100), 10).coalesce(3)
+        assert rdd.num_partitions == 3
+        assert sorted(rdd.collect()) == list(range(100))
+
+    def test_coalesce_to_more_is_noop(self, spark):
+        rdd = spark.parallelize(range(10), 2)
+        assert rdd.coalesce(5) is rdd
+
+    def test_repartition_up(self, spark):
+        rdd = spark.parallelize(range(10), 2).repartition(5)
+        assert rdd.num_partitions == 5
+        assert sorted(rdd.collect()) == list(range(10))
+
+    def test_partition_by_key(self, spark):
+        rdd = spark.parallelize(range(20), 2).partition_by(4, key_fn=lambda x: x)
+        parts = rdd.collect_partitions()
+        for index, part in enumerate(parts):
+            assert all(x % 4 == index for x in part)
+
+    def test_invalid_partitions(self, spark):
+        with pytest.raises(SparkError):
+            spark.parallelize([1], 0)
+
+
+class TestActions:
+    def test_count(self, spark):
+        assert spark.parallelize(range(57), 5).count() == 57
+
+    def test_take(self, spark):
+        assert spark.parallelize(range(100), 10).take(5) == [0, 1, 2, 3, 4]
+
+    def test_reduce(self, spark):
+        assert spark.parallelize(range(10), 3).reduce(lambda a, b: a + b) == 45
+
+    def test_reduce_empty(self, spark):
+        with pytest.raises(SparkError):
+            spark.parallelize([], 1).reduce(lambda a, b: a + b)
+
+    def test_actions_are_repeatable(self, spark):
+        rdd = spark.parallelize(range(10), 2).map(lambda x: x + 1)
+        assert rdd.collect() == rdd.collect()

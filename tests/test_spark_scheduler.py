@@ -1,0 +1,270 @@
+"""Tests for the task scheduler: retries, speculation, cancellation."""
+
+import pytest
+
+from repro.sim import Environment, SimCluster
+from repro.spark import JobFailedError, SparkSession
+from repro.spark.faults import (
+    FailOncePerTaskPolicy,
+    FailureRatePolicy,
+    InjectedFailure,
+    ProbeFailurePolicy,
+)
+from repro.spark.scheduler import Executor, TaskScheduler
+
+
+def make_scheduler(cores=2, workers=2, **kwargs):
+    env = Environment()
+    cluster = SimCluster(env)
+    executors = [
+        Executor(env, cluster.add_node(f"w{i}", cores=cores), cores)
+        for i in range(workers)
+    ]
+    return env, TaskScheduler(env, executors, **kwargs)
+
+
+def simple_task(value, duration=1.0):
+    def thunk(ctx):
+        yield ctx.env.timeout(duration)
+        return value
+
+    return thunk
+
+
+class TestBasicExecution:
+    def test_results_in_task_order(self):
+        env, scheduler = make_scheduler()
+        results = scheduler.run([simple_task(i) for i in range(6)])
+        assert results == list(range(6))
+
+    def test_slots_limit_concurrency(self):
+        env, scheduler = make_scheduler(cores=1, workers=1)
+        scheduler.run([simple_task(i, duration=2.0) for i in range(3)])
+        assert env.now == pytest.approx(6.0)  # strictly serial
+
+    def test_parallel_execution_across_slots(self):
+        env, scheduler = make_scheduler(cores=4, workers=2)
+        scheduler.run([simple_task(i, duration=2.0) for i in range(8)])
+        assert env.now == pytest.approx(2.0)  # 8 slots, all parallel
+
+    def test_plain_value_thunks(self):
+        env, scheduler = make_scheduler()
+        assert scheduler.run([lambda ctx: 42]) == [42]
+
+    def test_task_context_fields(self):
+        env, scheduler = make_scheduler()
+        seen = {}
+
+        def thunk(ctx):
+            seen["partition"] = ctx.partition_id
+            seen["attempt"] = ctx.attempt_number
+            seen["total"] = ctx.num_partitions
+            return None
+            yield
+
+        scheduler.run([thunk])
+        assert seen == {"partition": 0, "attempt": 0, "total": 1}
+
+
+class TestRetries:
+    def test_failed_task_is_retried(self):
+        env, scheduler = make_scheduler(
+            fault_policy=FailOncePerTaskPolicy("work_done")
+        )
+        attempts = []
+
+        def thunk(ctx):
+            yield ctx.env.timeout(1.0)
+            attempts.append(ctx.attempt_number)
+            ctx.probe("work_done")
+            return "ok"
+
+        assert scheduler.run([thunk]) == ["ok"]
+        assert attempts == [0, 1]
+
+    def test_side_effects_repeat_on_retry(self):
+        """A task that fails after a side effect repeats it — the hazard
+        S2V's status table defends against."""
+        env, scheduler = make_scheduler(
+            fault_policy=ProbeFailurePolicy({(0, 0): "after_write"})
+        )
+        writes = []
+
+        def thunk(ctx):
+            yield ctx.env.timeout(1.0)
+            writes.append(ctx.attempt_number)
+            ctx.probe("after_write")
+            return len(writes)
+
+        scheduler.run([thunk])
+        assert writes == [0, 1]  # the write happened twice
+
+    def test_job_fails_after_max_failures(self):
+        env, scheduler = make_scheduler(max_failures=3)
+
+        def always_fails(ctx):
+            yield ctx.env.timeout(1.0)
+            raise InjectedFailure("boom")
+
+        with pytest.raises(JobFailedError):
+            scheduler.run([always_fails])
+
+    def test_other_tasks_unaffected_by_one_retry(self):
+        env, scheduler = make_scheduler(
+            fault_policy=ProbeFailurePolicy({(1, 0): "p"})
+        )
+
+        def make(i):
+            def thunk(ctx):
+                yield ctx.env.timeout(1.0)
+                ctx.probe("p")
+                return i
+
+            return thunk
+
+        assert scheduler.run([make(i) for i in range(4)]) == [0, 1, 2, 3]
+
+    def test_failure_rate_policy_is_deterministic(self):
+        policy_a = FailureRatePolicy(0.5)
+        policy_b = FailureRatePolicy(0.5)
+        env, sched_a = make_scheduler(fault_policy=policy_a)
+        env, sched_b = make_scheduler(fault_policy=policy_b)
+
+        def make(i):
+            def thunk(ctx):
+                yield ctx.env.timeout(1.0)
+                ctx.probe("point")
+                return i
+
+            return thunk
+
+        assert sched_a.run([make(i) for i in range(16)]) == list(range(16))
+        sched_b.run([make(i) for i in range(16)])
+        assert policy_a.injected == policy_b.injected
+        assert policy_a.injected  # some failures actually happened
+
+
+class TestSpeculation:
+    def test_straggler_gets_duplicate_attempt(self):
+        env, scheduler = make_scheduler(cores=8, workers=2, speculation=True)
+        attempts = {"straggler": 0}
+
+        def fast(i):
+            def thunk(ctx):
+                yield ctx.env.timeout(1.0)
+                return i
+
+            return thunk
+
+        def straggler(ctx):
+            attempts["straggler"] += 1
+            if ctx.speculative:
+                yield ctx.env.timeout(1.0)  # the duplicate is fast
+            else:
+                yield ctx.env.timeout(100.0)
+            return "slow"
+
+        thunks = [fast(i) for i in range(7)] + [straggler]
+        results = scheduler.run(thunks)
+        assert results[-1] == "slow"
+        assert attempts["straggler"] == 2  # original + speculative duplicate
+        assert env.now < 100.0  # the duplicate won
+
+    def test_duplicate_side_effects_both_run(self):
+        """Without killing losers, both attempts execute their effects."""
+        env, scheduler = make_scheduler(
+            cores=8, workers=2, speculation=True, kill_speculative_losers=False
+        )
+        effects = []
+
+        def fast(i):
+            def thunk(ctx):
+                yield ctx.env.timeout(1.0)
+                return i
+
+            return thunk
+
+        def straggler(ctx):
+            yield ctx.env.timeout(5.0 if ctx.speculative else 8.0)
+            effects.append(ctx.speculative)
+            return "done"
+
+        scheduler.run([fast(i) for i in range(7)] + [straggler])
+        env.run()  # let the zombie loser finish
+        assert len(effects) == 2
+
+    def test_losers_killed_when_configured(self):
+        env, scheduler = make_scheduler(
+            cores=8, workers=2, speculation=True, kill_speculative_losers=True
+        )
+        effects = []
+
+        def fast(i):
+            def thunk(ctx):
+                yield ctx.env.timeout(1.0)
+                return i
+
+            return thunk
+
+        def straggler(ctx):
+            yield ctx.env.timeout(2.0 if ctx.speculative else 50.0)
+            effects.append(ctx.speculative)
+            return "done"
+
+        scheduler.run([fast(i) for i in range(7)] + [straggler])
+        env.run()
+        assert effects == [True]  # only the winner's effect
+
+
+class TestCancellation:
+    def test_cancel_kills_running_tasks(self):
+        env, scheduler = make_scheduler()
+        completed = []
+
+        def thunk(ctx):
+            yield ctx.env.timeout(100.0)
+            completed.append(ctx.partition_id)
+            return ctx.partition_id
+
+        job = scheduler.submit([thunk, thunk], "doomed")
+
+        def canceller():
+            yield env.timeout(5.0)
+            job.cancel("total Spark failure")
+
+        env.process(canceller())
+        with pytest.raises(JobFailedError):
+            env.run(job.done)
+        assert env.now == pytest.approx(5.0)  # job failed at cancellation time
+        env.run()  # drain any orphan timers
+        assert completed == []  # killed tasks never ran their effects
+
+
+class TestSparkSessionIntegration:
+    def test_session_runs_jobs_with_faults(self):
+        spark = SparkSession(
+            num_workers=2,
+            cores_per_worker=2,
+            fault_policy=FailOncePerTaskPolicy("compute"),
+        )
+
+        def job(ctx):
+            yield ctx.env.timeout(1.0)
+            ctx.probe("compute")
+            return ctx.partition_id
+
+        assert spark.run_thunks([job, job]) == [0, 1]
+
+    def test_rdd_recomputed_from_lineage_after_failure(self):
+        policy = FailOncePerTaskPolicy("task_start")
+
+        class StartFailPolicy(FailOncePerTaskPolicy):
+            def on_task_start(self, ctx):
+                self.on_probe(ctx, "task_start")
+
+        spark = SparkSession(
+            num_workers=2, cores_per_worker=2,
+            fault_policy=StartFailPolicy("task_start"),
+        )
+        rdd = spark.parallelize(range(10), 4).map(lambda x: x * 2)
+        assert sorted(rdd.collect()) == [x * 2 for x in range(10)]

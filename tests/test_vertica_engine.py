@@ -1,0 +1,401 @@
+"""Integration tests for the query engine through the session API."""
+
+import pytest
+
+from repro.vertica import HASH_SPACE, VerticaDatabase, vertica_hash
+from repro.vertica.engine import HashRange, extract_hash_range
+from repro.vertica.errors import CatalogError, SqlError
+from repro.vertica.sql.parser import parse_expression
+
+
+@pytest.fixture
+def db():
+    return VerticaDatabase(num_nodes=4)
+
+
+@pytest.fixture
+def session(db):
+    return db.connect()
+
+
+@pytest.fixture
+def people(session):
+    session.execute(
+        "CREATE TABLE people (id INTEGER, name VARCHAR(40), age INTEGER, "
+        "score FLOAT) SEGMENTED BY HASH(id) ALL NODES"
+    )
+    rows = [
+        (1, "alice", 30, 1.5),
+        (2, "bob", 25, 2.5),
+        (3, "carol", 35, 3.5),
+        (4, "dan", None, None),
+        (5, "erin", 30, 5.5),
+    ]
+    values = ", ".join(
+        f"({i}, '{n}', {a if a is not None else 'NULL'}, "
+        f"{s if s is not None else 'NULL'})"
+        for i, n, a, s in rows
+    )
+    session.execute(f"INSERT INTO people VALUES {values}")
+    return session
+
+
+class TestSelect:
+    def test_select_star_order(self, people):
+        result = people.execute("SELECT * FROM people ORDER BY id")
+        assert result.columns == ["ID", "NAME", "AGE", "SCORE"]
+        assert [r[0] for r in result.rows] == [1, 2, 3, 4, 5]
+
+    def test_where_filters(self, people):
+        result = people.execute("SELECT name FROM people WHERE age = 30 ORDER BY name")
+        assert result.rows == [("alice",), ("erin",)]
+
+    def test_null_where_excluded(self, people):
+        result = people.execute("SELECT id FROM people WHERE age > 0")
+        assert len(result.rows) == 4  # dan's NULL age excluded
+
+    def test_projection_expression(self, people):
+        result = people.execute("SELECT id * 10 AS tens FROM people WHERE id = 2")
+        assert result.columns == ["TENS"]
+        assert result.rows == [(20,)]
+
+    def test_limit(self, people):
+        result = people.execute("SELECT id FROM people ORDER BY id LIMIT 2")
+        assert result.rows == [(1,), (2,)]
+
+    def test_order_desc_nulls(self, people):
+        result = people.execute("SELECT age FROM people ORDER BY age DESC")
+        ages = [r[0] for r in result.rows]
+        assert ages[0] == 35
+        assert ages[-1] is None
+
+    def test_select_without_from(self, session):
+        assert session.scalar("SELECT 2 + 3") == 5
+
+    def test_unknown_table(self, session):
+        with pytest.raises(CatalogError):
+            session.execute("SELECT * FROM missing")
+
+    def test_unknown_column(self, people):
+        with pytest.raises(SqlError):
+            people.execute("SELECT nope FROM people")
+
+
+class TestAggregates:
+    def test_count_star(self, people):
+        assert people.scalar("SELECT COUNT(*) FROM people") == 5
+
+    def test_count_column_skips_nulls(self, people):
+        assert people.scalar("SELECT COUNT(age) FROM people") == 4
+
+    def test_sum_avg_min_max(self, people):
+        result = people.execute(
+            "SELECT SUM(age), AVG(age), MIN(age), MAX(age) FROM people"
+        )
+        assert result.rows == [(120, 30.0, 25, 35)]
+
+    def test_count_distinct(self, people):
+        assert people.scalar("SELECT COUNT(DISTINCT age) FROM people") == 3
+
+    def test_aggregate_on_empty(self, people):
+        result = people.execute("SELECT COUNT(*), SUM(age) FROM people WHERE id > 99")
+        assert result.rows == [(0, None)]
+
+    def test_group_by(self, people):
+        result = people.execute(
+            "SELECT age, COUNT(*) AS n FROM people WHERE age IS NOT NULL "
+            "GROUP BY age ORDER BY age"
+        )
+        assert result.rows == [(25, 1), (30, 2), (35, 1)]
+
+    def test_min_max_on_strings(self, people):
+        result = people.execute("SELECT MIN(name), MAX(name) FROM people")
+        assert result.rows == [("alice", "erin")]
+
+
+class TestJoins:
+    def test_inner_join(self, people):
+        people.execute("CREATE TABLE pets (owner_id INTEGER, pet VARCHAR(20))")
+        people.execute(
+            "INSERT INTO pets VALUES (1, 'cat'), (1, 'dog'), (3, 'fish')"
+        )
+        result = people.execute(
+            "SELECT name, pet FROM people JOIN pets ON id = owner_id "
+            "ORDER BY name, pet"
+        )
+        assert result.rows == [("alice", "cat"), ("alice", "dog"), ("carol", "fish")]
+
+    def test_join_with_aliases(self, people):
+        people.execute("CREATE TABLE pets (owner_id INTEGER, pet VARCHAR(20))")
+        people.execute("INSERT INTO pets VALUES (2, 'rat')")
+        result = people.execute(
+            "SELECT p.name, q.pet FROM people p JOIN pets q ON p.id = q.owner_id"
+        )
+        assert result.rows == [("bob", "rat")]
+
+    def test_join_in_view_enables_pushdown(self, people):
+        # §3.1.1: joins can be pushed down by pre-defining a view.
+        people.execute("CREATE TABLE pets (owner_id INTEGER, pet VARCHAR(20))")
+        people.execute("INSERT INTO pets VALUES (1, 'cat'), (3, 'fish')")
+        people.execute(
+            "CREATE VIEW owner_pets AS SELECT name, pet FROM people "
+            "JOIN pets ON id = owner_id"
+        )
+        result = people.execute("SELECT * FROM owner_pets ORDER BY name")
+        assert result.rows == [("alice", "cat"), ("carol", "fish")]
+
+
+class TestViews:
+    def test_simple_view(self, people):
+        people.execute("CREATE VIEW adults AS SELECT id, name FROM people WHERE age >= 30")
+        result = people.execute("SELECT name FROM adults ORDER BY name")
+        assert result.rows == [("alice",), ("carol",), ("erin",)]
+
+    def test_view_with_aggregation(self, people):
+        people.execute(
+            "CREATE VIEW age_counts AS SELECT age, COUNT(*) AS n FROM people "
+            "WHERE age IS NOT NULL GROUP BY age"
+        )
+        result = people.execute("SELECT * FROM age_counts ORDER BY age")
+        assert [r[1] for r in result.rows] == [1, 2, 1]
+
+    def test_view_synthetic_hash_filter(self, people):
+        # The connector's view-parallelism trick: tile the synthetic hash
+        # space and check the union of parts equals the whole view.
+        people.execute("CREATE VIEW v AS SELECT id, name FROM people")
+        whole = people.execute("SELECT * FROM v ORDER BY id").rows
+        parts = []
+        bounds = [0, HASH_SPACE // 3, 2 * (HASH_SPACE // 3), HASH_SPACE]
+        for lo, hi in zip(bounds, bounds[1:]):
+            result = people.execute(
+                f"SELECT * FROM v WHERE SYNTHETIC_HASH() >= {lo} "
+                f"AND SYNTHETIC_HASH() < {hi}"
+            )
+            parts.extend(result.rows)
+        assert sorted(parts) == sorted(whole)
+
+    def test_drop_view(self, people):
+        people.execute("CREATE VIEW v AS SELECT id FROM people")
+        people.execute("DROP VIEW v")
+        with pytest.raises(CatalogError):
+            people.execute("SELECT * FROM v")
+
+
+class TestSystemTables:
+    def test_nodes(self, session, db):
+        result = session.execute("SELECT node_name FROM v_catalog.nodes ORDER BY node_name")
+        assert [r[0] for r in result.rows] == db.node_names
+
+    def test_segments_cover_ring(self, people, db):
+        result = people.execute(
+            "SELECT segment_lower_bound, segment_upper_bound FROM "
+            "v_catalog.segments WHERE table_name = 'PEOPLE' "
+            "ORDER BY segment_lower_bound"
+        )
+        assert result.rows[0][0] == 0
+        assert result.rows[-1][1] == HASH_SPACE
+        for (_, hi), (lo, _) in zip(result.rows, result.rows[1:]):
+            assert hi == lo
+
+    def test_epochs_advance_on_commit(self, session):
+        session.execute("CREATE TABLE t (a INTEGER)")
+        before = session.scalar("SELECT current_epoch FROM v_catalog.epochs")
+        session.execute("INSERT INTO t VALUES (1)")
+        after = session.scalar("SELECT current_epoch FROM v_catalog.epochs")
+        assert after == before + 1
+
+    def test_tables_lists_segmentation(self, people):
+        result = people.execute(
+            "SELECT is_segmented, row_segmentation FROM v_catalog.tables "
+            "WHERE table_name = 'PEOPLE'"
+        )
+        assert result.rows == [(True, "ID")]
+
+
+class TestHashRangeQueries:
+    def test_extract_range(self):
+        where = parse_expression("HASH(ID) >= 100 AND HASH(ID) < 200 AND AGE > 1")
+        hash_range = extract_hash_range(where, ["ID"])
+        assert (hash_range.lo, hash_range.hi) == (100, 200)
+
+    def test_extract_requires_matching_columns(self):
+        where = parse_expression("HASH(OTHER) >= 100")
+        hash_range = extract_hash_range(where, ["ID"])
+        assert hash_range.is_full
+
+    def test_extract_reversed_comparison(self):
+        where = parse_expression("100 <= HASH(ID) AND 200 > HASH(ID)")
+        hash_range = extract_hash_range(where, ["ID"])
+        assert (hash_range.lo, hash_range.hi) == (100, 200)
+
+    def test_extract_between(self):
+        where = parse_expression("HASH(ID) BETWEEN 10 AND 19")
+        hash_range = extract_hash_range(where, ["ID"])
+        assert (hash_range.lo, hash_range.hi) == (10, 20)
+
+    def test_disjunction_not_extracted(self):
+        where = parse_expression("HASH(ID) >= 100 OR AGE > 1")
+        assert extract_hash_range(where, ["ID"]).is_full
+
+    def test_hash_range_union_reconstructs_table(self, people, db):
+        table = db.catalog.table("people")
+        collected = []
+        for lo, hi, node in table.ring.split(8):
+            result = people.execute(
+                f"SELECT id FROM people WHERE HASH(id) >= {lo} AND HASH(id) < {hi}"
+            )
+            collected.extend(r[0] for r in result.rows)
+        assert sorted(collected) == [1, 2, 3, 4, 5]
+
+    def test_hash_range_scan_touches_single_node(self, people, db):
+        table = db.catalog.table("people")
+        segment = table.ring.segments[0]
+        result = people.execute(
+            f"SELECT id FROM people WHERE HASH(id) >= {segment.lo} "
+            f"AND HASH(id) < {segment.hi}"
+        )
+        scanned_nodes = set(result.cost.node_rows_scanned)
+        assert scanned_nodes <= {segment.node}
+
+    def test_rows_live_on_hashed_node(self, people, db):
+        table = db.catalog.table("people")
+        result = people.execute("SELECT id FROM people")
+        for node, nbytes in result.cost.node_output_bytes.items():
+            assert nbytes > 0
+        # every row's producing node matches the ring
+        for row in result.rows:
+            expected = table.ring.node_for(vertica_hash(row[0]))
+            single = people.execute(f"SELECT id FROM people WHERE id = {row[0]}")
+            assert list(single.cost.node_output_bytes) == [expected]
+
+
+class TestUnsegmentedTables:
+    def test_replicated_reads_have_one_copy(self, session, db):
+        session.execute("CREATE TABLE u (a INTEGER) UNSEGMENTED ALL NODES")
+        session.execute("INSERT INTO u VALUES (1), (2)")
+        assert session.scalar("SELECT COUNT(*) FROM u") == 2
+        # physically present on every node
+        for node in db.node_names:
+            assert db.storage[node].live_row_count("U", db.epochs.current) == 2
+
+    def test_read_is_local_to_initiator(self, db):
+        s1 = db.connect(db.node_names[2])
+        s1.execute("CREATE TABLE u (a INTEGER) UNSEGMENTED ALL NODES")
+        s1.execute("INSERT INTO u VALUES (1)")
+        result = s1.execute("SELECT a FROM u")
+        assert list(result.cost.node_output_bytes) == [db.node_names[2]]
+
+    def test_update_applies_to_all_copies(self, session, db):
+        session.execute("CREATE TABLE u (a INTEGER) UNSEGMENTED ALL NODES")
+        session.execute("INSERT INTO u VALUES (1)")
+        result = session.execute("UPDATE u SET a = 2 WHERE a = 1")
+        assert result.rowcount == 1
+        for node in db.node_names:
+            other = db.connect(node)
+            assert other.scalar("SELECT a FROM u") == 2
+
+    def test_delete_applies_to_all_copies(self, session, db):
+        session.execute("CREATE TABLE u (a INTEGER) UNSEGMENTED ALL NODES")
+        session.execute("INSERT INTO u VALUES (1), (2)")
+        session.execute("DELETE FROM u WHERE a = 1")
+        for node in db.node_names:
+            assert db.connect(node).scalar("SELECT COUNT(*) FROM u") == 1
+
+
+class TestDml:
+    def test_update_rowcount(self, people):
+        result = people.execute("UPDATE people SET age = 31 WHERE age = 30")
+        assert result.rowcount == 2
+        assert people.scalar("SELECT COUNT(*) FROM people WHERE age = 31") == 2
+
+    def test_update_no_match(self, people):
+        assert people.execute("UPDATE people SET age = 1 WHERE id = 999").rowcount == 0
+
+    def test_update_unknown_column(self, people):
+        with pytest.raises(SqlError):
+            people.execute("UPDATE people SET nope = 1")
+
+    def test_delete_and_count(self, people):
+        result = people.execute("DELETE FROM people WHERE age IS NULL")
+        assert result.rowcount == 1
+        assert people.scalar("SELECT COUNT(*) FROM people") == 4
+
+    def test_insert_select(self, people):
+        people.execute("CREATE TABLE people2 (id INTEGER, name VARCHAR(40), "
+                       "age INTEGER, score FLOAT)")
+        people.execute("INSERT INTO people2 SELECT * FROM people WHERE id <= 2")
+        assert people.scalar("SELECT COUNT(*) FROM people2") == 2
+
+    def test_insert_column_subset_defaults_null(self, people):
+        people.execute("INSERT INTO people (id, name) VALUES (99, 'zed')")
+        result = people.execute("SELECT age, score FROM people WHERE id = 99")
+        assert result.rows == [(None, None)]
+
+    def test_insert_type_error_aborts_statement(self, people):
+        from repro.vertica.errors import TypeMismatchError
+
+        with pytest.raises(TypeMismatchError):
+            people.execute("INSERT INTO people VALUES ('x', 'y', 1, 1.0)")
+        assert people.scalar("SELECT COUNT(*) FROM people") == 5
+
+    def test_truncate(self, people):
+        people.execute("TRUNCATE TABLE people")
+        assert people.scalar("SELECT COUNT(*) FROM people") == 0
+
+
+class TestEpochSnapshots:
+    def test_at_epoch_reads_history(self, people, db):
+        epoch_before = db.epochs.current
+        people.execute("DELETE FROM people WHERE id = 1")
+        people.execute("INSERT INTO people VALUES (6, 'frank', 1, 1.0)")
+        latest = people.execute("SELECT COUNT(*) FROM people").scalar()
+        historical = people.scalar(f"AT EPOCH {epoch_before} SELECT COUNT(*) FROM people")
+        assert latest == 5
+        assert historical == 5
+        old_names = people.execute(
+            f"AT EPOCH {epoch_before} SELECT name FROM people ORDER BY name"
+        ).rows
+        assert ("alice",) in old_names
+        assert ("frank",) not in old_names
+
+    def test_future_epoch_rejected(self, people, db):
+        from repro.vertica.errors import TransactionError
+
+        with pytest.raises(TransactionError):
+            people.execute(f"AT EPOCH {db.epochs.current + 10} SELECT * FROM people")
+
+    def test_snapshot_isolation_between_sessions(self, people, db):
+        reader = db.connect(db.node_names[1])
+        epoch = db.epochs.current
+        people.execute("DELETE FROM people")
+        count = reader.scalar(f"AT EPOCH {epoch} SELECT COUNT(*) FROM people")
+        assert count == 5
+
+
+class TestHaving:
+    def test_having_on_alias(self, people):
+        result = people.execute(
+            "SELECT age, COUNT(*) AS n FROM people WHERE age IS NOT NULL "
+            "GROUP BY age HAVING n > 1 ORDER BY age"
+        )
+        assert result.rows == [(30, 2)]
+
+    def test_having_on_group_column(self, people):
+        result = people.execute(
+            "SELECT age, COUNT(*) AS n FROM people WHERE age IS NOT NULL "
+            "GROUP BY age HAVING age >= 30 ORDER BY age"
+        )
+        assert result.rows == [(30, 2), (35, 1)]
+
+    def test_having_filters_everything(self, people):
+        result = people.execute(
+            "SELECT age, COUNT(*) AS n FROM people GROUP BY age HAVING n > 99"
+        )
+        assert result.rows == []
+
+    def test_having_inside_view(self, people):
+        people.execute(
+            "CREATE VIEW frequent AS SELECT age, COUNT(*) AS n FROM people "
+            "WHERE age IS NOT NULL GROUP BY age HAVING n > 1"
+        )
+        assert people.execute("SELECT * FROM frequent").rows == [(30, 2)]

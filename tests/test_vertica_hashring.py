@@ -1,0 +1,179 @@
+"""Unit and property tests for the hash ring (the heart of V2S locality)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vertica import HASH_SPACE, HashRing, Segment, vertica_hash
+from repro.vertica.errors import CatalogError
+from repro.vertica.hashring import (
+    ranges_are_disjoint_and_complete,
+    synthetic_ring,
+)
+
+NODES = ["node0001", "node0002", "node0003", "node0004"]
+
+
+class TestVerticaHash:
+    def test_deterministic(self):
+        assert vertica_hash(42, "x") == vertica_hash(42, "x")
+
+    def test_in_range(self):
+        for value in (0, -1, 1.5, "abc", None, True, b"bytes"):
+            assert 0 <= vertica_hash(value) < HASH_SPACE
+
+    def test_integral_float_equals_int(self):
+        assert vertica_hash(7.0) == vertica_hash(7)
+
+    def test_distinct_values_differ(self):
+        hashes = {vertica_hash(i) for i in range(1000)}
+        assert len(hashes) > 990  # collisions possible but rare
+
+    def test_requires_values(self):
+        with pytest.raises(TypeError):
+            vertica_hash()
+
+    def test_unhashable_type(self):
+        with pytest.raises(TypeError):
+            vertica_hash(object())
+
+    @given(st.integers())
+    @settings(max_examples=100, deadline=None)
+    def test_hash_always_on_ring(self, value):
+        assert 0 <= vertica_hash(value) < HASH_SPACE
+
+    def test_roughly_uniform(self):
+        ring = HashRing.even(NODES)
+        counts = {n: 0 for n in NODES}
+        for i in range(4000):
+            counts[ring.node_for(vertica_hash(i))] += 1
+        for count in counts.values():
+            assert 700 < count < 1300
+
+
+class TestSegment:
+    def test_contains(self):
+        segment = Segment(10, 20, "n")
+        assert segment.contains(10)
+        assert segment.contains(19)
+        assert not segment.contains(20)
+        assert not segment.contains(9)
+
+    def test_invalid_range(self):
+        with pytest.raises(CatalogError):
+            Segment(20, 10, "n")
+        with pytest.raises(CatalogError):
+            Segment(0, HASH_SPACE + 1, "n")
+
+
+class TestHashRing:
+    def test_even_covers_space(self):
+        ring = HashRing.even(NODES)
+        assert ring.segments[0].lo == 0
+        assert ring.segments[-1].hi == HASH_SPACE
+        assert ring.nodes == NODES
+
+    def test_gap_rejected(self):
+        with pytest.raises(CatalogError):
+            HashRing([Segment(0, 10, "a"), Segment(11, HASH_SPACE, "b")])
+
+    def test_partial_coverage_rejected(self):
+        with pytest.raises(CatalogError):
+            HashRing([Segment(5, HASH_SPACE, "a")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CatalogError):
+            HashRing([])
+
+    def test_node_for_boundaries(self):
+        ring = HashRing.even(["a", "b"])
+        half = HASH_SPACE // 2
+        assert ring.node_for(0) == "a"
+        assert ring.node_for(half - 1) == "a"
+        assert ring.node_for(half) == "b"
+        assert ring.node_for(HASH_SPACE - 1) == "b"
+
+    def test_segment_for_node(self):
+        ring = HashRing.even(NODES)
+        assert ring.segment_for_node("node0002").node == "node0002"
+        with pytest.raises(CatalogError):
+            ring.segment_for_node("nope")
+
+
+class TestSplit:
+    """§3.1.2/Figure 4: partition queries must tile the ring exactly."""
+
+    @pytest.mark.parametrize("partitions", [1, 2, 3, 4, 5, 8, 16, 37, 128, 256])
+    def test_ranges_disjoint_and_complete(self, partitions):
+        ring = HashRing.even(NODES)
+        ranges = ring.split(partitions)
+        assert ranges_are_disjoint_and_complete([(lo, hi) for lo, hi, __ in ranges])
+
+    @pytest.mark.parametrize("partitions", [4, 8, 128])
+    def test_ranges_respect_segment_boundaries(self, partitions):
+        ring = HashRing.even(NODES)
+        for lo, hi, node in ring.split(partitions):
+            segment = ring.segment_for_node(node)
+            assert segment.lo <= lo < hi <= segment.hi
+
+    def test_figure4a_two_partitions_get_two_segments_each(self):
+        ring = HashRing.even(NODES)
+        plan = ring.partition_plan(2)
+        assert len(plan) == 2
+        assert all(len(task_ranges) == 2 for task_ranges in plan)
+        nodes_per_task = [sorted({node for __, __, node in task}) for task in plan]
+        assert nodes_per_task[0] != nodes_per_task[1]
+
+    def test_figure4b_eight_partitions_get_half_segment_each(self):
+        ring = HashRing.even(NODES)
+        plan = ring.partition_plan(8)
+        assert len(plan) == 8
+        for task_ranges in plan:
+            assert len(task_ranges) == 1
+            lo, hi, node = task_ranges[0]
+            segment = ring.segment_for_node(node)
+            assert (hi - lo) * 2 == pytest.approx(segment.hi - segment.lo, abs=2)
+
+    def test_plan_covers_space_for_any_partition_count(self):
+        ring = HashRing.even(NODES)
+        for partitions in (1, 3, 7, 12, 200):
+            plan = ring.partition_plan(partitions)
+            assert len(plan) == partitions
+            flat = [(lo, hi) for task in plan for lo, hi, __ in task]
+            assert ranges_are_disjoint_and_complete(flat)
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=300),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_plan_tiles_ring(self, num_nodes, partitions):
+        ring = HashRing.even([f"n{i}" for i in range(num_nodes)])
+        plan = ring.partition_plan(partitions)
+        assert len(plan) == partitions
+        flat = [(lo, hi) for task in plan for lo, hi, __ in task]
+        assert ranges_are_disjoint_and_complete(flat)
+        # Every range stays on a single node's segment.
+        for task in plan:
+            for lo, hi, node in task:
+                segment = ring.segment_for_node(node)
+                assert segment.lo <= lo < hi <= segment.hi
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(CatalogError):
+            HashRing.even(NODES).split(0)
+
+
+class TestSyntheticRing:
+    def test_even_over_nodes(self):
+        ring = synthetic_ring(NODES)
+        assert ring.nodes == NODES
+        assert ranges_are_disjoint_and_complete(
+            [(s.lo, s.hi) for s in ring.segments]
+        )
+
+
+def test_ranges_check_rejects_overlap():
+    assert not ranges_are_disjoint_and_complete([(0, 10), (5, HASH_SPACE)])
+    assert not ranges_are_disjoint_and_complete([])
+    assert ranges_are_disjoint_and_complete([(0, HASH_SPACE)])

@@ -1,0 +1,249 @@
+"""Tests for transactions, locking, epochs and session semantics —
+the ACID machinery the connector's exactly-once guarantee rests on."""
+
+import pytest
+
+from repro.vertica import VerticaDatabase
+from repro.vertica.errors import (
+    ConnectionLimitError,
+    LockContention,
+    TransactionError,
+)
+
+
+@pytest.fixture
+def db():
+    return VerticaDatabase(num_nodes=4)
+
+
+@pytest.fixture
+def session(db):
+    s = db.connect()
+    s.execute("CREATE TABLE t (a INTEGER, b VARCHAR(20))")
+    return s
+
+
+class TestAutocommit:
+    def test_each_statement_commits(self, session, db):
+        session.execute("INSERT INTO t VALUES (1, 'x')")
+        other = db.connect(db.node_names[1])
+        assert other.scalar("SELECT COUNT(*) FROM t") == 1
+
+    def test_failed_statement_rolls_back(self, session):
+        from repro.vertica.errors import TypeMismatchError
+
+        with pytest.raises(TypeMismatchError):
+            session.execute("INSERT INTO t VALUES (1, 'ok'), ('bad', 2)")
+        assert session.scalar("SELECT COUNT(*) FROM t") == 0
+
+
+class TestExplicitTransactions:
+    def test_uncommitted_invisible_to_others(self, session, db):
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1, 'x')")
+        other = db.connect(db.node_names[1])
+        assert other.scalar("SELECT COUNT(*) FROM t") == 0
+        session.execute("COMMIT")
+        assert other.scalar("SELECT COUNT(*) FROM t") == 1
+
+    def test_read_your_writes(self, session):
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1, 'x')")
+        assert session.scalar("SELECT COUNT(*) FROM t") == 1
+        session.execute("ROLLBACK")
+        assert session.scalar("SELECT COUNT(*) FROM t") == 0
+
+    def test_rollback_discards_updates(self, session):
+        session.execute("INSERT INTO t VALUES (1, 'x')")
+        session.execute("BEGIN")
+        session.execute("UPDATE t SET b = 'y' WHERE a = 1")
+        session.execute("ROLLBACK")
+        assert session.scalar("SELECT b FROM t WHERE a = 1") == "x"
+
+    def test_commit_is_atomic_multi_statement(self, session, db):
+        other = db.connect(db.node_names[1])
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1, 'x')")
+        session.execute("INSERT INTO t VALUES (2, 'y')")
+        assert other.scalar("SELECT COUNT(*) FROM t") == 0
+        session.execute("COMMIT")
+        assert other.scalar("SELECT COUNT(*) FROM t") == 2
+
+    def test_nested_begin_rejected(self, session):
+        session.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            session.execute("BEGIN")
+
+    def test_commit_without_begin_is_noop(self, session):
+        session.execute("COMMIT")  # must not raise
+
+    def test_ddl_commits_open_transaction(self, session, db):
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1, 'x')")
+        session.execute("CREATE TABLE t2 (a INTEGER)")  # DDL auto-commits
+        other = db.connect(db.node_names[1])
+        assert other.scalar("SELECT COUNT(*) FROM t") == 1
+
+    def test_repeatable_reads_within_txn(self, session, db):
+        session.execute("INSERT INTO t VALUES (1, 'x')")
+        session.execute("BEGIN")
+        assert session.scalar("SELECT COUNT(*) FROM t") == 1
+        writer = db.connect(db.node_names[1])
+        writer.execute("INSERT INTO t VALUES (2, 'y')")
+        # Snapshot was pinned at first read.
+        assert session.scalar("SELECT COUNT(*) FROM t") == 1
+        session.execute("COMMIT")
+        assert session.scalar("SELECT COUNT(*) FROM t") == 2
+
+
+class TestLocking:
+    def test_parallel_inserts_do_not_conflict(self, session, db):
+        # Insert locks are shared: parallel COPY/INSERT transactions append
+        # independent ROS containers (this is what parallel S2V relies on).
+        other = db.connect(db.node_names[1])
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1, 'x')")
+        other.execute("BEGIN")
+        other.execute("INSERT INTO t VALUES (2, 'y')")
+        session.execute("COMMIT")
+        other.execute("COMMIT")
+        assert session.scalar("SELECT COUNT(*) FROM t") == 2
+
+    def test_updater_conflicts_with_inserter(self, session, db):
+        other = db.connect(db.node_names[1])
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1, 'x')")
+        with pytest.raises(LockContention):
+            other.execute("UPDATE t SET b = 'z'")
+        session.execute("COMMIT")
+        other.execute("UPDATE t SET b = 'z'")  # lock released
+
+    def test_updaters_conflict(self, session, db):
+        session.execute("INSERT INTO t VALUES (1, 'x')")
+        other = db.connect(db.node_names[1])
+        session.execute("BEGIN")
+        session.execute("UPDATE t SET b = 'y'")
+        with pytest.raises(LockContention):
+            other.execute("UPDATE t SET b = 'z'")
+        session.execute("ROLLBACK")
+
+    def test_readers_never_block(self, session, db):
+        other = db.connect(db.node_names[1])
+        session.execute("BEGIN")
+        session.execute("UPDATE t SET b = 'z'")
+        assert other.scalar("SELECT COUNT(*) FROM t") == 0  # MVCC read ok
+        session.execute("ROLLBACK")
+
+    def test_conditional_update_race(self, session, db):
+        """The S2V leader election: exactly one conditional update wins."""
+        session.execute("CREATE TABLE last_committer (task_id INTEGER)")
+        session.execute("INSERT INTO last_committer VALUES (NULL)")
+        s1 = db.connect(db.node_names[0])
+        s2 = db.connect(db.node_names[1])
+        r1 = s1.execute("UPDATE last_committer SET task_id = 1 WHERE task_id IS NULL")
+        r2 = s2.execute("UPDATE last_committer SET task_id = 2 WHERE task_id IS NULL")
+        assert (r1.rowcount, r2.rowcount) == (1, 0)
+        assert session.scalar("SELECT task_id FROM last_committer") == 1
+
+    def test_drop_of_locked_table_fails(self, session, db):
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1, 'x')")
+        other = db.connect(db.node_names[1])
+        with pytest.raises(LockContention):
+            other.execute("DROP TABLE t")
+        session.execute("COMMIT")
+
+    def test_rename_of_locked_table_fails(self, session, db):
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1, 'x')")
+        other = db.connect(db.node_names[1])
+        with pytest.raises(LockContention):
+            other.execute("ALTER TABLE t RENAME TO t9")
+        session.execute("ROLLBACK")
+
+
+class TestAtomicRename:
+    def test_overwrite_pattern(self, session, db):
+        """S2V overwrite mode: staging table atomically renamed to target."""
+        session.execute("INSERT INTO t VALUES (1, 'old')")
+        session.execute("CREATE TABLE staging (a INTEGER, b VARCHAR(20))")
+        session.execute("INSERT INTO staging VALUES (2, 'new')")
+        session.execute("DROP TABLE t")
+        session.execute("ALTER TABLE staging RENAME TO t")
+        result = session.execute("SELECT * FROM t")
+        assert result.rows == [(2, "new")]
+
+    def test_rename_to_existing_fails(self, session):
+        from repro.vertica.errors import CatalogError
+
+        session.execute("CREATE TABLE t2 (a INTEGER)")
+        with pytest.raises(CatalogError):
+            session.execute("ALTER TABLE t2 RENAME TO t")
+
+
+class TestConnections:
+    def test_connection_limit(self):
+        db = VerticaDatabase(num_nodes=1, max_client_sessions=2)
+        s1 = db.connect()
+        s2 = db.connect()
+        with pytest.raises(ConnectionLimitError):
+            db.connect()
+        s1.close()
+        db.connect()  # slot freed
+
+    def test_close_aborts_open_transaction(self, db):
+        s = db.connect()
+        s.execute("CREATE TABLE t (a INTEGER)")
+        s.execute("BEGIN")
+        s.execute("INSERT INTO t VALUES (1)")
+        s.close()
+        other = db.connect()
+        assert other.scalar("SELECT COUNT(*) FROM t") == 0
+
+    def test_closed_session_rejects_statements(self, db):
+        s = db.connect()
+        s.close()
+        with pytest.raises(TransactionError):
+            s.execute("SELECT 1")
+
+    def test_context_manager(self, db):
+        with db.connect() as s:
+            s.execute("SELECT 1")
+        assert db.session_count(db.node_names[0]) == 0
+
+    def test_connect_to_down_node_fails(self, db):
+        from repro.vertica.errors import CatalogError
+
+        db.fail_node(db.node_names[1])
+        with pytest.raises(CatalogError):
+            db.connect(db.node_names[1])
+
+
+class TestKSafety:
+    def test_replica_serves_reads_after_node_failure(self):
+        db = VerticaDatabase(num_nodes=4, k_safety=1)
+        s = db.connect()
+        s.execute("CREATE TABLE t (a INTEGER) SEGMENTED BY HASH(a) ALL NODES")
+        values = ", ".join(f"({i})" for i in range(100))
+        s.execute(f"INSERT INTO t VALUES {values}")
+        assert s.scalar("SELECT COUNT(*) FROM t") == 100
+        db.fail_node(db.node_names[2])
+        survivor = db.connect(db.node_names[0])
+        assert survivor.scalar("SELECT COUNT(*) FROM t") == 100
+
+    def test_no_replica_without_k_safety(self):
+        db = VerticaDatabase(num_nodes=4, k_safety=0)
+        s = db.connect()
+        s.execute("CREATE TABLE t (a INTEGER) SEGMENTED BY HASH(a) ALL NODES")
+        s.execute("INSERT INTO t VALUES (1), (2), (3), (4), (5), (6), (7), (8)")
+        db.fail_node(db.node_names[2])
+        from repro.vertica.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            db.connect(db.node_names[0]).scalar("SELECT COUNT(*) FROM t")
+
+    def test_k_safety_requires_two_nodes(self):
+        from repro.vertica.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            VerticaDatabase(num_nodes=1, k_safety=1)

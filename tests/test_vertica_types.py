@@ -1,0 +1,131 @@
+"""Unit tests for SQL types."""
+
+import pytest
+
+from repro.vertica import FLOAT, INTEGER, BOOLEAN, VARCHAR, parse_type
+from repro.vertica.errors import SqlError, TypeMismatchError
+
+
+class TestInteger:
+    def test_coerce_int(self):
+        assert INTEGER.coerce(42) == 42
+
+    def test_coerce_integral_float(self):
+        assert INTEGER.coerce(42.0) == 42
+
+    def test_coerce_none(self):
+        assert INTEGER.coerce(None) is None
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.coerce(True)
+
+    def test_rejects_fractional(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.coerce(1.5)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.coerce("1")
+
+    def test_range_check(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.coerce(2**63)
+        assert INTEGER.coerce(2**63 - 1) == 2**63 - 1
+
+    def test_csv_round_trip(self):
+        assert INTEGER.from_csv("123") == 123
+        assert INTEGER.from_csv("") is None
+        assert INTEGER.to_csv(123) == "123"
+        assert INTEGER.to_csv(None) == ""
+
+    def test_csv_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.from_csv("abc")
+
+
+class TestFloat:
+    def test_coerce(self):
+        assert FLOAT.coerce(1) == 1.0
+        assert FLOAT.coerce(2.5) == 2.5
+        assert FLOAT.coerce(None) is None
+
+    def test_rejects_bool_and_str(self):
+        with pytest.raises(TypeMismatchError):
+            FLOAT.coerce(False)
+        with pytest.raises(TypeMismatchError):
+            FLOAT.coerce("2.5")
+
+    def test_csv(self):
+        assert FLOAT.from_csv("2.5") == 2.5
+        assert FLOAT.from_csv("1e3") == 1000.0
+        assert FLOAT.to_csv(0.1) == repr(0.1)
+
+
+class TestBoolean:
+    @pytest.mark.parametrize("token,expected", [
+        ("true", True), ("T", True), ("1", True), ("FALSE", False), ("f", False),
+    ])
+    def test_csv_tokens(self, token, expected):
+        assert BOOLEAN.from_csv(token) is expected
+
+    def test_csv_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            BOOLEAN.from_csv("maybe")
+
+    def test_coerce(self):
+        assert BOOLEAN.coerce(True) is True
+        with pytest.raises(TypeMismatchError):
+            BOOLEAN.coerce(1)
+
+    def test_to_csv(self):
+        assert BOOLEAN.to_csv(True) == "true"
+        assert BOOLEAN.to_csv(False) == "false"
+
+
+class TestVarchar:
+    def test_length_enforced(self):
+        vc = VARCHAR(5)
+        assert vc.coerce("hello") == "hello"
+        with pytest.raises(TypeMismatchError):
+            vc.coerce("hello!")
+
+    def test_length_is_bytes(self):
+        vc = VARCHAR(3)
+        with pytest.raises(TypeMismatchError):
+            vc.coerce("héé")  # 5 bytes in UTF-8
+
+    def test_value_width_is_actual(self):
+        vc = VARCHAR(100)
+        assert vc.value_width("abc") == 3
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeMismatchError):
+            VARCHAR(5).coerce(5)
+
+    def test_invalid_length(self):
+        with pytest.raises(SqlError):
+            VARCHAR(0)
+
+
+class TestParseType:
+    @pytest.mark.parametrize("text,expected", [
+        ("INTEGER", "INTEGER"),
+        ("int", "INTEGER"),
+        ("BIGINT", "INTEGER"),
+        ("FLOAT", "FLOAT"),
+        ("double", "FLOAT"),
+        ("BOOLEAN", "BOOLEAN"),
+        ("VARCHAR(17)", "VARCHAR(17)"),
+        ("varchar", "VARCHAR(80)"),
+    ])
+    def test_names(self, text, expected):
+        assert repr(parse_type(text)) == expected
+
+    def test_unknown(self):
+        with pytest.raises(SqlError):
+            parse_type("GEOGRAPHY")
+
+    def test_bad_varchar(self):
+        with pytest.raises(SqlError):
+            parse_type("VARCHAR(x)")
