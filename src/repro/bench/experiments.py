@@ -25,6 +25,42 @@ from repro.workloads import make_d1, make_d1_reshaped, make_d1_with_int_column, 
 D1_REAL_ROWS = 2000
 D2_REAL_ROWS = 4000
 
+#: build experiment fabrics with telemetry on, so every saved result file
+#: carries a telemetry section; flip off to measure the zero-overhead path
+TELEMETRY_ENABLED = True
+
+
+class FabricFactory:
+    """Builds fabrics and collects each one's telemetry snapshot.
+
+    A fresh :class:`Fabric` installs a fresh global registry, so the
+    previous fabric's metrics must be frozen before the next is built —
+    the factory does that on every call, then merges all snapshots into
+    the experiment report at :meth:`attach`.
+    """
+
+    def __init__(self, telemetry: Optional[bool] = None):
+        self.telemetry = TELEMETRY_ENABLED if telemetry is None else telemetry
+        self._last: Optional[Fabric] = None
+        self.snapshots: List = []
+
+    def __call__(self, **kwargs) -> Fabric:
+        self.collect()
+        kwargs.setdefault("telemetry", self.telemetry)
+        self._last = Fabric(**kwargs)
+        return self._last
+
+    def collect(self) -> None:
+        if self._last is not None:
+            if self.telemetry:
+                self.snapshots.append(self._last.metrics_snapshot())
+            self._last = None
+
+    def attach(self, report: ExperimentReport) -> None:
+        self.collect()
+        for snapshot in self.snapshots:
+            report.attach_telemetry(snapshot)
+
 FIG6_PARTITIONS = (4, 8, 16, 32, 64, 128, 256)
 
 #: paper values for Figure 6; exact where stated in the text, otherwise
@@ -49,14 +85,15 @@ def run_fig6(partitions: Tuple[int, ...] = FIG6_PARTITIONS) -> ExperimentReport:
     report.set_columns(
         ["partitions", "V2S paper (s)", "V2S sim (s)", "S2V paper (s)", "S2V sim (s)"]
     )
+    fabrics = FabricFactory()
     v2s: Dict[int, float] = {}
     s2v: Dict[int, float] = {}
     for count in partitions:
-        fabric = Fabric()
+        fabric = fabrics()
         dataset = _d1()
         fabric.populate(dataset, "d1")
         v2s[count], __ = fabric.v2s_load("d1", count, dataset.scale)
-        fabric = Fabric()
+        fabric = fabrics()
         s2v[count] = fabric.s2v_save(_d1(), "d1_out", count)
         report.add(
             count,
@@ -86,6 +123,7 @@ def run_fig6(partitions: Tuple[int, ...] = FIG6_PARTITIONS) -> ExperimentReport:
         abs(v2s[32] - 497.0) / 497.0 < 0.25,
     )
     report.measured = {"v2s": v2s, "s2v": s2v}
+    fabrics.attach(report)
     return report
 
 
@@ -99,9 +137,10 @@ def run_tab2() -> ExperimentReport:
     report.set_columns(
         ["partitions", "metric", "paper steady-state", "sim steady-state", "sparkline (0-300s)"]
     )
+    fabrics = FabricFactory()
     measured = {}
     for count, paper_net, paper_cpu in ((4, 38.0, 5.0), (32, 120.0, 20.0)):
-        fabric = Fabric()
+        fabric = fabrics()
         dataset = _d1()
         fabric.populate(dataset, "d1")
         fabric.v2s_load("d1", count, dataset.scale)
@@ -138,6 +177,7 @@ def run_tab2() -> ExperimentReport:
         measured[4]["cpu_steady"] < measured[32]["cpu_steady"] < 40.0,
     )
     report.measured = measured
+    fabrics.attach(report)
     return report
 
 
@@ -153,15 +193,16 @@ def run_fig7() -> ExperimentReport:
     report.set_columns(
         ["rows", "V2S paper (s)", "V2S sim (s)", "S2V paper (s)", "S2V sim (s)"]
     )
+    fabrics = FabricFactory()
     paper = {1_000_000: (None, 19.0), 100_000_000: (497.0, 252.0)}
     v2s: Dict[int, float] = {}
     s2v: Dict[int, float] = {}
     for rows in FIG7_ROWS:
-        fabric = Fabric()
+        fabric = fabrics()
         dataset = _d1(virtual_rows=rows)
         fabric.populate(dataset, "d1")
         v2s[rows], __ = fabric.v2s_load("d1", 32, dataset.scale)
-        fabric = Fabric()
+        fabric = fabrics()
         s2v[rows] = fabric.s2v_save(_d1(virtual_rows=rows), "d1_out", 128)
         paper_v2s, paper_s2v = paper.get(rows, (None, None))
         report.add(rows, paper_v2s, v2s[rows], paper_s2v, s2v[rows])
@@ -177,6 +218,7 @@ def run_fig7() -> ExperimentReport:
     report.check("S2V faster than V2S at 1000M rows (crossover)",
                  s2v[1_000_000_000] < v2s[1_000_000_000])
     report.measured = {"v2s": v2s, "s2v": s2v}
+    fabrics.attach(report)
     return report
 
 
@@ -194,15 +236,16 @@ def run_fig8() -> ExperimentReport:
     report.set_columns(
         ["cluster", "rows", "V2S sim (s)", "S2V sim (s)"]
     )
+    fabrics = FabricFactory()
     v2s: List[float] = []
     s2v: List[float] = []
     for vertica_nodes, spark_nodes, rows, v2s_parts, s2v_parts in FIG8_CLUSTERS:
-        fabric = Fabric(num_vertica=vertica_nodes, num_spark=spark_nodes)
+        fabric = fabrics(num_vertica=vertica_nodes, num_spark=spark_nodes)
         dataset = _d1(virtual_rows=rows)
         fabric.populate(dataset, "d1")
         elapsed, __ = fabric.v2s_load("d1", v2s_parts, dataset.scale)
         v2s.append(elapsed)
-        fabric = Fabric(num_vertica=vertica_nodes, num_spark=spark_nodes)
+        fabric = fabrics(num_vertica=vertica_nodes, num_spark=spark_nodes)
         s2v.append(fabric.s2v_save(_d1(virtual_rows=rows), "d1_out", s2v_parts))
         report.add(f"{vertica_nodes}:{spark_nodes}", rows, elapsed, s2v[-1])
     report.note("paper: slight (<10%) degradation per doubling")
@@ -216,6 +259,7 @@ def run_fig8() -> ExperimentReport:
             s2v[index] < s2v[index - 1] * 1.15,
         )
     report.measured = {"v2s": v2s, "s2v": s2v}
+    fabrics.attach(report)
     return report
 
 
@@ -227,15 +271,16 @@ def run_fig9() -> ExperimentReport:
         "Varying data dimensionality at a fixed 10,000M-cell volume",
     )
     report.set_columns(["shape", "V2S sim (s)", "S2V sim (s)"])
+    fabrics = FabricFactory()
     wide = _d1()
     tall = make_d1_reshaped(real_rows=D1_REAL_ROWS)
     times = {}
     for label, dataset in (("100 cols x 100M rows", wide),
                            ("1 col x 10000M rows", tall)):
-        fabric = Fabric()
+        fabric = fabrics()
         fabric.populate(dataset, "d1")
         v2s, __ = fabric.v2s_load("d1", 32, dataset.scale)
-        fabric = Fabric()
+        fabric = fabrics()
         s2v = fabric.s2v_save(dataset, "d1_out", 128)
         times[label] = (v2s, s2v)
         report.add(label, v2s, s2v)
@@ -248,6 +293,7 @@ def run_fig9() -> ExperimentReport:
     report.check("V2S: 1-col variant at least 1.5x slower", tall_v2s > 1.5 * wide_v2s)
     report.check("S2V: 1-col variant at least 1.5x slower", tall_s2v > 1.5 * wide_s2v)
     report.measured = times
+    fabrics.attach(report)
     return report
 
 
@@ -259,17 +305,18 @@ def run_tab3() -> ExperimentReport:
     )
     report.set_columns(["direction", "paper D2 (s)", "sim D2 (s)",
                         "paper D1 (s)", "sim D1 (s)"])
+    fabrics = FabricFactory()
     d2 = make_d2(real_rows=D2_REAL_ROWS)
-    fabric = Fabric()
+    fabric = fabrics()
     fabric.populate(d2, "d2")
     v2s_d2, __ = fabric.v2s_load("d2", 32, d2.scale)
-    fabric = Fabric()
+    fabric = fabrics()
     s2v_d2 = fabric.s2v_save(make_d2(real_rows=D2_REAL_ROWS), "d2_out", 128)
-    fabric = Fabric()
+    fabric = fabrics()
     d1 = _d1()
     fabric.populate(d1, "d1")
     v2s_d1, __ = fabric.v2s_load("d1", 32, d1.scale)
-    fabric = Fabric()
+    fabric = fabrics()
     s2v_d1 = fabric.s2v_save(_d1(), "d1_out", 128)
     report.add("V2S", 378.0, v2s_d2, 490.0, v2s_d1)
     report.add("S2V", 386.0, s2v_d2, 252.0, s2v_d1)
@@ -277,6 +324,7 @@ def run_tab3() -> ExperimentReport:
     report.check("S2V saves D2 slower than D1", s2v_d2 > s2v_d1)
     report.measured = {"v2s_d2": v2s_d2, "s2v_d2": s2v_d2,
                        "v2s_d1": v2s_d1, "s2v_d1": s2v_d1}
+    fabrics.attach(report)
     return report
 
 
@@ -288,11 +336,12 @@ def run_fig10() -> ExperimentReport:
         "Load: V2S vs JDBC DefaultSource, 5% selectivity pushdown",
     )
     report.set_columns(["case", "paper", "V2S sim (s)", "JDBC sim (s)"])
+    fabrics = FabricFactory()
     dataset = make_d1_with_int_column(real_rows=D1_REAL_ROWS)
     selective = [GreaterThanOrEqual("ikey", 0), LessThan("ikey", 5)]
 
     def fresh():
-        fabric = Fabric()
+        fabric = fabrics()
         fabric.populate(dataset, "d1int")
         return fabric
 
@@ -316,6 +365,7 @@ def run_fig10() -> ExperimentReport:
                  jdbc_push / v2s_push < ratio)
     report.measured = {"v2s_full": v2s_full, "jdbc_full": jdbc_full,
                        "v2s_push": v2s_push, "jdbc_push": jdbc_push}
+    fabrics.attach(report)
     return report
 
 
@@ -330,6 +380,7 @@ def run_fig11() -> ExperimentReport:
     )
     report.set_columns(["rows", "paper S2V (s)", "sim S2V (s)",
                         "paper JDBC (s)", "sim JDBC (s)"])
+    fabrics = FabricFactory()
     paper = {1: (5.0, 3.0), 1_000_000: (19.0, 10800.0)}
     s2v: Dict[int, float] = {}
     jdbc: Dict[int, float] = {}
@@ -337,9 +388,9 @@ def run_fig11() -> ExperimentReport:
         real = min(rows, D1_REAL_ROWS)
         dataset = make_d1(real_rows=real).with_virtual_rows(rows)
         partitions = 4 if rows <= 10_000 else 128
-        fabric = Fabric()
+        fabric = fabrics()
         s2v[rows] = fabric.s2v_save(dataset, "dest", partitions)
-        fabric = Fabric()
+        fabric = fabrics()
         jdbc[rows] = fabric.jdbc_save(dataset, "dest", 4)
         paper_s2v, paper_jdbc = paper.get(rows, (None, None))
         report.add(rows, paper_s2v, s2v[rows], paper_jdbc, jdbc[rows])
@@ -354,6 +405,7 @@ def run_fig11() -> ExperimentReport:
     report.check("1M rows: S2V faster by >100x", jdbc[1_000_000] > 100 * s2v[1_000_000])
     report.check("1M rows: JDBC takes hours (>3600 s)", jdbc[1_000_000] > 3600)
     report.measured = {"s2v": s2v, "jdbc": jdbc}
+    fabrics.attach(report)
     return report
 
 
@@ -373,11 +425,12 @@ def run_fig12() -> ExperimentReport:
     real_file_bytes = len(write_columnar(dataset.schema.to_avro(), dataset.rows))
     target_virtual_bytes = 140e9
     block_size = max(1, -(-real_file_bytes // 2232))  # ceil
+    fabrics = FabricFactory()
 
-    fabric = Fabric(with_hdfs=True, hdfs_block_size=block_size)
+    fabric = fabrics(with_hdfs=True, hdfs_block_size=block_size)
     fabric.populate(dataset, "d1")
     v2s_read, __ = fabric.v2s_load("d1", 32, dataset.scale)
-    fabric = Fabric(with_hdfs=True, hdfs_block_size=block_size)
+    fabric = fabrics(with_hdfs=True, hdfs_block_size=block_size)
     # write once (unmeasured) to have something to read; drain the
     # background replication flows so they do not contend with the read
     fabric.hdfs_write(dataset, "/warm", 8)
@@ -388,9 +441,9 @@ def run_fig12() -> ExperimentReport:
     byte_scale = target_virtual_bytes / stored_bytes
     hdfs_read, __ = fabric.hdfs_read("/warm", byte_scale)
 
-    fabric = Fabric(with_hdfs=True, hdfs_block_size=block_size)
+    fabric = fabrics(with_hdfs=True, hdfs_block_size=block_size)
     s2v_write = fabric.s2v_save(_d1(), "d1_out", 128)
-    fabric = Fabric(with_hdfs=True, hdfs_block_size=block_size)
+    fabric = fabrics(with_hdfs=True, hdfs_block_size=block_size)
     hdfs_write = fabric.hdfs_write(_d1(), "/out", 128)
 
     report.add("read", "HDFS ~30% faster", v2s_read, hdfs_read)
@@ -407,6 +460,7 @@ def run_fig12() -> ExperimentReport:
                  abs(blocks - 2240) / 2240 < 0.25)
     report.measured = {"v2s_read": v2s_read, "hdfs_read": hdfs_read,
                        "s2v_write": s2v_write, "hdfs_write": hdfs_write}
+    fabrics.attach(report)
     return report
 
 
@@ -420,19 +474,20 @@ def run_tab4() -> ExperimentReport:
         "tab04_native_copy", "Save with S2V vs native bulk-load COPY"
     )
     report.set_columns(["method", "paper best (s)", "sim best (s)", "at"])
+    fabrics = FabricFactory()
     dataset = _d1()
     csv = dataset.csv_text()
     scale = dataset.virtual_csv_bytes() / len(csv.encode())
     copy_times: Dict[int, float] = {}
     for parts in TAB4_SPLITS:
-        fabric = Fabric()
+        fabric = fabrics()
         session = fabric.vertica.db.connect()
         session.execute(dataset.create_table_sql("bulk"))
         session.close()
         copy_times[parts] = parallel_copy(
             fabric.vertica, "bulk", split_csv(csv, parts), scale_factor=scale
         )
-    fabric = Fabric()
+    fabric = fabrics()
     s2v_best = fabric.s2v_save(_d1(), "bulk2", 128)
     best_split = min(copy_times, key=copy_times.get)
     copy_best = copy_times[best_split]
@@ -445,6 +500,7 @@ def run_tab4() -> ExperimentReport:
     report.check("COPY benefits from multiple splits (4 parts > best)",
                  copy_times[4] >= copy_best)
     report.measured = {"s2v": s2v_best, "copy": copy_times}
+    fabrics.attach(report)
     return report
 
 
@@ -456,14 +512,15 @@ def run_ablation_locality() -> ExperimentReport:
         "Intra-Vertica shuffle: hash-ring V2S vs JDBC value ranges",
     )
     report.set_columns(["method", "time (s)", "internal GB", "external GB"])
+    fabrics = FabricFactory()
     dataset = make_d1_with_int_column(real_rows=D1_REAL_ROWS)
-    fabric = Fabric()
+    fabric = fabrics()
     fabric.populate(dataset, "d1int")
     v2s_time, __ = fabric.v2s_load("d1int", 32, dataset.scale)
     v2s_internal = fabric.vertica.internal_bytes() / 1e9
     v2s_external = fabric.vertica.external_bytes() / 1e9
     report.add("V2S hash-ring", v2s_time, v2s_internal, v2s_external)
-    fabric = Fabric()
+    fabric = fabrics()
     fabric.populate(dataset, "d1int")
     jdbc_time, __ = fabric.jdbc_load(
         "d1int", 32, dataset.scale, partition_column="ikey", lower=0, upper=100
@@ -476,6 +533,7 @@ def run_ablation_locality() -> ExperimentReport:
                  jdbc_internal > 0.5 * v2s_external)
     report.measured = {"v2s": (v2s_time, v2s_internal),
                        "jdbc": (jdbc_time, jdbc_internal)}
+    fabrics.attach(report)
     return report
 
 
@@ -485,11 +543,12 @@ def run_ablation_prehash() -> ExperimentReport:
         "ablation_prehash", "S2V with and without pre-hashed partitioning"
     )
     report.set_columns(["mode", "time (s)", "internal GB"])
-    fabric = Fabric()
+    fabrics = FabricFactory()
+    fabric = fabrics()
     plain = fabric.s2v_save(_d1(), "dest", 128)
     plain_internal = fabric.vertica.internal_bytes() / 1e9
     report.add("default", plain, plain_internal)
-    fabric = Fabric()
+    fabric = fabrics()
     prehashed = fabric.s2v_save(_d1(), "dest", 128, prehash_partitioning=True)
     prehash_internal = fabric.vertica.internal_bytes() / 1e9
     report.add("prehash_partitioning", prehashed, prehash_internal)
@@ -501,6 +560,7 @@ def run_ablation_prehash() -> ExperimentReport:
                  prehashed <= plain * 1.15)
     report.measured = {"plain": (plain, plain_internal),
                        "prehash": (prehashed, prehash_internal)}
+    fabrics.attach(report)
     return report
 
 
@@ -510,9 +570,10 @@ def run_ablation_avro() -> ExperimentReport:
         "ablation_avro", "S2V Avro codec: deflate vs null (dataset D2)"
     )
     report.set_columns(["codec", "time (s)"])
+    fabrics = FabricFactory()
     times = {}
     for codec in ("deflate", "null"):
-        fabric = Fabric()
+        fabric = fabrics()
         times[codec] = fabric.s2v_save(
             make_d2(real_rows=D2_REAL_ROWS), "d2_out", 128, avro_codec=codec
         )
@@ -520,6 +581,7 @@ def run_ablation_avro() -> ExperimentReport:
     report.check("deflate is faster on compressible text",
                  times["deflate"] < times["null"])
     report.measured = times
+    fabrics.attach(report)
     return report
 
 
@@ -531,10 +593,11 @@ def run_ablation_twostage() -> ExperimentReport:
         "ablation_twostage", "S2V single-stage vs two-stage via a landing zone"
     )
     report.set_columns(["approach", "time (s)"])
-    fabric = Fabric()
+    fabrics = FabricFactory()
+    fabric = fabrics()
     single = fabric.s2v_save(_d1(), "dest", 128)
     report.add("single-stage S2V", single)
-    fabric = Fabric(with_hdfs=True)
+    fabric = fabrics(with_hdfs=True)
     dataset = _d1()
     df = fabric.dataframe_of(dataset, 128)
     start = fabric.env.now
@@ -554,4 +617,5 @@ def run_ablation_twostage() -> ExperimentReport:
     report.check("two-stage is not catastrophically slower (< 6x)",
                  two_stage < 6 * single)
     report.measured = {"single": single, "two_stage": two_stage}
+    fabrics.attach(report)
     return report

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro import telemetry as _telemetry
 from repro.baselines.hdfs_source import SimHdfsCluster
 from repro.connector import PAPER_COST_MODEL, SimVerticaCluster
 from repro.sim import Environment
@@ -39,8 +40,18 @@ class Fabric:
         hdfs_block_size: int = 64 * 1024 * 1024,
         hdfs_bandwidth: float = 125e6,
         hdfs_disk_bandwidth: float = 150e6,
+        telemetry: bool = False,
     ):
         self.env = Environment()
+        # Each fabric owns the global registry for its lifetime: enabled
+        # fabrics install a fresh registry bound to their clock; disabled
+        # fabrics reset it so stale instruments never leak across runs.
+        if telemetry:
+            _telemetry.install(
+                _telemetry.MetricsRegistry(enabled=True).bind(self.env)
+            )
+        else:
+            _telemetry.reset()
         self.sim_cluster = SimCluster(self.env)
         self.vertica = SimVerticaCluster(
             env=self.env,
@@ -66,6 +77,35 @@ class Fabric:
                 bandwidth=hdfs_bandwidth,
                 disk_bandwidth=hdfs_disk_bandwidth,
             )
+
+    def metrics_snapshot(self, trace_buckets: int = 60):
+        """Freeze the telemetry recorded on this fabric so far.
+
+        Returns an empty snapshot when the fabric was built with
+        ``telemetry=False``.  When enabled, each Vertica node's external
+        NIC transmit rate-log is folded in as a bucketed
+        :class:`~repro.sim.UsageTrace`, so counters and utilisation series
+        share the snapshot's one reporting path.
+        """
+        registry = _telemetry.get_registry()
+        snapshot = registry.snapshot()
+        if registry.enabled and self.env.now > 0:
+            from repro.sim.trace import UsageTrace
+
+            nic_name = self.vertica.cost_model.external_nic
+            step = self.env.now / trace_buckets
+            for node_name, node in sorted(self.vertica.sim_nodes.items()):
+                link = node.nics[nic_name].tx
+                snapshot.traces.append(
+                    UsageTrace.from_log(
+                        f"{node_name}.{nic_name}.tx_bytes_per_sec",
+                        link.rate_log,
+                        0.0,
+                        self.env.now,
+                        step,
+                    )
+                )
+        return snapshot
 
     # -- setup helpers (uncharged) ------------------------------------------------
     def populate(self, dataset: Dataset, table: str) -> None:

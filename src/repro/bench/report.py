@@ -24,6 +24,25 @@ class ExperimentReport:
         self.rows: List[Tuple] = []
         self.notes: List[str] = []
         self.checks: List[Tuple[str, bool]] = []
+        #: optional telemetry attached via :meth:`attach_telemetry`
+        self.telemetry: Optional["MetricsSnapshot"] = None  # noqa: F821
+
+    def attach_telemetry(self, snapshot) -> None:
+        """Attach a :class:`~repro.telemetry.MetricsSnapshot` to render
+        as the report's telemetry section (merged into prior snapshots'
+        counters if called repeatedly)."""
+        if self.telemetry is None:
+            self.telemetry = snapshot
+            return
+        merged = self.telemetry
+        for name, value in snapshot.counters.items():
+            merged.counters[name] = merged.counters.get(name, 0) + value
+        merged.gauges.update(snapshot.gauges)
+        merged.histograms.update(snapshot.histograms)
+        merged.spans.extend(snapshot.spans)
+        merged.traces.extend(snapshot.traces)
+        for name, value in snapshot.kernel.items():
+            merged.kernel[name] = merged.kernel.get(name, 0) + value
 
     def set_columns(self, columns: Sequence[str]) -> None:
         self.columns = list(columns)
@@ -70,6 +89,9 @@ class ExperimentReport:
             out.append(f"note: {note}")
         for description, ok in self.checks:
             out.append(f"[{'PASS' if ok else 'FAIL'}] {description}")
+        if self.telemetry is not None:
+            out.append("")
+            out.append(self.telemetry.render())
         return "\n".join(out)
 
     def save(self, directory: str = "benchmarks/results") -> str:

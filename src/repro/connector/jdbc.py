@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional, Union
 
+from repro import telemetry
 from repro.sim.cluster import SimNode
 from repro.vertica.engine import ResultSet
 from repro.vertica.errors import LockContention
@@ -103,12 +104,18 @@ class SimVerticaConnection:
     ) -> Generator:
         """Retry an autocommit statement on lock contention with backoff."""
         attempt = 0
+        wait_started = self.env.now
         while True:
             try:
                 result = yield from self.execute(sql, weight=weight)
+                if attempt:
+                    telemetry.histogram("vertica.lock.wait_seconds").observe(
+                        self.env.now - wait_started
+                    )
                 return result
             except LockContention:
                 attempt += 1
+                telemetry.counter("vertica.lock.retries").inc()
                 if attempt > max_retries:
                     raise
                 yield self.env.timeout(backoff * min(attempt, 8))

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from repro import telemetry
 from repro.pmml import ModelEvaluator, parse_pmml
 from repro.vertica import VerticaDatabase
 from repro.vertica.errors import CatalogError, SqlError
@@ -63,6 +64,7 @@ def deploy_pmml_model(
             f"'{name}', '{document.model_type}', {len(pmml_xml)}, "
             f"{len(document.feature_names)})"
         )
+        telemetry.counter("md.models_deployed").inc()
     finally:
         session.close()
 
@@ -119,6 +121,7 @@ def install_pmml_udx(db: VerticaDatabase, cache_size: int = 32) -> None:
             if len(cache) >= cache_size:
                 cache.pop(next(iter(cache)))
             cache[model_name] = evaluator
+        telemetry.counter("md.predictions").inc()
         return evaluator.evaluate(args)
 
     db.udx.register("PMMLPredict", pmml_predict, replace=True)

@@ -33,6 +33,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
+from repro import telemetry
 from repro.avrolite import encode_rows
 from repro.connector.options import ConnectorOptions
 from repro.spark.errors import SparkError
@@ -247,19 +248,25 @@ class S2VWriter:
     def _run_phases(self, ctx, task_index: int, rows: List[Tuple]) -> Generator:
         conn = self.cluster.connect(self._task_node(task_index), client_node=ctx.node)
         try:
-            yield from self._phase1(ctx, conn, task_index, rows)
+            with telemetry.span("s2v.phase1", task=task_index,
+                                attempt=ctx.attempt_number):
+                yield from self._phase1(ctx, conn, task_index, rows)
             ctx.probe("s2v:after_phase1")
-            all_done = yield from self._phase2(ctx, conn)
+            with telemetry.span("s2v.phase2", task=task_index):
+                all_done = yield from self._phase2(ctx, conn)
             if not all_done:
                 return
             ctx.probe("s2v:after_phase2")
-            yield from self._phase3(ctx, conn, task_index)
+            with telemetry.span("s2v.phase3", task=task_index):
+                yield from self._phase3(ctx, conn, task_index)
             ctx.probe("s2v:after_phase3")
-            is_winner = yield from self._phase4(ctx, conn, task_index)
+            with telemetry.span("s2v.phase4", task=task_index):
+                is_winner = yield from self._phase4(ctx, conn, task_index)
             if not is_winner:
                 return
             ctx.probe("s2v:after_phase4")
-            yield from self._phase5(ctx, conn)
+            with telemetry.span("s2v.phase5", task=task_index):
+                yield from self._phase5(ctx, conn)
         finally:
             conn.close()
 

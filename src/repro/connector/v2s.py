@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.connector.options import ConnectorOptions
 from repro.spark.datasource import BaseRelation, Filter, filters_to_sql
 from repro.spark.rdd import RDD
@@ -205,9 +206,11 @@ class VerticaScanRDD(RDD):
                 sql = relation.task_sql(
                     self.epoch, lo, hi, self.required_columns, self.filters
                 )
-                result = yield from connection.execute(
-                    sql, weight=relation.opts.scale_factor
-                )
+                with telemetry.span("v2s.range_query", task=split, node=node):
+                    result = yield from connection.execute(
+                        sql, weight=relation.opts.scale_factor
+                    )
+                telemetry.counter("v2s.rows_fetched").inc(len(result.rows))
                 rows.extend(result.rows)
             finally:
                 connection.close()

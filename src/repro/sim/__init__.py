@@ -20,6 +20,7 @@ from repro.sim.kernel import (
     Environment,
     Event,
     Interrupt,
+    KernelStats,
     Process,
     SimulationError,
     Timeout,
@@ -35,6 +36,7 @@ __all__ = [
     "Environment",
     "Event",
     "Interrupt",
+    "KernelStats",
     "Link",
     "Mutex",
     "Network",

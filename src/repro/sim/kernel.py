@@ -218,6 +218,7 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self._target: Optional[Event] = None
+        env.stats.processes_started += 1
         # Bootstrap: resume the process at the current time.
         bootstrap = Event(env)
         bootstrap._ok = True
@@ -236,6 +237,7 @@ class Process(Event):
             return  # interrupting a finished process is a no-op
         if self._target is self:
             raise SimulationError("a process cannot interrupt itself")
+        self.env.stats.interrupts += 1
         interrupt_event = Event(self.env)
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
@@ -278,6 +280,35 @@ class Process(Event):
         result.add_callback(self._resume)
 
 
+class KernelStats:
+    """Always-on counters of kernel scheduling activity.
+
+    Plain integer bumps — cheap enough to leave enabled unconditionally,
+    and surfaced through ``telemetry.MetricsSnapshot`` when a registry is
+    bound to the environment.
+    """
+
+    __slots__ = ("events_processed", "processes_started", "interrupts")
+
+    def __init__(self):
+        self.events_processed = 0
+        self.processes_started = 0
+        self.interrupts = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "events_processed": self.events_processed,
+            "processes_started": self.processes_started,
+            "interrupts": self.interrupts,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelStats(events={self.events_processed}, "
+            f"processes={self.processes_started}, interrupts={self.interrupts})"
+        )
+
+
 class _QueueEntry:
     __slots__ = ("time", "priority", "seq", "event")
 
@@ -303,6 +334,7 @@ class Environment:
         self._queue: List[_QueueEntry] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self.stats = KernelStats()
 
     @property
     def now(self) -> float:
@@ -341,6 +373,7 @@ class Environment:
             raise SimulationError("attempt to step an exhausted simulation")
         entry = heapq.heappop(self._queue)
         self._now = entry.time
+        self.stats.events_processed += 1
         entry.event._process()
 
     def peek(self) -> float:

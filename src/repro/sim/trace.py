@@ -19,15 +19,17 @@ def bucket_series(
 ) -> List[float]:
     """Time-weighted average of a piecewise-constant log per bucket.
 
-    ``log`` holds (time, value) change points, sorted by time, with each
-    value holding until the next change point.  Returns one average per
-    bucket of width ``step`` covering [start, end).
+    ``log`` holds (time, value) change points, with each value holding
+    until the next change point.  Points need not arrive sorted —
+    change-point logs assembled from several processes can interleave —
+    so they are sorted by time here.  Returns one average per bucket of
+    width ``step`` covering [start, end).
     """
     if step <= 0:
         raise ValueError(f"bucket step must be positive: {step}")
     if end <= start:
         return []
-    points = list(log)
+    points = sorted(log, key=lambda point: point[0])
     buckets: List[float] = []
     t = start
     while t < end - 1e-12:
@@ -106,13 +108,18 @@ class UsageTrace:
             return ""
         glyphs = " .:-=+*#%@"
         top = peak or self.peak or 1.0
-        stride = max(1, len(self.values) // width)
-        cells = [
-            sum(self.values[i : i + stride]) / len(self.values[i : i + stride])
-            for i in range(0, len(self.values), stride)
-        ]
+        # Partition the full series into near-equal chunks, one per output
+        # column, so trailing values are never dropped when the length is
+        # not a multiple of the width.
+        n = min(width, len(self.values))
+        cells = []
+        for k in range(n):
+            lo = k * len(self.values) // n
+            hi = (k + 1) * len(self.values) // n
+            chunk = self.values[lo:hi]
+            cells.append(sum(chunk) / len(chunk))
         out = []
-        for cell in cells[:width]:
+        for cell in cells:
             idx = min(len(glyphs) - 1, int(round(cell / top * (len(glyphs) - 1))))
             out.append(glyphs[max(0, idx)])
         return "".join(out)

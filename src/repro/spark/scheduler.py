@@ -22,11 +22,12 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, Generator, List, Optional
 
+from repro import telemetry
 from repro.sim import Environment, Event, Interrupt
 from repro.sim.cluster import SimNode
 from repro.sim.resources import Resource, Store
 from repro.spark.errors import JobFailedError
-from repro.spark.faults import FaultPolicy
+from repro.spark.faults import FaultPolicy, InjectedFailure
 
 #: Spark's spark.task.maxFailures default
 DEFAULT_MAX_FAILURES = 4
@@ -177,6 +178,7 @@ class TaskScheduler:
         """Submit one task per thunk; returns the Job (await ``job.done``)."""
         tasks = [_Task(i, thunk) for i, thunk in enumerate(thunks)]
         job = Job(self.env, name, tasks)
+        telemetry.counter("spark.jobs_submitted").inc()
         job.done = self.env.process(self._driver(job), name=f"{job.name}.driver")
         return job
 
@@ -196,6 +198,9 @@ class TaskScheduler:
             self, job, task, task.attempts_started, speculative, executor
         )
         task.attempts_started += 1
+        telemetry.counter("spark.attempts_launched").inc()
+        if speculative:
+            telemetry.counter("spark.attempts_speculative").inc()
         process = self.env.process(
             self._attempt(job, task, ctx), name=f"{job.name}.t{task.index}.a{ctx.attempt_number}"
         )
@@ -204,8 +209,12 @@ class TaskScheduler:
     def _attempt(self, job: Job, task: _Task, ctx: TaskContext) -> Generator:
         executor = ctx.executor
         request = executor.slots.request()
+        slot_wait_started = self.env.now
         try:
             yield request
+            telemetry.histogram("spark.slot_wait_seconds").observe(
+                self.env.now - slot_wait_started
+            )
             if self.task_launch_overhead:
                 yield self.env.timeout(self.task_launch_overhead)
             self.fault_policy.on_task_start(ctx)
@@ -218,6 +227,11 @@ class TaskScheduler:
         except Interrupt as interrupt:
             job.mailbox.put(("killed", task, ctx, interrupt))
         except Exception as exc:  # noqa: BLE001 - reported to the driver
+            if isinstance(exc, InjectedFailure):
+                # Counted here, not in the driver: zombie duplicates can
+                # fail after the job finished, when nothing drains the
+                # mailbox, and each injection must still be visible.
+                telemetry.counter("spark.task_failures_injected").inc()
             job.mailbox.put(("fail", task, ctx, exc))
         finally:
             # Deregister here too: after the driver has returned, nothing
@@ -247,6 +261,7 @@ class TaskScheduler:
                 task.result = payload
                 task.finish_time = self.env.now
                 completed += 1
+                telemetry.counter("spark.tasks_completed").inc()
                 if self.kill_speculative_losers:
                     for process in list(task.live_attempts.values()):
                         process.interrupt("task already completed")
@@ -256,6 +271,14 @@ class TaskScheduler:
                 if task.completed:
                     continue  # duplicate failed after success; irrelevant
                 task.failures += 1
+                telemetry.counter("spark.task_failures").inc()
+                if task.live_attempts:
+                    # Another attempt of this task — typically the original
+                    # of a failed speculative duplicate — is still running;
+                    # relaunching here would spawn a third concurrent copy,
+                    # and counting toward max_failures would let a flaky
+                    # duplicate cancel an otherwise-healthy job.
+                    continue
                 if task.failures >= self.max_failures:
                     job.cancel(
                         f"task {task.index} failed {task.failures} times: {payload}"

@@ -125,11 +125,16 @@ def run_copy(
     Returns ``(ResultSet, CopyResult)``.  Raises :class:`CopyRejectError`
     if rejections exceed REJECTMAX (default: zero tolerance).
     """
+    from repro import telemetry
     from repro.vertica.engine import CostReport, ResultSet
 
     table = engine.database.catalog.table(statement.table)
     if payload is None:
         raise SqlError("COPY FROM STDIN requires a data payload")
+    telemetry.counter("vertica.copy.statements").inc()
+    telemetry.counter("vertica.copy.bytes").inc(
+        len(payload) if isinstance(payload, (bytes, bytearray, str)) else 0
+    )
     if statement.file_format == "AVRO":
         if not isinstance(payload, (bytes, bytearray)):
             raise SqlError("COPY FORMAT AVRO requires a bytes payload")
@@ -140,11 +145,13 @@ def run_copy(
         good, bad = parse_csv_rows(table, payload, statement.delimiter)
 
     limit = statement.reject_max if statement.reject_max is not None else 0
+    telemetry.counter("vertica.copy.rows_rejected").inc(len(bad))
     if len(bad) > limit:
         raise CopyRejectError(len(bad), limit, bad[:REJECT_SAMPLE_SIZE])
 
     cost = CostReport()
     loaded = engine.insert_rows(table.name, good, txn, cost)
+    telemetry.counter("vertica.copy.rows_loaded").inc(loaded)
     result = ResultSet(
         columns=["ROWS_LOADED"], rows=[(loaded,)], rowcount=loaded, cost=cost
     )

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.vertica.errors import CatalogError, SqlError
 from repro.vertica.expr import (
     Between,
@@ -322,6 +323,9 @@ class Engine:
         cost: Optional[CostReport] = None,
     ) -> ResultSet:
         cost = cost if cost is not None else CostReport()
+        telemetry.counter("vertica.queries.select").inc()
+        if statement.at_epoch is not None:
+            telemetry.counter("vertica.epoch_reads").inc()
         if (
             statement.at_epoch is not None
             and statement.at_epoch < self.database.tuple_mover.ahm_epoch
@@ -789,6 +793,7 @@ class Engine:
             if statement.columns
             else table.column_names()
         )
+        telemetry.counter("vertica.queries.insert").inc()
         rows = []
         for value_exprs in statement.rows:
             if len(value_exprs) != len(target_columns):
@@ -806,6 +811,7 @@ class Engine:
         self, statement: ast.InsertSelect, txn: Transaction, initiator: str
     ) -> ResultSet:
         table = self.database.catalog.table(statement.table)
+        telemetry.counter("vertica.queries.insert").inc()
         cost = CostReport()
         result = self.select(statement.query, txn, initiator, cost=cost)
         target_columns = (
@@ -828,6 +834,7 @@ class Engine:
         db = self.database
         table = db.catalog.table(statement.table)
         txn.lock(table.name)
+        telemetry.counter("vertica.queries.update").inc()
         cost = CostReport()
         snapshot = db.epochs.current
         assignments = [(c.upper(), e) for c, e in statement.assignments]
@@ -863,6 +870,7 @@ class Engine:
         db = self.database
         table = db.catalog.table(statement.table)
         txn.lock(table.name)
+        telemetry.counter("vertica.queries.delete").inc()
         cost = CostReport()
         snapshot = db.epochs.current
         count = 0

@@ -22,6 +22,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.vertica.errors import LockContention, TransactionError
 from repro.vertica.storage import NodeStorage, RosContainer, WosBuffer
 
@@ -67,11 +68,14 @@ class LockManager:
             return  # already hold an equal-or-stronger lock
         others = {t: m for t, m in holders.items() if t != txn_id}
         if mode == "X" and others:
+            telemetry.counter("vertica.lock.contention").inc()
             raise LockContention(table, next(iter(others)), txn_id)
         if mode == "I" and any(m == "X" for m in others.values()):
             blocker = next(t for t, m in others.items() if m == "X")
+            telemetry.counter("vertica.lock.contention").inc()
             raise LockContention(table, blocker, txn_id)
         holders[txn_id] = mode
+        telemetry.counter("vertica.lock.acquired").inc()
 
     def release_all(self, txn_id: int) -> None:
         for table in list(self._holders):
@@ -189,6 +193,7 @@ class Transaction:
             action(epoch)
         self.status = COMMITTED
         self._locks.release_all(self.txn_id)
+        telemetry.counter("vertica.txn.commits").inc()
         return epoch
 
     def abort(self) -> None:
@@ -200,3 +205,4 @@ class Transaction:
         self.post_commit.clear()
         self.status = ABORTED
         self._locks.release_all(self.txn_id)
+        telemetry.counter("vertica.txn.aborts").inc()

@@ -200,6 +200,59 @@ class TestExactlyOnceUnderFailures:
         assert table_rows(vc) == sorted(ROWS)
         assert result.status == "SUCCESS"
 
+    def test_driver_completes_rename_when_every_attempt_dies_there(self):
+        """Driver-side overwrite recovery: if every task attempt that
+        reaches the rename point dies there, the entitled committer has
+        already flipped the status to SUCCESS and dropped the old target,
+        and its retry returns early (the conditional update hits zero
+        rows) — so the staging table survives the job and the *driver's*
+        finalisation must complete the rename."""
+        from repro.connector.s2v import S2VWriter
+        from repro.spark.faults import FaultPolicy, InjectedFailure
+
+        class AlwaysDieBeforeRename(FaultPolicy):
+            def __init__(self):
+                self.injected = set()
+
+            def on_probe(self, ctx, label):
+                if label == "s2v:phase5_before_rename":
+                    self.injected.add((ctx.partition_id, ctx.attempt_number))
+                    raise InjectedFailure("dies at the rename, every time")
+
+        vc, spark = make_fabric()
+        save(vc, spark, rows=[(999, 9.0)])  # pre-existing target
+        policy = AlwaysDieBeforeRename()
+        spark.scheduler.fault_policy = policy
+
+        df = spark.create_dataframe(ROWS, SCHEMA, num_partitions=8)
+        writer = S2VWriter(spark, "overwrite", {"db": vc, "table": "dest",
+                                                "numpartitions": 8}, df)
+        vc.run(writer._setup(), name="setup")
+        rdd, num_tasks = writer._partitioned_rdd()
+        thunks = [writer._make_task(rdd, i) for i in range(num_tasks)]
+        job = spark.scheduler.submit(thunks, writer.job_name)
+        vc.env.run(job.done)  # the job still completes: retries return early
+        assert policy.injected  # the entitled committer really died
+
+        # Mid-crash state: status says SUCCESS, old target is dropped, and
+        # the staging table is the only copy of the data.
+        session = vc.db.connect()
+        status = session.execute(
+            f"SELECT status FROM {FINAL_STATUS_TABLE} "
+            f"WHERE job_name = '{writer.job_name}'"
+        ).scalar()
+        session.close()
+        assert status == "SUCCESS"
+        assert not vc.db.catalog.has_table("DEST")
+        assert vc.db.catalog.has_table(writer.staging.upper())
+
+        result = vc.run(writer._finalize(job), name="finalize")
+        assert result.status == "SUCCESS"
+        assert result.rows_loaded == 200
+        assert result.rows_rejected == 0
+        assert table_rows(vc) == sorted(ROWS)
+        assert not vc.db.catalog.has_table(writer.staging.upper())
+
     def test_total_spark_failure_leaves_target_untouched(self):
         """§3.2.1: 'in the worst case of total Spark failure the target
         table will not be affected', and the final status table records

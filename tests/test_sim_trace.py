@@ -44,6 +44,21 @@ def test_multiple_changes_within_bucket():
     assert bucket_series(log, 0, 1, 1) == [pytest.approx(40.0)]
 
 
+def test_unsorted_log_matches_sorted():
+    """Change points assembled from interleaved processes may arrive out
+    of order; bucketing must sort them first or the windowed averages pick
+    the wrong 'current' value."""
+    ordered = [(0.0, 0.0), (1.0, 100.0), (2.0, 50.0), (3.0, 0.0)]
+    shuffled = [ordered[2], ordered[0], ordered[3], ordered[1]]
+    assert bucket_series(shuffled, 0, 4, 1) == bucket_series(ordered, 0, 4, 1)
+    assert bucket_series(shuffled, 0, 4, 1) == [0.0, 100.0, 50.0, 0.0]
+
+
+def test_unsorted_log_mid_bucket_weighting():
+    shuffled = [(1.0, 100.0), (0.0, 0.0)]
+    assert bucket_series(shuffled, 0, 2, 2) == [pytest.approx(50.0)]
+
+
 class TestUsageTrace:
     def test_from_log_and_stats(self):
         trace = UsageTrace.from_log("cpu", [(0.0, 0.0), (5.0, 100.0)], 0, 10, 1)
@@ -69,3 +84,26 @@ class TestUsageTrace:
 
     def test_sparkline_empty(self):
         assert UsageTrace("x", [], []).sparkline() == ""
+
+    def test_sparkline_keeps_trailing_values(self):
+        """A series longer than the width (and not a multiple of it) must
+        still represent its tail: a final spike may not be dropped."""
+        values = [0.0] * 95 + [100.0] * 6  # 101 values, width 60
+        trace = UsageTrace("x", list(range(len(values))), values)
+        line = trace.sparkline(width=60)
+        assert len(line) == 60
+        assert line[-1] != " "  # the trailing spike is visible
+
+    def test_sparkline_trailing_value_odd_length(self):
+        # 7 values into 3 cells: chunks of 2, 2, 3 — the last cell must
+        # include the final value.
+        values = [0.0] * 6 + [90.0]
+        trace = UsageTrace("x", list(range(7)), values)
+        line = trace.sparkline(width=3)
+        assert len(line) == 3
+        assert line[2] != " "
+
+    def test_sparkline_wider_than_series(self):
+        trace = UsageTrace("x", [0, 1], [0.0, 100.0])
+        line = trace.sparkline(width=60)
+        assert line == " @"

@@ -193,6 +193,60 @@ class TestSpeculation:
         env.run()  # let the zombie loser finish
         assert len(effects) == 2
 
+    def test_failed_speculative_duplicate_does_not_relaunch(self):
+        """Regression: a speculative duplicate that fails while the
+        original attempt is still running must not trigger a retry — the
+        original is the retry.  Previously the driver relaunched, spawning
+        a third concurrent copy of the task."""
+        env, scheduler = make_scheduler(
+            cores=8, workers=2, speculation=True,
+            fault_policy=ProbeFailurePolicy({(7, 1): "speculative_work"}),
+        )
+
+        def fast(i):
+            def thunk(ctx):
+                yield ctx.env.timeout(1.0)
+                return i
+
+            return thunk
+
+        def straggler(ctx):
+            yield ctx.env.timeout(1.0 if ctx.speculative else 10.0)
+            ctx.probe("speculative_work")
+            return "slow"
+
+        job = scheduler.submit([fast(i) for i in range(7)] + [straggler])
+        results = env.run(job.done)
+        assert results[-1] == "slow"
+        task = job.tasks[7]
+        assert task.failures == 1  # the duplicate's failure is recorded
+        assert task.attempts_started == 2  # original + duplicate, no third
+
+    def test_flaky_speculative_duplicate_cannot_cancel_healthy_job(self):
+        """Regression: with max_failures=1, a failed speculative duplicate
+        used to count against the task and cancel the whole job even
+        though the healthy original was still running."""
+        env, scheduler = make_scheduler(
+            cores=8, workers=2, speculation=True, max_failures=1,
+            fault_policy=ProbeFailurePolicy({(7, 1): "speculative_work"}),
+        )
+
+        def fast(i):
+            def thunk(ctx):
+                yield ctx.env.timeout(1.0)
+                return i
+
+            return thunk
+
+        def straggler(ctx):
+            yield ctx.env.timeout(1.0 if ctx.speculative else 10.0)
+            ctx.probe("speculative_work")
+            return "slow"
+
+        results = scheduler.run([fast(i) for i in range(7)] + [straggler])
+        assert results == [0, 1, 2, 3, 4, 5, 6, "slow"]
+        assert env.now == pytest.approx(10.0)  # the original finished
+
     def test_losers_killed_when_configured(self):
         env, scheduler = make_scheduler(
             cores=8, workers=2, speculation=True, kill_speculative_losers=True
