@@ -1,0 +1,313 @@
+"""Chaos soak harness: many seeded fault schedules, one invariant bar.
+
+Each *trial* builds a fresh fabric, derives a :class:`~repro.chaos.
+ChaosSchedule` from one integer seed, runs a full connector workload
+(S2V save in overwrite/append × speculation on/off, or a V2S scan)
+under that schedule, and audits the database with the
+:class:`~repro.chaos.InvariantChecker`.  A trial passes when every
+invariant holds — whether the workload succeeded or failed cleanly.
+
+Reproducibility is the contract: a failing trial is replayed from its
+printed seed alone::
+
+    PYTHONPATH=src python -m repro.bench.chaos_soak --replay-seed 41 \\
+        --workload s2v --mode append --speculation
+
+Run the full soak (the CI chaos job does this with ``--seeds 25``)::
+
+    PYTHONPATH=src python -m repro.bench.chaos_soak --seeds 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.fabric import Fabric
+from repro.chaos import ChaosSchedule, InvariantChecker, InvariantReport
+from repro.connector.costmodel import VerticaCostModel
+from repro.connector.s2v import FINAL_STATUS_TABLE, S2VWriter
+from repro.spark.row import StructField, StructType
+
+#: small-but-nonzero latencies: enough clock movement for rich fault
+#: interleavings (crashes mid-COPY, storms overlapping phase 5) while a
+#: 100-trial soak stays in seconds of wall time
+SOAK_COST_MODEL = VerticaCostModel(
+    connect_latency=0.02,
+    query_latency=0.004,
+    ddl_latency=0.01,
+    query_plan_cpu=0.002,
+    scan_cpu_per_row=2e-6,
+    output_cpu_per_row=4e-6,
+    load_cpu_per_row=6e-6,
+    encode_cpu_per_row=3e-6,
+    per_connection_rate_cap=3e4,
+    copy_rate_cap=2e4,
+)
+
+SCHEMA = StructType([StructField("id", "long"), StructField("v", "double")])
+ROWS = [(i, float((i * 7) % 31)) for i in range(240)]
+PRIOR_ROWS = [(1000 + i, -1.0) for i in range(8)]
+NUM_TASKS = 6
+TARGET = "chaos_tgt"
+SOURCE = "chaos_src"
+#: virtual scale factor: stretches transfers so task phases span seconds
+#: and timed faults land *inside* COPY streams and phase-5 commits
+SCALE = 60.0
+#: timed chaos events draw fire times from (0.05, HORIZON) — sized to the
+#: fault-free run length so faults overlap setup, tasks and finalisation
+HORIZON = 4.0
+
+
+class TrialResult:
+    """One trial's outcome: config, schedule, workload result, audit."""
+
+    def __init__(self, workload: str, seed: int, mode: str, speculation: bool,
+                 raised: Optional[BaseException], report: InvariantReport,
+                 injections: int):
+        self.workload = workload
+        self.seed = seed
+        self.mode = mode
+        self.speculation = speculation
+        self.raised = raised
+        self.report = report
+        self.injections = injections
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    @property
+    def succeeded(self) -> bool:
+        """The workload itself completed (as opposed to failing cleanly)."""
+        return self.raised is None
+
+    def replay_command(self) -> str:
+        spec = " --speculation" if self.speculation else ""
+        mode = f" --mode {self.mode}" if self.workload == "s2v" else ""
+        return (
+            f"python -m repro.bench.chaos_soak --replay-seed {self.seed} "
+            f"--workload {self.workload}{mode}{spec}"
+        )
+
+    def describe(self) -> str:
+        outcome = "succeeded" if self.succeeded else f"failed ({self.raised!r})"
+        verdict = "OK" if self.ok else "INVARIANT VIOLATION"
+        head = (
+            f"[{verdict}] {self.workload} seed={self.seed} mode={self.mode} "
+            f"speculation={self.speculation} injections={self.injections} "
+            f"workload {outcome}"
+        )
+        if self.ok:
+            return head
+        return head + "\n" + self.report.describe() + \
+            f"\nreplay: {self.replay_command()}"
+
+
+def _fabric(speculation: bool) -> Fabric:
+    return Fabric(
+        num_vertica=3,
+        num_spark=4,
+        cost_model=SOAK_COST_MODEL,
+        speculation=speculation,
+        telemetry=True,
+        failover_connect=True,
+    )
+
+
+def _drain(fabric: Fabric, report: InvariantReport) -> None:
+    """Run the clock to exhaustion (zombies, heals, restarts)."""
+    try:
+        fabric.env.run()
+        report.passed("clean-drain")
+    except BaseException as exc:  # noqa: BLE001 - audited, not swallowed
+        report.violated("clean-drain", f"draining the run raised {exc!r}")
+
+
+def run_s2v_trial(seed: int, mode: str = "overwrite",
+                  speculation: bool = False, verbose: bool = False) -> TrialResult:
+    """One seeded S2V save under chaos, audited."""
+    fabric = _fabric(speculation)
+    checker = InvariantChecker(fabric.vertica)
+    prior: List = []
+    if mode == "append":
+        prior = list(PRIOR_ROWS)
+        session = fabric.vertica.db.connect()
+        session.execute(f"CREATE TABLE {TARGET} (id INTEGER, v FLOAT)")
+        values = ", ".join(f"({i}, {v})" for i, v in prior)
+        session.execute(f"INSERT INTO {TARGET} VALUES {values}")
+        session.close()
+    schedule = ChaosSchedule.random(
+        seed,
+        spark_nodes=[worker.name for worker in fabric.spark.workers],
+        vertica_nodes=fabric.vertica.node_names,
+        link_names=sorted(fabric.all_links()),
+        tables=(FINAL_STATUS_TABLE, TARGET.upper()),
+        horizon=HORIZON,
+        events=4,
+    )
+    controller = fabric.attach_chaos(schedule)
+    if verbose:
+        print("\n".join(schedule.describe()))
+    df = fabric.spark.create_dataframe(ROWS, SCHEMA, num_partitions=NUM_TASKS)
+    writer = S2VWriter(
+        fabric.spark, mode,
+        {"db": fabric.vertica, "table": TARGET, "numpartitions": NUM_TASKS,
+         "scale_factor": SCALE},
+        df,
+    )
+    raised: Optional[BaseException] = None
+    try:
+        writer.save()
+    except Exception as exc:  # noqa: BLE001 - the audit decides if this is fine
+        raised = exc
+    report = InvariantReport(f"s2v seed={seed}")
+    _drain(fabric, report)
+    report.merge(checker.check_s2v_save(
+        writer.job_name, TARGET, ROWS,
+        mode=mode, prior_rows=prior, raised=raised,
+    ))
+    if verbose:
+        for record in controller.injections:
+            print(record)
+        print(report.describe())
+    return TrialResult(
+        "s2v", seed, mode, speculation, raised, report,
+        len(controller.injections),
+    )
+
+
+def run_v2s_trial(seed: int, speculation: bool = False,
+                  verbose: bool = False) -> TrialResult:
+    """One seeded V2S scan under chaos, audited against its pinned epoch."""
+    from repro.connector.v2s import VerticaRelation
+
+    fabric = _fabric(speculation)
+    session = fabric.vertica.db.connect()
+    session.execute(
+        f"CREATE TABLE {SOURCE} (id INTEGER, v FLOAT) SEGMENTED BY HASH(id)"
+    )
+    values = ", ".join(f"({i}, {v})" for i, v in ROWS)
+    session.execute(f"INSERT INTO {SOURCE} VALUES {values}")
+    session.close()
+    checker = InvariantChecker(fabric.vertica)
+    schedule = ChaosSchedule.random(
+        seed,
+        spark_nodes=[worker.name for worker in fabric.spark.workers],
+        vertica_nodes=fabric.vertica.node_names,
+        link_names=sorted(fabric.all_links()),
+        horizon=HORIZON,
+        events=4,
+        families=("executor_crash", "link_degrade", "vertica_restart",
+                  "connection_sever", "task_kill"),
+        sever_keywords=("AT",),
+    )
+    controller = fabric.attach_chaos(schedule)
+    if verbose:
+        print("\n".join(schedule.describe()))
+    relation = VerticaRelation(fabric.spark, {
+        "db": fabric.vertica, "table": SOURCE, "numpartitions": NUM_TASKS,
+        "scale_factor": SCALE,
+    })
+    rdd = relation.build_scan()
+    raised: Optional[BaseException] = None
+    rows: List = []
+    try:
+        for partition in fabric.spark.run_job(rdd, name=f"chaos_v2s_{seed}"):
+            rows.extend(partition)
+    except Exception as exc:  # noqa: BLE001 - the audit decides if this is fine
+        raised = exc
+    report = InvariantReport(f"v2s seed={seed}")
+    _drain(fabric, report)
+    if raised is None:
+        report.merge(checker.check_v2s_scan(SOURCE, rdd.epoch, rows))
+    else:
+        report.merge(checker.check_no_leaks())
+    if verbose:
+        for record in controller.injections:
+            print(record)
+        print(report.describe())
+    return TrialResult(
+        "v2s", seed, "-", speculation, raised, report,
+        len(controller.injections),
+    )
+
+
+#: the S2V configuration rotation: both commit paths × speculation
+S2V_CONFIGS = (
+    ("overwrite", False),
+    ("overwrite", True),
+    ("append", False),
+    ("append", True),
+)
+
+
+def run_soak(num_seeds: int = 25, base_seed: int = 0,
+             verbose: bool = False) -> List[TrialResult]:
+    """Run ``num_seeds`` S2V trials (rotating configs) plus V2S trials."""
+    trials: List[TrialResult] = []
+    for index in range(num_seeds):
+        seed = base_seed + index
+        mode, speculation = S2V_CONFIGS[index % len(S2V_CONFIGS)]
+        trials.append(run_s2v_trial(seed, mode, speculation))
+        if verbose:
+            print(trials[-1].describe())
+        trials.append(run_v2s_trial(seed + 7919, speculation=speculation))
+        if verbose:
+            print(trials[-1].describe())
+    return trials
+
+
+def summarize(trials: Sequence[TrialResult]) -> str:
+    failures = [t for t in trials if not t.ok]
+    succeeded = sum(1 for t in trials if t.succeeded)
+    injections = sum(t.injections for t in trials)
+    lines = [
+        f"chaos soak: {len(trials)} trials, {len(failures)} invariant "
+        f"violations, {succeeded} workloads succeeded, "
+        f"{len(trials) - succeeded} failed cleanly, "
+        f"{injections} faults injected",
+    ]
+    for trial in failures:
+        lines.append(trial.describe())
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=25,
+                        help="number of soak seeds (2 trials per seed)")
+    parser.add_argument("--base-seed", type=int, default=0)
+    parser.add_argument("--replay-seed", type=int, default=None,
+                        help="replay one trial with full fault/audit output")
+    parser.add_argument("--workload", choices=("s2v", "v2s"), default="s2v")
+    parser.add_argument("--mode", choices=("overwrite", "append"),
+                        default="overwrite")
+    parser.add_argument("--speculation", action="store_true")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.replay_seed is not None:
+        if args.workload == "s2v":
+            trial = run_s2v_trial(args.replay_seed, args.mode,
+                                  args.speculation, verbose=True)
+        else:
+            trial = run_v2s_trial(args.replay_seed, args.speculation,
+                                  verbose=True)
+        print(trial.describe())
+        return 0 if trial.ok else 1
+
+    trials = run_soak(args.seeds, args.base_seed, verbose=args.verbose)
+    print(summarize(trials))
+    failures = [t for t in trials if not t.ok]
+    if failures:
+        return 1
+    if not any(t.injections for t in trials):
+        print("soak was vacuous: no faults were injected", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

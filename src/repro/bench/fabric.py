@@ -41,6 +41,8 @@ class Fabric:
         hdfs_bandwidth: float = 125e6,
         hdfs_disk_bandwidth: float = 150e6,
         telemetry: bool = False,
+        failover_connect: bool = False,
+        rate_log_limit: Optional[int] = 65536,
     ):
         self.env = Environment()
         # Each fabric owns the global registry for its lifetime: enabled
@@ -58,6 +60,7 @@ class Fabric:
             sim_cluster=self.sim_cluster,
             num_nodes=num_vertica,
             cost_model=cost_model,
+            failover_connect=failover_connect,
         )
         self.spark = SparkSession(
             env=self.env,
@@ -77,6 +80,42 @@ class Fabric:
                 bandwidth=hdfs_bandwidth,
                 disk_bandwidth=hdfs_disk_bandwidth,
             )
+        # Bound every link's rate log when telemetry records it: long soak
+        # runs otherwise grow the piecewise-rate history without limit.
+        if telemetry and rate_log_limit:
+            for link in self.all_links().values():
+                link.rate_log_limit = rate_log_limit
+        self.chaos = None
+
+    # -- chaos ------------------------------------------------------------------
+    def all_links(self) -> Dict[str, "Link"]:  # noqa: F821
+        """Every fair-share link in the fabric, by unique name."""
+        links = {}
+        for node in self.sim_cluster.nodes.values():
+            for nic in node.nics.values():
+                links[nic.tx.name] = nic.tx
+                links[nic.rx.name] = nic.rx
+        for link in self.vertica.ingest_links.values():
+            links[link.name] = link
+        return links
+
+    def attach_chaos(self, schedule) -> "ChaosController":  # noqa: F821
+        """Install a chaos schedule over this fabric; returns the controller.
+
+        Arms every timed action on the fabric's clock and hooks the task
+        scheduler and the JDBC bridge.  Call before running the workload.
+        """
+        from repro.chaos import ChaosController
+
+        controller = ChaosController(self.env, schedule)
+        controller.install(
+            scheduler=self.spark.scheduler,
+            vertica=self.vertica,
+            links=self.all_links(),
+            network=self.sim_cluster.network,
+        )
+        self.chaos = controller
+        return controller
 
     def metrics_snapshot(self, trace_buckets: int = 60):
         """Freeze the telemetry recorded on this fabric so far.

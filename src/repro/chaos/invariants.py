@@ -1,0 +1,290 @@
+"""Post-run invariant auditing: did the protocol survive the chaos?
+
+After any chaosed run the checker audits what the paper's protocols
+guarantee *regardless* of faults:
+
+- **S2V exactly-once** (§3.2.1): if ``S2V_JOB_STATUS`` says SUCCESS, the
+  target table holds exactly one copy of the source multiset (appended to
+  the prior contents in append mode); any other status means the save
+  raised and the target is untouched.  The status table is the arbiter —
+  it must never disagree with the data.
+- **No leaked state**: per-job temporary tables are gone after the driver
+  survived (success or failure), no transaction still holds a table lock,
+  and every client session was returned.
+- **V2S snapshot isolation** (§3.1.2): the rows a scan produced equal an
+  ``AT EPOCH`` re-read of its pinned epoch — one consistent snapshot,
+  even though tasks ran (and re-ran) while writers advanced the epoch.
+
+Checks read the database substrate directly through short-lived sessions
+(no simulated cost), so auditing perturbs nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+#: table-name suffixes of S2V per-job temporary state
+TEMP_SUFFIXES = ("_STAGING", "_TASK_STATUS", "_LAST_COMMITTER")
+
+
+class InvariantViolation:
+    """One broken invariant."""
+
+    def __init__(self, name: str, detail: str):
+        self.name = name
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"{self.name}: {self.detail}"
+
+
+class InvariantReport:
+    """The outcome of one audit: which checks ran, what broke."""
+
+    def __init__(self, title: str = "invariants"):
+        self.title = title
+        self.checks: List[str] = []
+        self.violations: List[InvariantViolation] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def passed(self, check: str) -> None:
+        self.checks.append(check)
+
+    def violated(self, name: str, detail: str) -> None:
+        self.checks.append(name)
+        self.violations.append(InvariantViolation(name, detail))
+
+    def merge(self, other: "InvariantReport") -> "InvariantReport":
+        self.checks.extend(other.checks)
+        self.violations.extend(other.violations)
+        return self
+
+    def describe(self) -> str:
+        lines = [f"{self.title}: {'OK' if self.ok else 'VIOLATED'} "
+                 f"({len(self.checks)} checks)"]
+        for violation in self.violations:
+            lines.append(f"  FAIL {violation}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+def _multiset(rows: Sequence[Sequence[Any]]) -> List[Tuple[Any, ...]]:
+    return sorted(tuple(row) for row in rows)
+
+
+class InvariantChecker:
+    """Audits one database after a (possibly chaosed) run.
+
+    Construct it *before* the run so it can baseline per-node session
+    counts; sessions the workload opens and fails to close then show up
+    as leaks.
+    """
+
+    def __init__(self, vertica):
+        self.db = vertica.db if hasattr(vertica, "db") else vertica
+        self._baseline_sessions = {
+            node: self.db.session_count(node) for node in self.db.node_names
+        }
+
+    # -- primitives ----------------------------------------------------------
+    def _session(self):
+        return self.db.connect(failover=True)
+
+    def _table_exists(self, name: str) -> bool:
+        return self.db.catalog.has_table(name)
+
+    def _rows_of(self, table: str) -> List[Tuple[Any, ...]]:
+        session = self._session()
+        try:
+            return _multiset(session.execute(f"SELECT * FROM {table}").rows)
+        finally:
+            session.close()
+
+    def _job_status(self, job_name: str) -> Optional[str]:
+        from repro.connector.s2v import FINAL_STATUS_TABLE
+
+        if not self._table_exists(FINAL_STATUS_TABLE):
+            return None
+        session = self._session()
+        try:
+            result = session.execute(
+                f"SELECT status FROM {FINAL_STATUS_TABLE} "
+                f"WHERE job_name = '{job_name}'"
+            )
+            return str(result.rows[0][0]) if result.rows else None
+        finally:
+            session.close()
+
+    # -- S2V ------------------------------------------------------------------
+    def check_s2v_save(
+        self,
+        job_name: str,
+        target: str,
+        expected_rows: Sequence[Sequence[Any]],
+        mode: str = "overwrite",
+        prior_rows: Sequence[Sequence[Any]] = (),
+        raised: Optional[BaseException] = None,
+        check_leaks: bool = True,
+    ) -> InvariantReport:
+        """Audit one save: status arbiter, exactly-once data, no leaks.
+
+        ``expected_rows`` is the source DataFrame's rows; ``prior_rows``
+        the target's contents before the save (empty for a fresh table);
+        ``raised`` whatever exception ``save()`` surfaced (None on
+        success).
+        """
+        report = InvariantReport(f"s2v:{job_name}")
+        status = self._job_status(job_name)
+        expected = _multiset(expected_rows)
+        prior = _multiset(prior_rows)
+        final_expected = prior + expected if mode == "append" else expected
+
+        if raised is None and status != "SUCCESS":
+            report.violated(
+                "status-reflects-reality",
+                f"save() returned normally but status is {status!r}",
+            )
+        else:
+            report.passed("status-reflects-reality")
+
+        if status == "SUCCESS":
+            if not self._table_exists(target):
+                report.violated(
+                    "exactly-once",
+                    f"status SUCCESS but target {target!r} does not exist",
+                )
+            else:
+                actual = self._rows_of(target)
+                if actual == _multiset(final_expected):
+                    report.passed("exactly-once")
+                else:
+                    report.violated(
+                        "exactly-once",
+                        f"target {target!r} holds {len(actual)} rows, "
+                        f"expected {len(final_expected)} "
+                        f"(mode={mode}, status=SUCCESS)",
+                    )
+        else:
+            # IN_PROGRESS / FAILURE / no record: the save must have raised
+            # and the target must be exactly what it was before.
+            if raised is None:
+                report.violated(
+                    "failed-save-raises",
+                    f"status {status!r} yet save() did not raise",
+                )
+            else:
+                report.passed("failed-save-raises")
+            if prior:
+                actual = (
+                    self._rows_of(target) if self._table_exists(target) else None
+                )
+                if actual == prior:
+                    report.passed("target-untouched")
+                else:
+                    report.violated(
+                        "target-untouched",
+                        f"failed save modified target {target!r}: "
+                        f"{len(prior)} rows before, "
+                        f"{'missing' if actual is None else len(actual)} after",
+                    )
+            elif self._table_exists(target) and self._rows_of(target):
+                report.violated(
+                    "target-untouched",
+                    f"failed save left rows in previously absent/empty "
+                    f"target {target!r}",
+                )
+            else:
+                report.passed("target-untouched")
+
+        leftovers = [
+            job_name + suffix
+            for suffix in TEMP_SUFFIXES
+            if self._table_exists(job_name + suffix)
+        ]
+        if leftovers:
+            report.violated(
+                "temp-tables-dropped",
+                f"per-job tables leaked: {', '.join(leftovers)}",
+            )
+        else:
+            report.passed("temp-tables-dropped")
+
+        if check_leaks:
+            report.merge(self.check_no_leaks())
+        return report
+
+    # -- V2S ------------------------------------------------------------------
+    def check_v2s_scan(
+        self,
+        table: str,
+        epoch: int,
+        rows: Sequence[Sequence[Any]],
+        columns: Optional[Sequence[str]] = None,
+        check_leaks: bool = True,
+    ) -> InvariantReport:
+        """The scan's output must equal one ``AT EPOCH`` snapshot."""
+        report = InvariantReport(f"v2s:{table}@{epoch}")
+        selection = ", ".join(columns) if columns else "*"
+        session = self._session()
+        try:
+            snapshot = _multiset(
+                session.execute(
+                    f"AT EPOCH {epoch} SELECT {selection} FROM {table}"
+                ).rows
+            )
+        finally:
+            session.close()
+        actual = _multiset(rows)
+        if actual == snapshot:
+            report.passed("epoch-snapshot")
+        else:
+            report.violated(
+                "epoch-snapshot",
+                f"scan produced {len(actual)} rows but epoch {epoch} "
+                f"snapshot of {table!r} holds {len(snapshot)}",
+            )
+        if check_leaks:
+            report.merge(self.check_no_leaks())
+        return report
+
+    # -- global hygiene ---------------------------------------------------------
+    def check_no_leaks(self) -> InvariantReport:
+        """No held locks, no stranded sessions, all nodes recovered."""
+        report = InvariantReport("leaks")
+        held = self.db.locks.held_tables()
+        if held:
+            report.violated(
+                "no-leaked-locks",
+                f"locks still held after run: {held}",
+            )
+        else:
+            report.passed("no-leaked-locks")
+        stranded = {
+            node: self.db.session_count(node) - baseline
+            for node, baseline in self._baseline_sessions.items()
+            if self.db.session_count(node) != baseline
+        }
+        if stranded:
+            report.violated(
+                "no-leaked-sessions",
+                f"session count deltas vs baseline: {stranded}",
+            )
+        else:
+            report.passed("no-leaked-sessions")
+        down = [
+            node for node, state in self.db.node_states.items()
+            if state != "UP"
+        ]
+        if down:
+            report.violated(
+                "nodes-recovered",
+                f"nodes still DOWN after run: {down}",
+            )
+        else:
+            report.passed("nodes-recovered")
+        return report

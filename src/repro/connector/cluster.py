@@ -38,6 +38,7 @@ class SimVerticaCluster:
         external_bandwidth: float = GBE_BYTES_PER_SEC,
         node_prefix: str = "node",
         copy_ingest_rate: float = 96e6,
+        failover_connect: bool = False,
     ):
         if env is None and sim_cluster is not None:
             env = sim_cluster.env
@@ -46,6 +47,11 @@ class SimVerticaCluster:
             sim_cluster if sim_cluster is not None else SimCluster(self.env)
         )
         self.cost_model = cost_model if cost_model is not None else NULL_COST_MODEL
+        #: redirect connections aimed at DOWN nodes to a live one
+        self.failover_connect = failover_connect
+        #: installed by :class:`repro.chaos.ChaosController`; when set, every
+        #: statement consults it for connection-sever injections
+        self.chaos = None
         node_names = [f"{node_prefix}{i + 1:04d}" for i in range(num_nodes)]
         self.db = VerticaDatabase(
             node_names=node_names,
@@ -95,8 +101,8 @@ class SimVerticaCluster:
         from repro.connector.jdbc import SimVerticaConnection
 
         target = node or self.node_names[0]
-        session = self.db.connect(target)
-        return SimVerticaConnection(self, session, target, client_node)
+        session = self.db.connect(target, failover=self.failover_connect)
+        return SimVerticaConnection(self, session, session.node, client_node)
 
     def run(self, process_generator, name: str = "driver"):
         """Run one driver-side generator to completion on the sim clock."""

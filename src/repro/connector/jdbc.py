@@ -21,17 +21,39 @@ protocols move small real row sets while the clock sees paper-sized data.
 
 from __future__ import annotations
 
+import itertools
+
 from typing import Generator, Optional, Union
 
 from repro import telemetry
 from repro.sim.cluster import SimNode
 from repro.vertica.engine import ResultSet
-from repro.vertica.errors import LockContention
+from repro.vertica.errors import LockContention, RetriesExhausted, VerticaError
+from repro.vertica.hashring import vertica_hash
 from repro.vertica.session import Session
+
+
+class ConnectionSevered(VerticaError):
+    """The (simulated) TCP connection died under this statement.
+
+    Raised by the chaos layer mid-protocol.  ``acked=True`` means the
+    statement had already executed server-side when the link dropped — the
+    classic "did my COMMIT land?" ambiguity the S2V protocol must absorb.
+    """
+
+    def __init__(self, node_name: str, sql: str, acked: bool):
+        when = "after server execution" if acked else "before reaching the server"
+        super().__init__(
+            f"connection to {node_name} severed {when}: {sql.strip()[:60]!r}"
+        )
+        self.node_name = node_name
+        self.acked = acked
 
 
 class SimVerticaConnection:
     """One client connection, with cost accounting."""
+
+    _salts = itertools.count(1)
 
     def __init__(
         self,
@@ -46,9 +68,17 @@ class SimVerticaConnection:
         self.client_node = client_node
         self.weight = 1.0
         self._connected = False
+        self._severed = False
+        #: per-connection salt decorrelating retry backoff across tasks
+        self._retry_salt = next(self._salts)
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
+        self.session.close()
+
+    def sever(self) -> None:
+        """Kill the connection: abort any open transaction, refuse reuse."""
+        self._severed = True
         self.session.close()
 
     @property
@@ -74,6 +104,11 @@ class SimVerticaConnection:
         model = self.cost_model
         env = self.env
         contact = self.cluster.sim_nodes[self.node_name]
+        chaos = getattr(self.cluster, "chaos", None)
+        if self._severed:
+            raise ConnectionSevered(self.node_name, sql, acked=False)
+        if chaos is not None:
+            chaos.on_statement(self, sql, point="before")
         if not self._connected:
             if model.connect_latency:
                 yield env.timeout(model.connect_latency)
@@ -93,7 +128,20 @@ class SimVerticaConnection:
             yield from self._charge_copy(result, copy_data, w)
         else:
             yield from self._charge_query(result, w)
+        if chaos is not None:
+            chaos.on_statement(self, sql, point="after")
         return result
+
+    def retry_delay(self, attempt: int, backoff: float = 0.01) -> float:
+        """Capped linear backoff plus deterministic per-connection jitter.
+
+        Without jitter, tasks that hit the same contended table retry in
+        lockstep and re-collide forever; the jitter is a hash of the
+        connection's salt and the attempt number, so runs stay exactly
+        reproducible for a given seed/schedule.
+        """
+        jitter = (vertica_hash(self._retry_salt, attempt) % 997) / 997.0
+        return backoff * (min(attempt, 8) + jitter)
 
     def execute_with_retry(
         self,
@@ -102,7 +150,15 @@ class SimVerticaConnection:
         max_retries: int = 50,
         backoff: float = 0.01,
     ) -> Generator:
-        """Retry an autocommit statement on lock contention with backoff."""
+        """Retry a statement on lock contention with jittered backoff.
+
+        Only :class:`LockContention` is retried — any other
+        :class:`VerticaError` (syntax, catalog, severed connection, ...)
+        re-raises immediately.  After ``max_retries`` failed attempts a
+        :class:`RetriesExhausted` surfaces instead of the raw contention
+        error, so callers can distinguish a spent budget from one more
+        transient collision.
+        """
         attempt = 0
         wait_started = self.env.now
         while True:
@@ -113,12 +169,13 @@ class SimVerticaConnection:
                         self.env.now - wait_started
                     )
                 return result
-            except LockContention:
+            except LockContention as contention:
                 attempt += 1
                 telemetry.counter("vertica.lock.retries").inc()
                 if attempt > max_retries:
-                    raise
-                yield self.env.timeout(backoff * min(attempt, 8))
+                    telemetry.counter("vertica.lock.retries_exhausted").inc()
+                    raise RetriesExhausted(sql, attempt, contention) from contention
+                yield self.env.timeout(self.retry_delay(attempt, backoff))
 
     # -- cost charging ------------------------------------------------------------
     def _charge_query(self, result: ResultSet, w: float) -> Generator:

@@ -37,10 +37,12 @@ from repro import telemetry
 from repro.avrolite import encode_rows
 from repro.connector.options import ConnectorOptions
 from repro.spark.errors import SparkError
-from repro.vertica.errors import LockContention, VerticaError
+from repro.vertica.errors import LockContention, RetriesExhausted, VerticaError
 
 #: the permanent record of all S2V jobs (never dropped)
 FINAL_STATUS_TABLE = "S2V_JOB_STATUS"
+#: attempts before any task-side lock-retry loop gives up on the job
+MAX_LOCK_RETRIES = 50
 #: rows per Avro container chunk a task alternates encode/send over
 COPY_CHUNK_ROWS = 2048
 #: effectively-unlimited per-chunk REJECTMAX; tolerance is job-level
@@ -97,7 +99,11 @@ class S2VWriter:
 
         ``None`` is returned only for mode=ignore on an existing table.
         """
-        self.cluster.run(self._setup(), name=f"{self.job_name}.setup")
+        try:
+            self.cluster.run(self._setup(), name=f"{self.job_name}.setup")
+        except Exception:
+            self._cleanup_after_failure(None)
+            raise
         if self._skipped:
             return None
         rdd, num_tasks = self._partitioned_rdd()
@@ -106,12 +112,73 @@ class S2VWriter:
         try:
             self.cluster.env.run(job.done)
         except SparkError:
-            # Total Spark failure: leave every table in place — the final
-            # status table records IN_PROGRESS for the user to consult.
+            # The job died but the driver is still alive: reconcile and drop
+            # the per-job temporary tables.  The final status table keeps the
+            # job's record (IN_PROGRESS, unless a committer was entitled
+            # first) for the user to consult — only a *total* Spark failure
+            # (driver death) leaves temp tables behind, and those are cleaned
+            # out-of-band via :mod:`repro.connector.jobs`.
+            self._cleanup_after_failure(job)
             raise
-        return self.cluster.run(
-            self._finalize(job), name=f"{self.job_name}.finalize"
-        )
+        try:
+            return self.cluster.run(
+                self._finalize(job), name=f"{self.job_name}.finalize"
+            )
+        except Exception:
+            self._cleanup_after_failure(job)
+            raise
+
+    # ------------------------------------------------------------- failure path
+    def _cleanup_after_failure(self, job) -> None:
+        """Best-effort, idempotent teardown after a failed save.
+
+        Never raises — the original failure is what the caller must see.
+        Anything this could not drop remains discoverable (and cleanable)
+        through :mod:`repro.connector.jobs`.
+        """
+        try:
+            self.cluster.run(self._cleanup(job), name=f"{self.job_name}.cleanup")
+        except Exception:
+            telemetry.counter("s2v.cleanup_failures").inc()
+
+    def _cleanup(self, job) -> Generator:
+        # Quiesce zombie attempts first so the reconciliation below never
+        # races a still-running entitled committer.
+        if job is not None:
+            while any(task.live_attempts for task in job.tasks):
+                yield self.cluster.env.timeout(0.05)
+        conn = self.cluster.connect(self.opts.host, client_node=None)
+        try:
+            result = yield from conn.execute(
+                "SELECT COUNT(*) FROM v_catalog.tables "
+                f"WHERE table_name = '{FINAL_STATUS_TABLE}'"
+            )
+            status = None
+            if result.scalar() > 0:
+                result = yield from conn.execute(
+                    f"SELECT status FROM {FINAL_STATUS_TABLE} "
+                    f"WHERE job_name = '{self.job_name}'"
+                )
+                status = result.rows[0][0] if result.rows else None
+            staging_left = yield from conn.execute(
+                "SELECT COUNT(*) FROM v_catalog.tables "
+                f"WHERE table_name = '{self.staging}'"
+            )
+            if (status == "SUCCESS" and self.mode != "append"
+                    and staging_left.scalar() > 0):
+                # An entitled committer flipped the job to SUCCESS but died
+                # before the rename; the staging table is the durable
+                # evidence, so complete the commit rather than destroy it.
+                yield from conn.execute_with_retry(
+                    f"DROP TABLE IF EXISTS {self.target}"
+                )
+                yield from conn.execute_with_retry(
+                    f"ALTER TABLE {self.staging} RENAME TO {self.target}"
+                )
+            for table in (self.status_table, self.committer_table, self.staging):
+                yield from conn.execute_with_retry(f"DROP TABLE IF EXISTS {table}")
+        finally:
+            conn.close()
 
     # -------------------------------------------------------------- setup phase
     def _setup(self) -> Generator:
@@ -151,14 +218,14 @@ class S2VWriter:
             values = ", ".join(
                 f"({i}, 0, 0, FALSE)" for i in range(self._num_tasks())
             )
-            yield from conn.execute(
+            yield from conn.execute_with_retry(
                 f"INSERT INTO {self.status_table} VALUES {values}"
             )
             yield from conn.execute(
                 f"CREATE TABLE {self.committer_table} (task_id INTEGER) "
                 "UNSEGMENTED ALL NODES"
             )
-            yield from conn.execute(
+            yield from conn.execute_with_retry(
                 f"INSERT INTO {self.committer_table} VALUES (NULL)"
             )
             yield from conn.execute(
@@ -166,7 +233,9 @@ class S2VWriter:
                 "(job_name VARCHAR(200), failed_percent FLOAT, "
                 "status VARCHAR(20)) UNSEGMENTED ALL NODES"
             )
-            yield from conn.execute(
+            # Retried: the shared final-status table is a contention point
+            # (every concurrent job and any chaos lock storm hits it).
+            yield from conn.execute_with_retry(
                 f"INSERT INTO {FINAL_STATUS_TABLE} VALUES "
                 f"('{self.job_name}', 0.0, 'IN_PROGRESS')"
             )
@@ -298,9 +367,13 @@ class S2VWriter:
                     f"WHERE task_id = {task_index} AND done = FALSE"
                 )
                 break
-            except LockContention:
+            except LockContention as contention:
                 attempt += 1
-                yield self.cluster.env.timeout(0.01 * min(attempt, 5))
+                if attempt > MAX_LOCK_RETRIES:
+                    raise RetriesExhausted(
+                        f"UPDATE {self.status_table}", attempt, contention
+                    ) from contention
+                yield self.cluster.env.timeout(conn.retry_delay(attempt))
         if update.rowcount == 1:
             ctx.probe("s2v:phase1_before_commit")
             yield from conn.execute("COMMIT")
@@ -414,10 +487,14 @@ class S2VWriter:
                 yield from conn.execute("COMMIT")
                 ctx.probe("s2v:phase5_after_commit")
                 return
-            except LockContention:
+            except LockContention as contention:
                 yield from conn.execute("ROLLBACK")
                 attempt += 1
-                yield self.cluster.env.timeout(0.01 * min(attempt, 5))
+                if attempt > MAX_LOCK_RETRIES:
+                    raise RetriesExhausted(
+                        f"INSERT INTO {self.target}", attempt, contention
+                    ) from contention
+                yield self.cluster.env.timeout(conn.retry_delay(attempt))
 
     def _commit_overwrite(self, ctx, conn, failed_percent: float) -> Generator:
         """Entitlement first, then the atomic rename.
@@ -447,11 +524,15 @@ class S2VWriter:
                     f"ALTER TABLE {self.staging} RENAME TO {self.target}"
                 )
                 break
-            except LockContention:
+            except LockContention as contention:
                 # A zombie duplicate still holds an insert lock on the
                 # staging table; its transaction aborts shortly.
                 attempt += 1
-                yield self.cluster.env.timeout(0.01 * min(attempt, 5))
+                if attempt > MAX_LOCK_RETRIES:
+                    raise RetriesExhausted(
+                        f"ALTER TABLE {self.staging} RENAME", attempt, contention
+                    ) from contention
+                yield self.cluster.env.timeout(conn.retry_delay(attempt))
         ctx.probe("s2v:phase5_after_rename")
 
     # ----------------------------------------------------------------- finalize
@@ -477,8 +558,10 @@ class S2VWriter:
                     f"WHERE table_name = '{self.staging}'"
                 )
                 if result.scalar() == "SUCCESS" and staging_left.scalar() > 0:
-                    yield from conn.execute(f"DROP TABLE IF EXISTS {self.target}")
-                    yield from conn.execute(
+                    yield from conn.execute_with_retry(
+                        f"DROP TABLE IF EXISTS {self.target}"
+                    )
+                    yield from conn.execute_with_retry(
                         f"ALTER TABLE {self.staging} RENAME TO {self.target}"
                     )
             result = yield from conn.execute(
@@ -492,9 +575,9 @@ class S2VWriter:
             )
             status, failed_percent = result.rows[0]
             # Teardown of the temporary tables (the final status table stays).
-            yield from conn.execute(f"DROP TABLE IF EXISTS {self.status_table}")
-            yield from conn.execute(f"DROP TABLE IF EXISTS {self.committer_table}")
-            yield from conn.execute(f"DROP TABLE IF EXISTS {self.staging}")
+            # Retried drops: a zombie duplicate may still hold insert locks.
+            for table in (self.status_table, self.committer_table, self.staging):
+                yield from conn.execute_with_retry(f"DROP TABLE IF EXISTS {table}")
             return S2VResult(
                 self.job_name,
                 int(inserted or 0),

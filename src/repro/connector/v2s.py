@@ -44,7 +44,7 @@ class VerticaRelation(BaseRelation):
     # -- catalog discovery (driver-side metadata queries) -----------------------
     def _discover(self) -> None:
         db = self.cluster.db
-        session = db.connect(self.opts.host)
+        session = db.connect(self.opts.host, failover=True)
         try:
             self.is_view = db.catalog.has_view(self.opts.table)
             if self.is_view:
@@ -117,7 +117,7 @@ class VerticaRelation(BaseRelation):
 
     def pin_epoch(self) -> int:
         """The snapshot epoch all of a job's task queries will read at."""
-        session = self.cluster.db.connect(self.opts.host)
+        session = self.cluster.db.connect(self.opts.host, failover=True)
         try:
             return session.scalar("SELECT current_epoch FROM v_catalog.epochs")
         finally:

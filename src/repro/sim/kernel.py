@@ -360,6 +360,21 @@ class Environment:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    def call_at(self, time: float, fn: Callable[[], Any]) -> Timeout:
+        """Invoke ``fn()`` when the clock reaches ``time`` (absolute).
+
+        The hook the chaos layer uses for one-shot scheduled injections
+        that need no process of their own.  Returns the underlying
+        timeout event so callers may still wait on it.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"call_at({time}) is in the past (now {self._now})"
+            )
+        event = self.timeout(time - self._now)
+        event.add_callback(lambda _event: fn())
+        return event
+
     # -- scheduling ---------------------------------------------------------
     def _enqueue(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         self._seq += 1

@@ -27,19 +27,41 @@ _EPS = 1e-9
 class Link:
     """A unidirectional, capacity-limited channel (e.g. one NIC direction)."""
 
-    def __init__(self, env: Environment, name: str, capacity: float):
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        capacity: float,
+        rate_log_limit: Optional[int] = None,
+    ):
         if capacity <= 0:
             raise SimulationError(f"link capacity must be positive: {capacity}")
         self.env = env
         self.name = name
         self.capacity = float(capacity)
+        #: the designed capacity; ``capacity`` may be lowered temporarily by
+        #: fault injection (degraded NIC, partition) and restored to this
+        self.nominal_capacity = float(capacity)
         #: total bytes that have crossed this link
         self.bytes_total = 0.0
-        #: piecewise-constant (time, aggregate rate) samples for tracing
+        #: piecewise-constant (time, aggregate rate) samples for tracing;
+        #: bounded to roughly ``rate_log_limit`` entries when set (oldest
+        #: samples are compacted away), so long chaos soaks stay in memory
         self.rate_log: List[Tuple[float, float]] = [(env.now, 0.0)]
+        self.rate_log_limit = rate_log_limit
 
     def __repr__(self) -> str:
         return f"Link({self.name!r}, {self.capacity:.0f} B/s)"
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change the live capacity (0 models a partitioned/black-holed link).
+
+        Callers that change capacity while flows are active must go through
+        :meth:`Network.set_link_capacity` so fair shares are recomputed.
+        """
+        if capacity < 0:
+            raise SimulationError(f"link capacity cannot be negative: {capacity}")
+        self.capacity = float(capacity)
 
     def _log_rate(self, rate: float) -> None:
         last_time, last_rate = self.rate_log[-1]
@@ -49,6 +71,11 @@ class Link:
             self.rate_log[-1] = (last_time, rate)
         else:
             self.rate_log.append((self.env.now, rate))
+            limit = self.rate_log_limit
+            if limit and len(self.rate_log) > 2 * limit:
+                # Amortised O(1): halve in one slice, keeping the newest
+                # ``limit`` samples.
+                del self.rate_log[: len(self.rate_log) - limit]
 
 
 class Flow:
@@ -115,6 +142,18 @@ class Network:
         self._flows.add(flow)
         self._reschedule()
         return event
+
+    def set_link_capacity(self, link: Link, capacity: float) -> None:
+        """Change ``link``'s capacity mid-simulation, refitting active flows.
+
+        The fault-injection entry point for link degradation: progress up to
+        now is settled at the old rates, the capacity changes, and fair
+        shares are recomputed.  A capacity of ``0`` stalls every flow on the
+        link (a network partition) until a later call restores it.
+        """
+        self._sync_progress()
+        link.set_capacity(capacity)
+        self._reschedule()
 
     # -- internals -----------------------------------------------------------
     def _sync_progress(self) -> None:

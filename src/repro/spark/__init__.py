@@ -42,14 +42,22 @@ from repro.spark.datasource import (
     source_registry,
 )
 from repro.spark.errors import JobFailedError, SparkError, TaskKilledError
-from repro.spark.faults import FaultPolicy, InjectedFailure, ProbeFailurePolicy
+from repro.spark.faults import (
+    CompositeFaultPolicy,
+    FaultPolicy,
+    InjectedFailure,
+    ProbeFailurePolicy,
+)
+from repro.spark.scheduler import ExecutorLost
 from repro.spark.rdd import RDD
 from repro.spark.row import StructField, StructType
 
 __all__ = [
     "BaseRelation",
+    "CompositeFaultPolicy",
     "DataFrame",
     "EqualTo",
+    "ExecutorLost",
     "FaultPolicy",
     "Filter",
     "GreaterThan",

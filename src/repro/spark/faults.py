@@ -10,7 +10,7 @@ production code path is identical whether or not a policy is installed.
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 
 class InjectedFailure(Exception):
@@ -26,6 +26,27 @@ class FaultPolicy:
 
     def on_task_start(self, ctx: "TaskContext") -> None:  # noqa: F821
         """Called when an attempt begins executing."""
+
+
+class CompositeFaultPolicy(FaultPolicy):
+    """Fan probe callbacks out to several policies, in order.
+
+    The composition point the chaos layer uses to ride alongside an
+    existing hand-placed policy: the first policy to raise wins, and
+    probes observed by earlier policies are still seen by later ones
+    only if no failure fired.
+    """
+
+    def __init__(self, policies: Iterable[FaultPolicy]):
+        self.policies: List[FaultPolicy] = [p for p in policies if p is not None]
+
+    def on_probe(self, ctx, label: str) -> None:
+        for policy in self.policies:
+            policy.on_probe(ctx, label)
+
+    def on_task_start(self, ctx) -> None:
+        for policy in self.policies:
+            policy.on_task_start(ctx)
 
 
 class ProbeFailurePolicy(FaultPolicy):

@@ -37,6 +37,23 @@ SPECULATION_THRESHOLD = 0.75
 TaskThunk = Callable[["TaskContext"], Any]
 
 
+class ExecutorLost:
+    """Interrupt cause delivered to attempts when their executor crashes.
+
+    Unlike a plain kill (speculative-loser cleanup, job cancellation), an
+    executor loss is not the task's fault: the driver relaunches the
+    attempt elsewhere without charging it against ``max_failures`` —
+    mirroring Spark's handling of executor loss.
+    """
+
+    def __init__(self, node_name: str, reason: str = "executor crashed"):
+        self.node_name = node_name
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"ExecutorLost({self.node_name!r}, {self.reason!r})"
+
+
 class Executor:
     """One executor: a node and a pool of task slots."""
 
@@ -44,6 +61,8 @@ class Executor:
         self.env = env
         self.node = node
         self.slots = Resource(env, cores, name=f"{node.name}.slots")
+        #: set while crashed; a down executor receives no new attempts
+        self.down = False
 
     def __repr__(self) -> str:
         return f"Executor({self.node.name}, {self.slots.capacity} slots)"
@@ -110,7 +129,8 @@ class _Task:
         self.failures = 0
         self.attempts_started = 0
         self.speculated = False
-        self.live_attempts: Dict[int, Any] = {}  # attempt_id -> Process
+        #: attempt_id -> (TaskContext, Process) for every in-flight attempt
+        self.live_attempts: Dict[int, Any] = {}
         self.finish_time: Optional[float] = None
 
 
@@ -137,7 +157,7 @@ class Job:
         self.cancelled = True
         self.mailbox.put(("cancelled", None, None, reason))
         for task in self.tasks:
-            for process in list(task.live_attempts.values()):
+            for __, process in list(task.live_attempts.values()):
                 process.interrupt(reason)
 
 
@@ -172,6 +192,8 @@ class TaskScheduler:
         #: per-attempt scheduling/serialisation latency
         self.task_launch_overhead = task_launch_overhead
         self._round_robin = 0
+        #: every job ever submitted (chaos walks this to find live attempts)
+        self.jobs: List[Job] = []
 
     # -- public API -----------------------------------------------------------
     def submit(self, thunks: List[TaskThunk], name: str = "") -> Job:
@@ -179,17 +201,53 @@ class TaskScheduler:
         tasks = [_Task(i, thunk) for i, thunk in enumerate(thunks)]
         job = Job(self.env, name, tasks)
         telemetry.counter("spark.jobs_submitted").inc()
+        self.jobs.append(job)
         job.done = self.env.process(self._driver(job), name=f"{job.name}.driver")
         return job
 
+    def crash_executor(self, executor: Executor, reason: str = "chaos") -> int:
+        """Kill an executor: interrupt its live attempts, stop placement.
+
+        Every attempt running (or queued) on the executor dies with an
+        :class:`ExecutorLost` cause, which the driver relaunches elsewhere
+        without counting toward ``max_failures``.  Returns the number of
+        attempts killed.  The executor takes no new attempts until
+        :meth:`restart_executor`.
+        """
+        executor.down = True
+        lost = ExecutorLost(executor.node.name, reason)
+        killed = 0
+        for job in self.jobs:
+            if job.done is not None and job.done.triggered:
+                continue
+            for task in job.tasks:
+                for ctx, process in list(task.live_attempts.values()):
+                    if ctx.executor is executor:
+                        process.interrupt(lost)
+                        killed += 1
+        telemetry.counter("spark.executor_crashes").inc()
+        telemetry.counter("spark.attempts_lost").inc(killed)
+        return killed
+
+    def restart_executor(self, executor: Executor) -> None:
+        """Bring a crashed executor back into the placement rotation."""
+        executor.down = False
+
     # -- internals --------------------------------------------------------------
     def _next_executor(self, exclude: Optional[Executor] = None) -> Executor:
+        up = [e for e in self.executors if not e.down]
+        if not up:
+            # Everything crashed at once: keep scheduling (the simulated
+            # processes still run); placement realism resumes on restart.
+            up = self.executors
         for __ in range(len(self.executors)):
             executor = self.executors[self._round_robin % len(self.executors)]
             self._round_robin += 1
-            if executor is not exclude or len(self.executors) == 1:
+            if executor not in up:
+                continue
+            if executor is not exclude or len(up) == 1:
                 return executor
-        return self.executors[0]  # pragma: no cover
+        return up[0]
 
     def _launch(self, job: Job, task: _Task, speculative: bool = False,
                 exclude: Optional[Executor] = None) -> None:
@@ -204,7 +262,7 @@ class TaskScheduler:
         process = self.env.process(
             self._attempt(job, task, ctx), name=f"{job.name}.t{task.index}.a{ctx.attempt_number}"
         )
-        task.live_attempts[ctx.attempt_id] = process
+        task.live_attempts[ctx.attempt_id] = (ctx, process)
 
     def _attempt(self, job: Job, task: _Task, ctx: TaskContext) -> Generator:
         executor = ctx.executor
@@ -263,7 +321,7 @@ class TaskScheduler:
                 completed += 1
                 telemetry.counter("spark.tasks_completed").inc()
                 if self.kill_speculative_losers:
-                    for process in list(task.live_attempts.values()):
+                    for __, process in list(task.live_attempts.values()):
                         process.interrupt("task already completed")
                 if self.speculation:
                     self._maybe_speculate(job, completed, total)
@@ -286,7 +344,18 @@ class TaskScheduler:
                     # the cancelled message arrives next iteration
                     continue
                 self._launch(job, task, exclude=ctx.executor)
-            # "killed" attempts are deliberate; nothing to do
+            elif kind == "killed":
+                cause = getattr(payload, "cause", None)
+                if (
+                    isinstance(cause, ExecutorLost)
+                    and not task.completed
+                    and not task.live_attempts
+                ):
+                    # Executor loss is not the task's fault: relaunch on a
+                    # surviving executor without consuming a failure.
+                    self._launch(job, task, exclude=ctx.executor)
+                # other kills (speculative losers, cancellation) are
+                # deliberate; nothing to do
         return [t.result for t in job.tasks]
 
     def _maybe_speculate(self, job: Job, completed: int, total: int) -> None:

@@ -79,12 +79,26 @@ class VerticaDatabase:
         self.node_states[node] = "UP"
 
     # -- connections -----------------------------------------------------------
-    def connect(self, node: Optional[str] = None) -> "Session":
+    def connect(
+        self, node: Optional[str] = None, failover: bool = False
+    ) -> "Session":
+        """Open a session bound to ``node`` (default: the first node).
+
+        With ``failover=True`` a connection aimed at a DOWN node is
+        transparently redirected to the first UP node, modelling
+        client-side connection failover — what keeps driver metadata
+        queries and retried tasks alive while chaos restarts a node.
+        """
         from repro.vertica.session import Session
 
         target = node or self.node_names[0]
         if target not in self.node_states:
             raise CatalogError(f"unknown node {target!r}")
+        if self.node_states[target] != "UP" and failover:
+            for candidate in self.node_names:
+                if self.node_states[candidate] == "UP":
+                    target = candidate
+                    break
         if self.node_states[target] != "UP":
             raise CatalogError(f"node {target!r} is down")
         if self._session_counts[target] >= self.max_client_sessions:

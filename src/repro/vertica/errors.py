@@ -42,6 +42,27 @@ class LockContention(TransactionError):
         self.requester = requester
 
 
+class RetriesExhausted(VerticaError):
+    """A bounded retry loop gave up under sustained lock contention.
+
+    Distinct from :class:`LockContention` so callers can tell "retry again
+    later" apart from "the retry budget itself is spent" — under a lock
+    storm the latter must surface to the task/scheduler layer instead of
+    spinning forever.
+    """
+
+    def __init__(self, sql: str, attempts: int, last_error: Exception):
+        summary = sql.strip().split("\n", 1)[0]
+        if len(summary) > 80:
+            summary = summary[:77] + "..."
+        super().__init__(
+            f"gave up after {attempts} attempts: {summary!r} ({last_error})"
+        )
+        self.sql = sql
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 class CopyRejectError(VerticaError):
     """COPY aborted because rejected rows exceeded REJECTMAX."""
 

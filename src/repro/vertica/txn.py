@@ -89,6 +89,14 @@ class LockManager:
             return None
         return next(iter(holders))
 
+    def held_tables(self) -> Dict[str, Dict[int, str]]:
+        """Snapshot of every held lock: table -> {txn_id: mode}.
+
+        Empty once all transactions have committed or aborted — the
+        invariant the chaos checker audits after every faulted run.
+        """
+        return {table: dict(holders) for table, holders in self._holders.items()}
+
 
 class Transaction:
     """One transaction's staged state."""
@@ -172,37 +180,53 @@ class Transaction:
 
     # -- outcome -------------------------------------------------------------------
     def commit(self, storage: Dict[str, NodeStorage]) -> int:
-        """Apply staged writes atomically; returns the new commit epoch."""
+        """Apply staged writes atomically; returns the new commit epoch.
+
+        ``release_all`` runs in a ``finally``: a fault injected mid-commit
+        (e.g. a crash between the WOS flush and the epoch advance) must not
+        leave this transaction's table locks behind, or every later job on
+        the same table deadlocks against a ghost holder.  A transaction
+        whose commit raised is marked ABORTED — its outcome is undefined
+        and it must not be retried as if still active.
+        """
         self.require_active()
-        has_writes = bool(self.wos or self.replica_wos or self.deletes or self.post_commit)
-        if not has_writes:
+        try:
+            has_writes = bool(
+                self.wos or self.replica_wos or self.deletes or self.post_commit
+            )
+            if not has_writes:
+                self.status = COMMITTED
+                return self._epochs.current
+            epoch = self._epochs.advance()
+            for (table, node), buffer in self.wos.items():
+                if buffer.nrows:
+                    storage[node].add_container(table, buffer.to_container(epoch))
+            for (table, node), buffer in self.replica_wos.items():
+                if buffer.nrows:
+                    storage[node].add_replica(table, buffer.to_container(epoch))
+            for container, row_index in self.deletes:
+                if container.delete_epochs[row_index] == 0:
+                    container.delete_epochs[row_index] = epoch
+            for action in self.post_commit:
+                action(epoch)
             self.status = COMMITTED
+            telemetry.counter("vertica.txn.commits").inc()
+            return epoch
+        finally:
+            if self.status != COMMITTED:
+                self.status = ABORTED
+                telemetry.counter("vertica.txn.commit_failures").inc()
             self._locks.release_all(self.txn_id)
-            return self._epochs.current
-        epoch = self._epochs.advance()
-        for (table, node), buffer in self.wos.items():
-            if buffer.nrows:
-                storage[node].add_container(table, buffer.to_container(epoch))
-        for (table, node), buffer in self.replica_wos.items():
-            if buffer.nrows:
-                storage[node].add_replica(table, buffer.to_container(epoch))
-        for container, row_index in self.deletes:
-            if container.delete_epochs[row_index] == 0:
-                container.delete_epochs[row_index] = epoch
-        for action in self.post_commit:
-            action(epoch)
-        self.status = COMMITTED
-        self._locks.release_all(self.txn_id)
-        telemetry.counter("vertica.txn.commits").inc()
-        return epoch
 
     def abort(self) -> None:
         self.require_active()
-        self.wos.clear()
-        self.replica_wos.clear()
-        self.deletes.clear()
-        self._deleted_keys.clear()
-        self.post_commit.clear()
-        self.status = ABORTED
-        self._locks.release_all(self.txn_id)
-        telemetry.counter("vertica.txn.aborts").inc()
+        try:
+            self.wos.clear()
+            self.replica_wos.clear()
+            self.deletes.clear()
+            self._deleted_keys.clear()
+            self.post_commit.clear()
+        finally:
+            self.status = ABORTED
+            self._locks.release_all(self.txn_id)
+            telemetry.counter("vertica.txn.aborts").inc()

@@ -1,0 +1,25 @@
+"""Smoke test for the chaos soak harness (CI runs the full 25-seed soak)."""
+
+from repro.bench.chaos_soak import run_s2v_trial, run_soak, summarize
+
+
+class TestSoakSmoke:
+    def test_small_soak_holds_invariants(self):
+        trials = run_soak(num_seeds=3, base_seed=100)
+        assert len(trials) == 6  # one S2V + one V2S per seed
+        bad = [t for t in trials if not t.ok]
+        assert not bad, "\n".join(t.describe() for t in bad)
+        # The soak must actually exercise faults and still complete work.
+        assert sum(t.injections for t in trials) > 0
+        assert any(t.succeeded for t in trials)
+        assert "0 invariant violations" in summarize(trials)
+
+    def test_trials_are_replayable(self):
+        first = run_s2v_trial(5, mode="append", speculation=True)
+        again = run_s2v_trial(5, mode="append", speculation=True)
+        assert first.ok and again.ok
+        assert first.injections == again.injections
+        assert first.succeeded == again.succeeded
+        assert "--replay-seed 5" in first.replay_command()
+        assert "--mode append" in first.replay_command()
+        assert "--speculation" in first.replay_command()
