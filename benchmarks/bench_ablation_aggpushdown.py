@@ -1,0 +1,12 @@
+"""Ablation: aggregate pushdown vs driver-side aggregation.
+
+Compiling ``group_by().agg()`` into one partial GROUP BY query per
+hash-range task (merged by the driver-side combiner) ships one partial
+row per group per range instead of every raw row of the table.
+"""
+
+from repro.bench.experiments import run_ablation_aggpushdown
+
+
+def test_ablation_aggpushdown(run_experiment):
+    run_experiment(run_ablation_aggpushdown)

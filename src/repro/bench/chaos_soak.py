@@ -39,6 +39,7 @@ SOAK_COST_MODEL = VerticaCostModel(
     ddl_latency=0.01,
     query_plan_cpu=0.002,
     scan_cpu_per_row=2e-6,
+    agg_cpu_per_row=2e-6,
     output_cpu_per_row=4e-6,
     load_cpu_per_row=6e-6,
     encode_cpu_per_row=3e-6,
@@ -234,6 +235,88 @@ def run_v2s_trial(seed: int, speculation: bool = False,
     )
 
 
+#: the aggregates the agg-scan trial pushes down (id is NULL-free, so the
+#: expected values are computable exactly from ROWS)
+AGG_SPECS = (("*", "count"), ("id", "sum"), ("id", "min"), ("id", "max"),
+             ("id", "avg"))
+
+
+def _expected_aggregates() -> List[Tuple]:
+    groups: dict = {}
+    for i, v in ROWS:
+        groups.setdefault(v, []).append(i)
+    return [
+        (v, len(ids), sum(ids), min(ids), max(ids), sum(ids) / len(ids))
+        for v, ids in groups.items()
+    ]
+
+
+def run_agg_trial(seed: int, speculation: bool = False,
+                  verbose: bool = False) -> TrialResult:
+    """One seeded pushed-down aggregate scan under chaos, audited.
+
+    The scan compiles ``group_by("v").agg(...)`` into per-hash-range
+    partial GROUP BY queries at one pinned epoch; whatever the chaos
+    does to tasks and connections, a successful job must produce exactly
+    the aggregates of the static source rows.
+    """
+    fabric = _fabric(speculation)
+    session = fabric.vertica.db.connect()
+    session.execute(
+        f"CREATE TABLE {SOURCE} (id INTEGER, v FLOAT) SEGMENTED BY HASH(id)"
+    )
+    values = ", ".join(f"({i}, {v})" for i, v in ROWS)
+    session.execute(f"INSERT INTO {SOURCE} VALUES {values}")
+    session.close()
+    checker = InvariantChecker(fabric.vertica)
+    schedule = ChaosSchedule.random(
+        seed,
+        spark_nodes=[worker.name for worker in fabric.spark.workers],
+        vertica_nodes=fabric.vertica.node_names,
+        link_names=sorted(fabric.all_links()),
+        horizon=HORIZON,
+        events=4,
+        families=("executor_crash", "link_degrade", "vertica_restart",
+                  "connection_sever", "task_kill"),
+        sever_keywords=("AT",),
+    )
+    controller = fabric.attach_chaos(schedule)
+    if verbose:
+        print("\n".join(schedule.describe()))
+    df = fabric.spark.read.format("vertica").options(
+        db=fabric.vertica, table=SOURCE, numpartitions=NUM_TASKS,
+        scale_factor=SCALE,
+    ).load()
+    raised: Optional[BaseException] = None
+    rows: List = []
+    try:
+        rows = df.group_by("v").agg(*AGG_SPECS).collect()
+    except Exception as exc:  # noqa: BLE001 - the audit decides if this is fine
+        raised = exc
+    report = InvariantReport(f"agg seed={seed}")
+    _drain(fabric, report)
+    if raised is None:
+        expected = sorted(map(repr, _expected_aggregates()))
+        actual = sorted(map(repr, rows))
+        if actual == expected:
+            report.passed("agg-exactly-once")
+        else:
+            report.violated(
+                "agg-exactly-once",
+                f"pushed aggregation produced {len(rows)} group rows that "
+                f"do not match the {len(expected)} expected groups",
+            )
+    report.merge(checker.check_no_leaks())
+    if verbose:
+        for record in controller.injections:
+            print(record)
+        print(report.describe())
+    return TrialResult(
+        "agg", seed, "-", speculation, raised, report,
+        len(controller.injections),
+    )
+
+
 #: the S2V configuration rotation: both commit paths × speculation
 S2V_CONFIGS = (
     ("overwrite", False),
@@ -245,7 +328,8 @@ S2V_CONFIGS = (
 
 def run_soak(num_seeds: int = 25, base_seed: int = 0,
              verbose: bool = False) -> List[TrialResult]:
-    """Run ``num_seeds`` S2V trials (rotating configs) plus V2S trials."""
+    """Run ``num_seeds`` S2V trials (rotating configs) plus V2S scan and
+    pushed-aggregate trials."""
     trials: List[TrialResult] = []
     for index in range(num_seeds):
         seed = base_seed + index
@@ -254,6 +338,9 @@ def run_soak(num_seeds: int = 25, base_seed: int = 0,
         if verbose:
             print(trials[-1].describe())
         trials.append(run_v2s_trial(seed + 7919, speculation=speculation))
+        if verbose:
+            print(trials[-1].describe())
+        trials.append(run_agg_trial(seed + 104729, speculation=speculation))
         if verbose:
             print(trials[-1].describe())
     return trials
@@ -277,11 +364,12 @@ def summarize(trials: Sequence[TrialResult]) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", type=int, default=25,
-                        help="number of soak seeds (2 trials per seed)")
+                        help="number of soak seeds (3 trials per seed)")
     parser.add_argument("--base-seed", type=int, default=0)
     parser.add_argument("--replay-seed", type=int, default=None,
                         help="replay one trial with full fault/audit output")
-    parser.add_argument("--workload", choices=("s2v", "v2s"), default="s2v")
+    parser.add_argument("--workload", choices=("s2v", "v2s", "agg"),
+                        default="s2v")
     parser.add_argument("--mode", choices=("overwrite", "append"),
                         default="overwrite")
     parser.add_argument("--speculation", action="store_true")
@@ -292,6 +380,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.workload == "s2v":
             trial = run_s2v_trial(args.replay_seed, args.mode,
                                   args.speculation, verbose=True)
+        elif args.workload == "agg":
+            trial = run_agg_trial(args.replay_seed, args.speculation,
+                                  verbose=True)
         else:
             trial = run_v2s_trial(args.replay_seed, args.speculation,
                                   verbose=True)

@@ -179,6 +179,32 @@ class Fabric:
         rows = df.collect()
         return self.env.now - start, len(rows)
 
+    def v2s_aggregate(
+        self,
+        table: str,
+        partitions: int,
+        scale: float,
+        keys: Sequence[str],
+        aggregates: Sequence[Tuple[str, str]],
+        agg_pushdown: bool = True,
+    ) -> Tuple[float, int]:
+        """Time a V2S ``group_by().agg()``; returns (seconds, groups).
+
+        With ``agg_pushdown=False`` the planner falls back to the
+        driver-side path (collect every raw row, aggregate in Spark) —
+        the ablation baseline.
+        """
+        df = self.spark.read.format("vertica").options(
+            db=self.vertica,
+            table=table,
+            numpartitions=partitions,
+            scale_factor=scale,
+            agg_pushdown=agg_pushdown,
+        ).load()
+        start = self.env.now
+        rows = df.group_by(*keys).agg(*aggregates).collect()
+        return self.env.now - start, len(rows)
+
     def s2v_save(
         self,
         dataset: Dataset,

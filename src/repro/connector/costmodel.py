@@ -32,6 +32,7 @@ class VerticaCostModel:
         ddl_latency: float = 0.0,
         query_plan_cpu: float = 0.0,
         scan_cpu_per_row: float = 0.0,
+        agg_cpu_per_row: float = 0.0,
         output_cpu_per_row: float = 0.0,
         output_cpu_per_byte: float = 0.0,
         per_connection_rate_cap: Optional[float] = None,
@@ -52,6 +53,8 @@ class VerticaCostModel:
         self.ddl_latency = ddl_latency
         self.query_plan_cpu = query_plan_cpu
         self.scan_cpu_per_row = scan_cpu_per_row
+        #: per input row of a GROUP BY/aggregate: group-hash + accumulate
+        self.agg_cpu_per_row = agg_cpu_per_row
         self.output_cpu_per_row = output_cpu_per_row
         self.output_cpu_per_byte = output_cpu_per_byte
         #: max throughput of one query's producer pipeline (V2S stream)
@@ -113,6 +116,7 @@ PAPER_COST_MODEL = VerticaCostModel(
     ddl_latency=0.35,
     query_plan_cpu=0.03,
     scan_cpu_per_row=0.15e-6,
+    agg_cpu_per_row=0.5e-6,  # group-hash + accumulator update per input row
     output_cpu_per_row=6e-6,  # JDBC marshal + per-row hash eval (Fig 9)
     output_cpu_per_byte=0.4e-9,
     per_connection_rate_cap=40e6,  # Table 2: one connection ≈ 38-40 MB/s

@@ -95,12 +95,21 @@ class SimVerticaConnection:
         sql: str,
         copy_data: Union[bytes, str, None] = None,
         weight: Optional[float] = None,
+        output_weight: Optional[float] = None,
     ) -> Generator:
         """Generator: run one statement, charging simulated time.
 
         Use as ``result = yield from conn.execute(...)`` inside a task.
+
+        ``output_weight`` scales the result-side charges (marshal CPU and
+        wire bytes) independently of ``weight`` (which scales the
+        input-side scan/aggregate work).  Aggregate queries use this:
+        group cardinality does not grow with virtual volume, so their
+        few output rows ship at real weight while the scan they
+        aggregate is still charged at the virtual scale.
         """
         w = self.weight if weight is None else weight
+        w_out = w if output_weight is None else output_weight
         model = self.cost_model
         env = self.env
         contact = self.cluster.sim_nodes[self.node_name]
@@ -127,7 +136,7 @@ class SimVerticaConnection:
         if copy_data is not None:
             yield from self._charge_copy(result, copy_data, w)
         else:
-            yield from self._charge_query(result, w)
+            yield from self._charge_query(result, w, w_out)
         if chaos is not None:
             chaos.on_statement(self, sql, point="after")
         return result
@@ -178,7 +187,10 @@ class SimVerticaConnection:
                 yield self.env.timeout(self.retry_delay(attempt, backoff))
 
     # -- cost charging ------------------------------------------------------------
-    def _charge_query(self, result: ResultSet, w: float) -> Generator:
+    def _charge_query(
+        self, result: ResultSet, w: float, w_out: Optional[float] = None
+    ) -> Generator:
+        w_out = w if w_out is None else w_out
         model = self.cost_model
         env = self.env
         cluster = self.cluster
@@ -193,6 +205,15 @@ class SimVerticaConnection:
                 node = cluster.sim_nodes[node_name]
                 pending.append(env.process(node.compute(seconds)))
 
+        # CPU: aggregation (group hashing + accumulator updates) on every
+        # node whose rows fed a GROUP BY — the compute a pushed-down
+        # aggregate spends server-side instead of shipping raw rows.
+        for node_name, rows in cost.node_rows_aggregated.items():
+            seconds = rows * w * model.agg_cpu_per_row
+            if seconds > 0:
+                node = cluster.sim_nodes[node_name]
+                pending.append(env.process(node.compute(seconds)))
+
         # Wire bytes: textual JDBC encoding of the actual result rows,
         # attributed to producing nodes proportionally.
         total_wire = float(sum(model.jdbc_row_bytes(row) for row in result.rows))
@@ -201,20 +222,20 @@ class SimVerticaConnection:
             share = total_wire * (binary_bytes / total_binary)
             rows = cost.node_rows_output.get(node_name, 0)
             seconds = (
-                rows * w * model.output_cpu_per_row
-                + share * w * model.output_cpu_per_byte
+                rows * w_out * model.output_cpu_per_row
+                + share * w_out * model.output_cpu_per_byte
             )
             node = cluster.sim_nodes[node_name]
             if seconds > 0:
                 pending.append(env.process(node.compute(seconds)))
-            if node_name != self.node_name and share * w > 0:
+            if node_name != self.node_name and share * w_out > 0:
                 # Shuffle: the row lives elsewhere; it crosses the internal
                 # network to reach the contacted node first.
                 pending.append(
                     cluster.sim_cluster.transfer(
                         node,
                         contact,
-                        share * w,
+                        share * w_out,
                         nic=model.internal_nic,
                         name=f"shuffle:{node_name}->{self.node_name}",
                     )
@@ -226,14 +247,14 @@ class SimVerticaConnection:
         # slots, streams queue — part of the "too much parallelism"
         # overhead in Figure 6.
         slot = None
-        if self.client_node is not None and total_wire * w > 0:
+        if self.client_node is not None and total_wire * w_out > 0:
             slot = contact.streams.request()
             yield slot
             pending.append(
                 cluster.sim_cluster.transfer(
                     contact,
                     self.client_node,
-                    total_wire * w,
+                    total_wire * w_out,
                     nic=model.external_nic,
                     cap=model.per_connection_rate_cap,
                     name=f"jdbc:{self.node_name}->{self.client_node.name}",

@@ -31,6 +31,7 @@ class ConnectorOptions:
         "db", "table", "dbschema", "host", "user", "password",
         "numpartitions", "scale_factor", "failed_rows_percent_tolerance",
         "reject_max", "avro_codec", "prehash_partitioning", "varchar_length",
+        "agg_pushdown",
     }
 
     def __init__(self, options: Dict[str, Any], for_save: bool = False):
@@ -81,6 +82,7 @@ class ConnectorOptions:
         self.prehash_partitioning = _as_bool(
             options.get("prehash_partitioning", False)
         )
+        self.agg_pushdown = _as_bool(options.get("agg_pushdown", True))
         self.varchar_length = self._positive_int(
             options.get("varchar_length", 65000), "varchar_length"
         )

@@ -13,9 +13,11 @@ Design, as in the paper:
   and every task queries ``AT EPOCH e``, so tasks running (or re-running,
   after failures) at different times still load one consistent view.
 - **Pushdown** (§3.1.1).  Column pruning, the External Data Source API's
-  filters, and COUNT are all evaluated inside Vertica; views (and
-  unsegmented tables) are parallelised with ``SYNTHETIC_HASH()`` ranges,
-  which lets pre-defined views push down joins and aggregations too.
+  filters, COUNT, and ``group_by().agg()`` (as per-range partial GROUP BY
+  queries — see :meth:`VerticaRelation.build_aggregate_scan`) are all
+  evaluated inside Vertica; views (and unsegmented tables) are
+  parallelised with ``SYNTHETIC_HASH()`` ranges, which lets pre-defined
+  views push down joins and arbitrary aggregations too.
 """
 
 from __future__ import annotations
@@ -24,7 +26,12 @@ from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro import telemetry
 from repro.connector.options import ConnectorOptions
-from repro.spark.datasource import BaseRelation, Filter, filters_to_sql
+from repro.spark.datasource import (
+    AggregateSpec,
+    BaseRelation,
+    Filter,
+    filters_to_sql,
+)
 from repro.spark.rdd import RDD
 from repro.spark.row import StructType
 from repro.vertica.errors import CatalogError
@@ -88,11 +95,17 @@ class VerticaRelation(BaseRelation):
 
         Views have no catalog column types here, so types come from a
         sampled row (strings for NULL-only columns) — a documented
-        limitation of the reproduction, not of the design.
+        limitation of the reproduction, not of the design.  The sample
+        is pinned to the current epoch: without ``AT EPOCH`` a writer
+        committing between discovery and the scan could make schema
+        inference observe a row the scan's snapshot never contains.
         """
         from repro.spark.row import StructField
 
-        sample = session.execute(f"SELECT * FROM {self.opts.table} LIMIT 1")
+        epoch = session.scalar("SELECT current_epoch FROM v_catalog.epochs")
+        sample = session.execute(
+            f"AT EPOCH {epoch} SELECT * FROM {self.opts.table} LIMIT 1"
+        )
         fields = []
         first = sample.rows[0] if sample.rows else [None] * len(sample.columns)
         for name, value in zip(sample.columns, first):
@@ -156,6 +169,51 @@ class VerticaRelation(BaseRelation):
         plan = self.ring.partition_plan(self.opts.num_partitions)
         return VerticaScanRDD(self, plan, epoch, required_columns, filters)
 
+    def aggregate_task_sql(
+        self,
+        epoch: int,
+        lo: int,
+        hi: int,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+        filters: Sequence[Filter],
+    ) -> str:
+        keys = ", ".join(group_by)
+        selection = ", ".join(
+            list(group_by) + [spec.to_sql() for spec in aggregates]
+        )
+        predicate = self._range_predicate(lo, hi)
+        pushed = filters_to_sql(filters)
+        if pushed:
+            predicate = f"{predicate} AND {pushed}"
+        return (
+            f"AT EPOCH {epoch} SELECT {selection} FROM {self.opts.table} "
+            f"WHERE {predicate} GROUP BY {keys}"
+        )
+
+    def build_aggregate_scan(
+        self,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+        filters: Sequence[Filter] = (),
+    ) -> Optional[RDD]:
+        """Partition-wise partial aggregation: one GROUP BY query per
+        hash-range task, all pinned to a single epoch.
+
+        Each task's query aggregates only its own hash range inside
+        Vertica, so the wire carries one partial row per group per range
+        instead of every raw row.  Views and unsegmented tables
+        parallelise with ``SYNTHETIC_HASH()`` ranges like plain scans.
+        """
+        if not self.opts.agg_pushdown:
+            return None
+        epoch = self.pin_epoch()
+        plan = self.ring.partition_plan(self.opts.num_partitions)
+        telemetry.counter("v2s.agg_pushdown.jobs").inc()
+        return VerticaAggregateScanRDD(
+            self, plan, epoch, list(group_by), list(aggregates), tuple(filters)
+        )
+
     def count(self, filters: Sequence[Filter] = ()) -> Optional[int]:
         """COUNT pushdown: one aggregate query computed inside Vertica."""
         epoch = self.pin_epoch()
@@ -168,7 +226,7 @@ class VerticaRelation(BaseRelation):
             connection = relation.cluster.connect(relation.opts.host, ctx.node)
             try:
                 result = yield from connection.execute(
-                    sql, weight=relation.opts.scale_factor
+                    sql, weight=relation.opts.scale_factor, output_weight=1.0
                 )
                 return result.scalar()
             finally:
@@ -211,6 +269,68 @@ class VerticaScanRDD(RDD):
                         sql, weight=relation.opts.scale_factor
                     )
                 telemetry.counter("v2s.rows_fetched").inc(len(result.rows))
+                rows.extend(result.rows)
+            finally:
+                connection.close()
+        return rows
+
+
+class VerticaAggregateScanRDD(RDD):
+    """One partial-aggregate GROUP BY query per hash-range task.
+
+    Rows are ``(*group keys, *partial aggregates)`` — the driver-side
+    combiner in :class:`~repro.spark.dataframe.GroupedData` merges the
+    per-range partials for groups that span ranges.
+    """
+
+    def __init__(
+        self,
+        relation: VerticaRelation,
+        plan: List[List[Tuple[int, int, str]]],
+        epoch: int,
+        group_by: List[str],
+        aggregates: List[AggregateSpec],
+        filters: Tuple[Filter, ...],
+    ):
+        super().__init__(relation.spark, len(plan))
+        self.relation = relation
+        self.plan = plan
+        self.epoch = epoch
+        self.group_by = group_by
+        self.aggregates = aggregates
+        self.filters = filters
+
+    def compute(self, split: int, ctx) -> Generator:
+        relation = self.relation
+        rows: List[Tuple[Any, ...]] = []
+        for lo, hi, node in self.plan[split]:
+            connection = relation.cluster.connect(node, client_node=ctx.node)
+            try:
+                sql = relation.aggregate_task_sql(
+                    self.epoch, lo, hi, self.group_by, self.aggregates,
+                    self.filters,
+                )
+                with telemetry.span("v2s.agg_query", task=split, node=node):
+                    # Input-side work scales with virtual volume; the few
+                    # partial group rows do not (cardinality is fixed), so
+                    # they ship at real weight.
+                    result = yield from connection.execute(
+                        sql,
+                        weight=relation.opts.scale_factor,
+                        output_weight=1.0,
+                    )
+                fetched = len(result.rows)
+                aggregated = result.cost.rows_aggregated
+                telemetry.counter("v2s.agg_pushdown.queries").inc()
+                telemetry.counter("v2s.agg_pushdown.partial_rows").inc(fetched)
+                telemetry.counter(
+                    "v2s.agg_pushdown.rows_aggregated"
+                ).inc(aggregated)
+                if aggregated > fetched:
+                    # raw rows the wire did NOT carry thanks to pushdown
+                    telemetry.counter(
+                        "v2s.agg_pushdown.rows_saved"
+                    ).inc(aggregated - fetched)
                 rows.extend(result.rows)
             finally:
                 connection.close()

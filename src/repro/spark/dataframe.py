@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.spark.datasource import (
+    AggregateSpec,
     BaseRelation,
     Filter,
     SAVE_MODES,
@@ -159,8 +160,18 @@ class DataFrame:
         return self.rdd().take(n)
 
     def count(self) -> int:
-        """Row count, pushed down into the relation when supported."""
-        if self._relation is not None and self._projected is None:
+        """Row count, pushed down into the relation when supported.
+
+        Pushdown requires every filter to be handled by the source: a
+        residual filter is re-evaluated Spark-side *after* the scan, so
+        a count the source computes alone would include rows the
+        residual rejects.
+        """
+        if (
+            self._relation is not None
+            and self._projected is None
+            and not self._relation.unhandled_filters(self._pushed_filters)
+        ):
             pushed = self._relation.count(self._pushed_filters)
             if pushed is not None:
                 return pushed
@@ -185,14 +196,19 @@ class DataFrame:
                          rdd=self.rdd().union(other.rdd()))
 
     def order_by(self, *names: str, descending: bool = False) -> "DataFrame":
-        """Globally sort the rows (driver-side, like a final collect sort)."""
+        """Globally sort the rows (driver-side, like a final collect sort).
+
+        NULLs sort last in both directions, matching the engine's
+        ``ORDER BY`` — only the value ordering reverses, never the null
+        rank.
+        """
         indices = [self.schema.index_of(n) for n in names]
+        wrap = _DescendingKey if descending else _AscendingKey
         rows = sorted(
             self.collect(),
             key=lambda row: tuple(
-                (row[i] is None, row[i]) for i in indices
+                (row[i] is None, wrap(row[i])) for i in indices
             ),
-            reverse=descending,
         )
         return DataFrame(self.session, self.schema,
                          rdd=self.session.parallelize(rows, self.num_partitions))
@@ -207,6 +223,30 @@ class DataFrame:
     @property
     def write(self) -> "DataFrameWriter":
         return DataFrameWriter(self)
+
+
+class _AscendingKey:
+    """Sort-key wrapper; NULL ordering is decided by the rank element."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_AscendingKey") -> bool:
+        if self.value is None or other.value is None:
+            return False
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _AscendingKey) and self.value == other.value
+
+
+class _DescendingKey(_AscendingKey):
+    def __lt__(self, other: "_AscendingKey") -> bool:  # type: ignore[override]
+        if self.value is None or other.value is None:
+            return False
+        return other.value < self.value
 
 
 _AGGREGATES = {
@@ -225,6 +265,27 @@ def _null_or(fn, values):
     return fn(present) if present else None
 
 
+def _merge_nullable(fn):
+    def merge(a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return fn(a, b)
+    return merge
+
+
+#: how two partitions' partial values for one group combine, per
+#: partial-aggregate function (counts are never NULL; the rest skip NULLs
+#: like the aggregates themselves do)
+_PARTIAL_MERGE = {
+    "count": lambda a, b: a + b,
+    "sum": _merge_nullable(lambda a, b: a + b),
+    "min": _merge_nullable(min),
+    "max": _merge_nullable(max),
+}
+
+
 class GroupedData:
     """The result of :meth:`DataFrame.group_by`, awaiting aggregations."""
 
@@ -240,6 +301,12 @@ class GroupedData:
 
         Functions: count, sum, avg, min, max.  ``("*", "count")`` counts
         rows.  Output columns are named ``<fn>_<column>``.
+
+        Relation-backed frames push the aggregation into the source as
+        partition-wise partial aggregates (``avg`` decomposed into SUM +
+        COUNT) merged by a driver-side combiner; anything the source
+        declines — or any residual filter — falls back to collecting raw
+        rows and aggregating Spark-side.
         """
         from repro.spark.row import StructField, StructType
 
@@ -271,6 +338,11 @@ class GroupedData:
                 out_fields.append(
                     StructField(f"{fn_name}_{source.name}", data_type)
                 )
+        out_schema = StructType(out_fields)
+
+        pushed = self._pushdown(plans, out_schema)
+        if pushed is not None:
+            return pushed
 
         groups: Dict[Tuple, List[Tuple]] = {}
         for row in self.dataframe.collect():
@@ -286,11 +358,81 @@ class GroupedData:
                         _AGGREGATES[fn_name]([m[index] for m in members])
                     )
             out_rows.append(tuple(values))
-        out_schema = StructType(out_fields)
         return DataFrame(
             self.dataframe.session,
             out_schema,
             rdd=self.dataframe.session.parallelize(out_rows, 1),
+        )
+
+    def _pushdown(
+        self, plans: List[Tuple[Optional[int], str]], out_schema: "StructType"
+    ) -> Optional[DataFrame]:
+        """Try partial-aggregation pushdown; None means fall back.
+
+        Compiles the logical aggregates into the minimal set of partial
+        :class:`AggregateSpec` slots (``avg`` needs a SUM and a COUNT
+        partial; duplicates share one slot), asks the relation for a
+        partial-aggregate scan, then merges the per-partition partial
+        rows group-wise and finishes each output column.
+        """
+        df = self.dataframe
+        relation = df._relation
+        if relation is None:
+            return None
+        if relation.unhandled_filters(df._pushed_filters):
+            # a residual filter must run before aggregation — not pushable
+            return None
+        schema = df.schema
+
+        partials: List[AggregateSpec] = []
+        slots: Dict[AggregateSpec, int] = {}
+
+        def slot(spec: AggregateSpec) -> int:
+            if spec not in slots:
+                slots[spec] = len(partials)
+                partials.append(spec)
+            return slots[spec]
+
+        finishers = []  # map merged partial values -> one output value
+        for index, fn_name in plans:
+            column = None if index is None else schema.fields[index].name
+            if fn_name == "avg":
+                sum_at = slot(AggregateSpec("sum", column))
+                count_at = slot(AggregateSpec("count", column))
+                finishers.append(
+                    lambda p, s=sum_at, c=count_at: (
+                        p[s] / p[c] if p[c] else None
+                    )
+                )
+            else:
+                at = slot(AggregateSpec(fn_name, column))
+                finishers.append(lambda p, a=at: p[a])
+
+        scan = relation.build_aggregate_scan(
+            list(self.keys), partials, df._pushed_filters
+        )
+        if scan is None:
+            return None
+
+        nkeys = len(self.keys)
+        merged: Dict[Tuple, List[Any]] = {}
+        for row in scan.collect():
+            key = tuple(row[:nkeys])
+            values = list(row[nkeys:])
+            state = merged.get(key)
+            if state is None:
+                merged[key] = values
+            else:
+                for i, spec in enumerate(partials):
+                    state[i] = _PARTIAL_MERGE[spec.function](state[i], values[i])
+        out_rows = [
+            tuple(key) + tuple(finish(state) for finish in finishers)
+            for key, state in merged.items()
+        ]
+        return DataFrame(
+            df.session,
+            out_schema,
+            rdd=df.session.parallelize(out_rows, 1),
         )
 
 

@@ -8,7 +8,8 @@ Mirrors Spark 1.x `sources`:
   DataFrame, a save mode and options, persist it;
 - :class:`BaseRelation` — a named scan with schema, supporting column
   pruning and filter pushdown (``build_scan``), and optionally count
-  pushdown.
+  and partial-aggregate pushdown (``count``, ``build_aggregate_scan``
+  with :class:`AggregateSpec`).
 
 Filters are the closed set of predicate shapes Spark pushes to sources;
 anything else is evaluated Spark-side as a residual.
@@ -100,6 +101,10 @@ class In(Filter):
         return value is not None and value in self.values
 
     def to_sql(self) -> str:
+        if not self.values:
+            # `col IN ()` is a syntax error in Vertica; an empty IN-list
+            # matches nothing, which SQL spells FALSE.
+            return "FALSE"
         inner = ", ".join(_sql_literal(v) for v in self.values)
         return f"{self.attribute} IN ({inner})"
 
@@ -150,6 +155,42 @@ def apply_filters(filters: Sequence[Filter], schema: StructType,
     ]
 
 
+# -- aggregate pushdown -------------------------------------------------------
+#: partial-aggregate functions a source may be asked to compute; ``avg``
+#: never appears here — the planner decomposes it into SUM + COUNT
+#: partials and the driver-side combiner finishes the division
+PARTIAL_AGGREGATES = ("count", "sum", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One partial aggregate a source computes per partition.
+
+    ``column`` of ``None`` means ``COUNT(*)``.  Partial results from
+    different partitions of the same group are merged by the driver-side
+    combiner (counts add, sums add NULL-aware, min/max compare
+    NULL-aware), so a source may evaluate the spec independently per
+    hash range.
+    """
+
+    function: str
+    column: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.function not in PARTIAL_AGGREGATES:
+            raise AnalysisError(
+                f"non-partial aggregate {self.function!r}; "
+                f"known: {PARTIAL_AGGREGATES}"
+            )
+        if self.column is None and self.function != "count":
+            raise AnalysisError(f"{self.function}(*) is not valid")
+
+    def to_sql(self) -> str:
+        if self.column is None:
+            return "COUNT(*)"
+        return f"{self.function.upper()}({self.column})"
+
+
 # -- relations and providers ------------------------------------------------------
 class BaseRelation:
     """A scannable external relation with pruning/pushdown support."""
@@ -168,6 +209,23 @@ class BaseRelation:
 
     def count(self, filters: Sequence[Filter] = ()) -> Optional[int]:
         """Pushdown count; None means 'not supported, scan instead'."""
+        return None
+
+    def build_aggregate_scan(
+        self,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+        filters: Sequence[Filter] = (),
+    ) -> Optional["RDD"]:  # noqa: F821
+        """Partition-wise partial aggregation pushdown.
+
+        Return an RDD whose rows are ``(*group_by values, *partial
+        aggregate values)`` — one partial row per group *per partition*,
+        merged by the caller — or None to decline (the caller falls back
+        to scanning raw rows and aggregating Spark-side).  Only called
+        when :meth:`unhandled_filters` is empty for ``filters``, since a
+        residual filter would have to run before the aggregation.
+        """
         return None
 
     def unhandled_filters(self, filters: Sequence[Filter]) -> List[Filter]:

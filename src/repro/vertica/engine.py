@@ -52,10 +52,19 @@ class CostReport:
         self.node_rows_output: Dict[str, int] = {}
         self.rows_written = 0
         self.node_rows_written: Dict[str, int] = {}
+        self.rows_aggregated = 0
+        self.node_rows_aggregated: Dict[str, int] = {}
 
     def scanned(self, node: str, rows: int = 1) -> None:
         self.rows_scanned += rows
         self.node_rows_scanned[node] = self.node_rows_scanned.get(node, 0) + rows
+
+    def aggregated(self, node: str, rows: int = 1) -> None:
+        """Rows consumed by a GROUP BY/aggregate, on their producing node."""
+        self.rows_aggregated += rows
+        self.node_rows_aggregated[node] = (
+            self.node_rows_aggregated.get(node, 0) + rows
+        )
 
     def output(self, node: str, nbytes: float, rows: int = 1) -> None:
         self.rows_output += rows
@@ -72,6 +81,11 @@ class CostReport:
         self.rows_output += other.rows_output
         self.bytes_output += other.bytes_output
         self.rows_written += other.rows_written
+        self.rows_aggregated += other.rows_aggregated
+        for node, rows in other.node_rows_aggregated.items():
+            self.node_rows_aggregated[node] = (
+                self.node_rows_aggregated.get(node, 0) + rows
+            )
         for node, rows in other.node_rows_scanned.items():
             self.node_rows_scanned[node] = self.node_rows_scanned.get(node, 0) + rows
         for node, nbytes in other.node_output_bytes.items():
@@ -656,6 +670,11 @@ class Engine:
         initiator: str,
         cost: CostReport,
     ) -> Tuple[List[str], List[Tuple[str, Tuple[Any, ...]]]]:
+        # Aggregation input, attributed to producing nodes: what the wire
+        # would have carried without pushdown, and what the group-hash
+        # CPU charge (agg_cpu_per_row) bills.
+        for node, __ in rows:
+            cost.aggregated(node)
         groups: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = {}
         if statement.group_by:
             for __, row in rows:

@@ -6,7 +6,8 @@ from repro.bench.chaos_soak import run_s2v_trial, run_soak, summarize
 class TestSoakSmoke:
     def test_small_soak_holds_invariants(self):
         trials = run_soak(num_seeds=3, base_seed=100)
-        assert len(trials) == 6  # one S2V + one V2S per seed
+        assert len(trials) == 9  # one S2V + one V2S + one agg per seed
+        assert any(t.workload == "agg" for t in trials)
         bad = [t for t in trials if not t.ok]
         assert not bad, "\n".join(t.describe() for t in bad)
         # The soak must actually exercise faults and still complete work.

@@ -154,6 +154,47 @@ class TestDifferentialSelect:
         expected = sorted(r[1] for r in rows if r[1] is not None)[:limit]
         assert [r[0] for r in result.rows] == expected
 
+    @given(
+        rows=rows_strategy,
+        values=st.lists(
+            st.integers(min_value=-100, max_value=100), max_size=5
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_in_filter_pushed_matches_apply_filters(self, rows, values):
+        """The pushed-down ``In`` SQL and Spark-side ``apply_filters``
+        agree on every row set — including the empty value list, which
+        must render as FALSE (``col IN ()`` is a syntax error) and the
+        NULL rows, which never match."""
+        from repro.spark.datasource import In, apply_filters
+        from repro.spark.row import StructField, StructType
+
+        db, session = build_db(rows)
+        condition = In("A", tuple(values))
+        engine = session.execute(
+            f"SELECT a, b, f FROM t WHERE {condition.to_sql()}"
+        ).rows
+        schema = StructType(
+            [StructField("a", "long"), StructField("b", "long"),
+             StructField("f", "boolean")]
+        )
+        spark_side = apply_filters([condition], schema, rows)
+        assert sorted(engine, key=repr) == sorted(spark_side, key=repr)
+        assert all(r[0] is not None for r in engine)
+
+    @given(rows=rows_strategy, descending=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_order_by_nulls_last_both_directions(self, rows, descending):
+        """Engine ORDER BY keeps NULLs last whichever way values sort."""
+        db, session = build_db(rows)
+        direction = "DESC" if descending else "ASC"
+        result = session.execute(f"SELECT a FROM t ORDER BY a {direction}")
+        got = [r[0] for r in result.rows]
+        present = sorted(
+            (v for v in got if v is not None), reverse=descending
+        )
+        assert got == present + [None] * (len(got) - len(present))
+
     @given(rows=rows_strategy)
     @settings(max_examples=30, deadline=None)
     def test_delete_then_count(self, rows):
