@@ -67,8 +67,7 @@ class JdbcRelation(BaseRelation):
         self._schema = self._discover_schema()
 
     def _discover_schema(self) -> StructType:
-        session = self.cluster.db.connect(self.host)
-        try:
+        with self.cluster.db.connect(self.host) as session:
             rows = session.execute(
                 "SELECT column_name, data_type FROM v_catalog.columns "
                 f"WHERE table_name = '{self.table}' ORDER BY ordinal_position"
@@ -76,8 +75,6 @@ class JdbcRelation(BaseRelation):
             return StructType.from_sql_types(
                 [(name, parse_type(type_name)) for name, type_name in rows]
             )
-        finally:
-            session.close()
 
     @property
     def schema(self) -> StructType:
@@ -146,15 +143,14 @@ class JdbcScanRDD(RDD):
         relation = self.relation
         lower, upper = self.bounds[split]
         # Every connection goes through the single configured host node.
-        connection = relation.cluster.connect(relation.host, client_node=ctx.node)
-        try:
+        with relation.cluster.connect(
+            relation.host, client_node=ctx.node
+        ) as connection:
             sql = relation.task_sql(lower, upper, self.required_columns, self.filters)
             result = yield from connection.execute(
                 sql, weight=relation.scale_factor
             )
             return result.rows
-        finally:
-            connection.close()
 
 
 class JdbcDefaultSource(RelationProvider, CreatableRelationProvider):
@@ -176,8 +172,7 @@ class JdbcDefaultSource(RelationProvider, CreatableRelationProvider):
 
         # Create the target up front (overwrite drops, append requires it),
         # with none of S2V's staging machinery.
-        session = cluster.db.connect(host)
-        try:
+        with cluster.db.connect(host) as session:
             exists = cluster.db.catalog.has_table(table)
             if mode == "overwrite" and exists:
                 session.execute(f"DROP TABLE {table}")
@@ -188,8 +183,6 @@ class JdbcDefaultSource(RelationProvider, CreatableRelationProvider):
                 session.execute(
                     schema.create_table_sql(table, segmented_by=[schema.fields[0].name])
                 )
-        finally:
-            session.close()
 
         rdd = dataframe.rdd()
         if rdd.num_partitions != num_partitions:
@@ -199,8 +192,7 @@ class JdbcDefaultSource(RelationProvider, CreatableRelationProvider):
             def thunk(ctx) -> Generator:
                 body = rdd.compute(split, ctx)
                 rows = (yield from body) if hasattr(body, "__next__") else body
-                connection = cluster.connect(host, client_node=ctx.node)
-                try:
+                with cluster.connect(host, client_node=ctx.node) as connection:
                     total = 0
                     for start in range(0, len(rows), batch_rows):
                         chunk = rows[start : start + batch_rows]
@@ -225,8 +217,6 @@ class JdbcDefaultSource(RelationProvider, CreatableRelationProvider):
                     # Independent per-partition commit (autocommit already
                     # applied per statement) — no global coordination.
                     return total
-                finally:
-                    connection.close()
 
             return thunk
 

@@ -25,7 +25,12 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.bench.fabric import Fabric
-from repro.chaos import ChaosSchedule, InvariantChecker, InvariantReport
+from repro.chaos import (
+    ALL_FAMILIES,
+    ChaosSchedule,
+    InvariantChecker,
+    InvariantReport,
+)
 from repro.connector.costmodel import VerticaCostModel
 from repro.connector.s2v import FINAL_STATUS_TABLE, S2VWriter
 from repro.spark.row import StructField, StructType
@@ -106,7 +111,8 @@ class TrialResult:
             f"\nreplay: {self.replay_command()}"
 
 
-def _fabric(speculation: bool) -> Fabric:
+def _fabric(speculation: bool, wlm: bool = False,
+            session_pool_size: int = 0) -> Fabric:
     return Fabric(
         num_vertica=3,
         num_spark=4,
@@ -114,6 +120,8 @@ def _fabric(speculation: bool) -> Fabric:
         speculation=speculation,
         telemetry=True,
         failover_connect=True,
+        wlm=wlm,
+        session_pool_size=session_pool_size,
     )
 
 
@@ -317,6 +325,77 @@ def run_agg_trial(seed: int, speculation: bool = False,
     )
 
 
+#: the WLM trial's deliberately starved ingest pool
+INGEST_POOL = "SOAK_INGEST"
+
+
+def run_wlm_trial(seed: int, speculation: bool = False,
+                  verbose: bool = False) -> TrialResult:
+    """One seeded S2V save through starved WLM pools, under pool storms.
+
+    The save is admitted through a two-slot ingest pool (cascading to an
+    equally tight GENERAL) while seeded ``pool_storm`` noisy neighbours
+    claim the same slots, alongside the regular fault families.  Whether
+    the save lands or times out queueing, exactly-once must hold and no
+    admission slot, memory grant or pooled session may leak.
+    """
+    from repro.wlm import GENERAL, ResourcePool
+
+    fabric = _fabric(speculation, wlm=True, session_pool_size=2)
+    db = fabric.vertica.db
+    db.create_resource_pool(
+        ResourcePool(GENERAL, memory_mb=2048, planned_concurrency=2,
+                     max_concurrency=2, queue_timeout=0.8),
+        or_replace=True,
+    )
+    db.create_resource_pool(
+        ResourcePool(INGEST_POOL, memory_mb=2048, planned_concurrency=2,
+                     max_concurrency=2, queue_timeout=0.6, cascade=GENERAL)
+    )
+    checker = InvariantChecker(fabric.vertica)
+    schedule = ChaosSchedule.random(
+        seed,
+        spark_nodes=[worker.name for worker in fabric.spark.workers],
+        vertica_nodes=fabric.vertica.node_names,
+        link_names=sorted(fabric.all_links()),
+        tables=(FINAL_STATUS_TABLE, TARGET.upper()),
+        horizon=HORIZON,
+        events=5,
+        families=ALL_FAMILIES,
+        pools=(INGEST_POOL, GENERAL),
+    )
+    controller = fabric.attach_chaos(schedule)
+    if verbose:
+        print("\n".join(schedule.describe()))
+    df = fabric.spark.create_dataframe(ROWS, SCHEMA, num_partitions=NUM_TASKS)
+    writer = S2VWriter(
+        fabric.spark, "overwrite",
+        {"db": fabric.vertica, "table": TARGET, "numpartitions": NUM_TASKS,
+         "scale_factor": SCALE, "resource_pool": INGEST_POOL},
+        df,
+    )
+    raised: Optional[BaseException] = None
+    try:
+        writer.save()
+    except Exception as exc:  # noqa: BLE001 - the audit decides if this is fine
+        raised = exc
+    report = InvariantReport(f"wlm seed={seed}")
+    _drain(fabric, report)
+    if fabric.vertica.session_pool is not None:
+        fabric.vertica.session_pool.close_all()
+    report.merge(checker.check_s2v_save(
+        writer.job_name, TARGET, ROWS, mode="overwrite", raised=raised,
+    ))
+    if verbose:
+        for record in controller.injections:
+            print(record)
+        print(report.describe())
+    return TrialResult(
+        "wlm", seed, "overwrite", speculation, raised, report,
+        len(controller.injections),
+    )
+
+
 #: the S2V configuration rotation: both commit paths × speculation
 S2V_CONFIGS = (
     ("overwrite", False),
@@ -328,8 +407,8 @@ S2V_CONFIGS = (
 
 def run_soak(num_seeds: int = 25, base_seed: int = 0,
              verbose: bool = False) -> List[TrialResult]:
-    """Run ``num_seeds`` S2V trials (rotating configs) plus V2S scan and
-    pushed-aggregate trials."""
+    """Run ``num_seeds`` S2V trials (rotating configs) plus V2S scan,
+    pushed-aggregate and WLM-admission trials."""
     trials: List[TrialResult] = []
     for index in range(num_seeds):
         seed = base_seed + index
@@ -341,6 +420,9 @@ def run_soak(num_seeds: int = 25, base_seed: int = 0,
         if verbose:
             print(trials[-1].describe())
         trials.append(run_agg_trial(seed + 104729, speculation=speculation))
+        if verbose:
+            print(trials[-1].describe())
+        trials.append(run_wlm_trial(seed + 1299709, speculation=speculation))
         if verbose:
             print(trials[-1].describe())
     return trials
@@ -364,11 +446,11 @@ def summarize(trials: Sequence[TrialResult]) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", type=int, default=25,
-                        help="number of soak seeds (3 trials per seed)")
+                        help="number of soak seeds (4 trials per seed)")
     parser.add_argument("--base-seed", type=int, default=0)
     parser.add_argument("--replay-seed", type=int, default=None,
                         help="replay one trial with full fault/audit output")
-    parser.add_argument("--workload", choices=("s2v", "v2s", "agg"),
+    parser.add_argument("--workload", choices=("s2v", "v2s", "agg", "wlm"),
                         default="s2v")
     parser.add_argument("--mode", choices=("overwrite", "append"),
                         default="overwrite")
@@ -382,6 +464,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                   args.speculation, verbose=True)
         elif args.workload == "agg":
             trial = run_agg_trial(args.replay_seed, args.speculation,
+                                  verbose=True)
+        elif args.workload == "wlm":
+            trial = run_wlm_trial(args.replay_seed, args.speculation,
                                   verbose=True)
         else:
             trial = run_v2s_trial(args.replay_seed, args.speculation,

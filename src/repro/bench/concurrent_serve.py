@@ -1,0 +1,349 @@
+"""Multi-tenant concurrent serving benchmark for the WLM subsystem.
+
+N tenants share one fabric and concurrently run a mixed workload — V2S
+scans, S2V saves and in-database model scoring (MD) — while every
+statement passes through :mod:`repro.wlm` admission control and a
+client-side session pool.  The driver reports per-tenant p50/p95
+latency, throughput, queue time and rejections, then audits the fabric
+with the :class:`~repro.chaos.InvariantChecker`: whatever the admission
+queueing did, no slot, memory grant or session may leak.
+
+The headline experiment is isolation: the same tenant mix runs twice,
+once with everyone crammed into a deliberately congested GENERAL pool
+and once with tenant 0 moved to a dedicated high-priority PREMIUM pool.
+Tenant 0's p95 must drop — that is workload management doing its job::
+
+    PYTHONPATH=src python -m repro.bench.concurrent_serve
+    PYTHONPATH=src python -m repro.bench.concurrent_serve \\
+        --tenants 6 --ops 8 --mode pools
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro.bench.fabric import Fabric
+from repro.chaos import InvariantChecker, InvariantReport
+from repro.connector.costmodel import VerticaCostModel
+from repro.connector.md import deploy_pmml_model, install_pmml_udx
+from repro.connector.s2v import S2VWriter
+from repro.connector.v2s import VerticaRelation
+from repro.spark.errors import SparkError
+from repro.spark.mllib import LabeledPoint, train_linear_regression
+from repro.spark.row import StructField, StructType
+from repro.vertica.errors import AdmissionTimeout, VerticaError
+from repro.wlm import GENERAL, ResourcePool
+
+#: light-but-nonzero latencies: ops overlap enough to contend for
+#: admission slots while a full comparison run stays in seconds
+SERVE_COST_MODEL = VerticaCostModel(
+    connect_latency=0.02,
+    query_latency=0.004,
+    ddl_latency=0.01,
+    query_plan_cpu=0.002,
+    scan_cpu_per_row=2e-6,
+    agg_cpu_per_row=2e-6,
+    output_cpu_per_row=4e-6,
+    load_cpu_per_row=6e-6,
+    encode_cpu_per_row=3e-6,
+    per_connection_rate_cap=3e4,
+    copy_rate_cap=2e4,
+)
+
+SCHEMA = StructType([StructField("id", "long"), StructField("v", "double")])
+ROWS = [(i, float((i * 13) % 17)) for i in range(120)]
+SOURCE = "serve_src"
+MODEL_NAME = "serve_model"
+PREMIUM = "PREMIUM"
+#: per-op task parallelism (each task is one admitted statement stream)
+NUM_TASKS = 3
+#: virtual scale factor: stretches each op so tenants genuinely overlap
+SCALE = 25.0
+#: deterministic per-tenant operation rotation
+OP_MIX = ("v2s", "s2v", "md")
+#: the congested shared pool: every concurrent statement fights for
+#: these four slots, so queueing is the norm, not the exception
+GENERAL_CONFIG = dict(
+    memory_mb=4096, planned_concurrency=4, max_concurrency=4,
+    queue_timeout=60.0,
+)
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class TenantStats:
+    """One tenant's outcomes: latencies, queue time, rejections, failures."""
+
+    def __init__(self, tenant: int, pool: str):
+        self.tenant = tenant
+        self.pool = pool
+        self.latencies: List[float] = []
+        self.queue_wait = 0.0
+        self.rejections = 0
+        self.failures = 0
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def p50(self) -> float:
+        return _percentile(self.latencies, 0.50)
+
+    @property
+    def p95(self) -> float:
+        return _percentile(self.latencies, 0.95)
+
+    def describe(self, elapsed: float) -> str:
+        rate = self.completed / elapsed if elapsed > 0 else 0.0
+        return (
+            f"tenant {self.tenant} [{self.pool}]: {self.completed} ops, "
+            f"p50={self.p50:.3f}s p95={self.p95:.3f}s "
+            f"{rate:.2f} ops/s queue_wait={self.queue_wait:.3f}s "
+            f"rejected={self.rejections} failed={self.failures}"
+        )
+
+
+class ServeReport:
+    """One serving run: per-tenant stats, pool telemetry, audit."""
+
+    def __init__(self, mode: str, tenants: List[TenantStats], elapsed: float,
+                 report: InvariantReport, snapshot):
+        self.mode = mode
+        self.tenants = tenants
+        self.elapsed = elapsed
+        self.report = report
+        self.snapshot = snapshot
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def tenant(self, index: int) -> TenantStats:
+        return self.tenants[index]
+
+    def describe(self) -> str:
+        counters = self.snapshot.counters
+        gauges = self.snapshot.gauges
+        lines = [
+            f"concurrent serve [{self.mode}]: {len(self.tenants)} tenants, "
+            f"{self.elapsed:.3f}s simulated",
+        ]
+        for stats in self.tenants:
+            lines.append("  " + stats.describe(self.elapsed))
+        waits = self.snapshot.histograms.get("wlm.queue_wait_seconds")
+        lines.append(
+            "  wlm: "
+            f"admissions={counters.get('wlm.admissions', 0):.0f} "
+            f"rejections={counters.get('wlm.rejections', 0):.0f} "
+            f"cascades={counters.get('wlm.cascades', 0):.0f} "
+            f"sessions_reused={counters.get('wlm.sessions.reused', 0):.0f}"
+        )
+        if waits and waits["count"]:
+            lines.append(
+                f"  queue wait: n={waits['count']:.0f} "
+                f"mean={waits['mean']:.4f}s max={waits['max']:.4f}s"
+            )
+        for name in sorted(gauges):
+            if name.endswith(".queue_depth") and name.startswith("wlm.pool."):
+                final, peak = gauges[name]
+                lines.append(f"  {name}: peak={peak:.0f}")
+            elif name.startswith("db.sessions.active."):
+                final, peak = gauges[name]
+                lines.append(f"  {name}: peak={peak:.0f} final={final:.0f}")
+        lines.append("  " + self.report.describe().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+def _rdd_thunks(rdd) -> List:
+    def make(split: int):
+        def thunk(ctx) -> Generator:
+            rows = yield from rdd.compute(split, ctx)
+            return rows
+
+        return thunk
+
+    return [make(i) for i in range(rdd.num_partitions)]
+
+
+def _tenant(fabric: Fabric, stats: TenantStats, ops: int) -> Generator:
+    """One tenant's serving loop: a deterministic rotation of op kinds."""
+    cluster = fabric.vertica
+    spark = fabric.spark
+    relation = VerticaRelation(spark, {
+        "db": cluster, "table": SOURCE, "numpartitions": NUM_TASKS,
+        "scale_factor": SCALE, "resource_pool": stats.pool,
+    })
+    dataframe = fabric.spark.create_dataframe(
+        ROWS, SCHEMA, num_partitions=NUM_TASKS
+    )
+    for index in range(ops):
+        op = OP_MIX[(stats.tenant + index) % len(OP_MIX)]
+        start = fabric.env.now
+        try:
+            if op == "v2s":
+                rdd = relation.build_scan()
+                job = spark.scheduler.submit(
+                    _rdd_thunks(rdd),
+                    name=f"serve_t{stats.tenant}_op{index}_v2s",
+                )
+                yield job.done
+            elif op == "s2v":
+                writer = S2VWriter(
+                    spark, "overwrite",
+                    {"db": cluster, "table": f"serve_out_t{stats.tenant}",
+                     "numpartitions": NUM_TASKS, "scale_factor": SCALE,
+                     "resource_pool": stats.pool},
+                    dataframe,
+                )
+                yield from writer.save_process()
+            else:
+                node = cluster.node_names[
+                    (stats.tenant + index) % len(cluster.node_names)
+                ]
+                with cluster.connect(node, resource_pool=stats.pool) as conn:
+                    result = yield from conn.execute(
+                        f"SELECT PMMLPredict(v USING PARAMETERS "
+                        f"model_name='{MODEL_NAME}') FROM {SOURCE}",
+                        weight=SCALE, output_weight=1.0,
+                    )
+                    stats.queue_wait += result.cost.queue_wait_seconds
+        except AdmissionTimeout:
+            stats.rejections += 1
+        except (VerticaError, SparkError):
+            stats.failures += 1
+        else:
+            stats.latencies.append(fabric.env.now - start)
+
+
+def _build_fabric(session_pool_size: int) -> Fabric:
+    return Fabric(
+        num_vertica=3,
+        num_spark=4,
+        cost_model=SERVE_COST_MODEL,
+        telemetry=True,
+        failover_connect=True,
+        wlm=True,
+        session_pool_size=session_pool_size,
+    )
+
+
+def _prepare(fabric: Fabric, premium: bool) -> None:
+    db = fabric.vertica.db
+    with db.connect() as session:
+        session.execute(
+            f"CREATE TABLE {SOURCE} (id INTEGER, v FLOAT) SEGMENTED BY HASH(id)"
+        )
+        values = ", ".join(f"({i}, {v})" for i, v in ROWS)
+        session.execute(f"INSERT INTO {SOURCE} VALUES {values}")
+    model = train_linear_regression(
+        [LabeledPoint(2.0 * x + 1.0, [float(x)]) for x in range(8)]
+    )
+    deploy_pmml_model(db, MODEL_NAME, model.to_pmml(MODEL_NAME))
+    install_pmml_udx(db)
+    # Shrink GENERAL so the tenant mix genuinely contends for admission.
+    db.create_resource_pool(
+        ResourcePool(GENERAL, **GENERAL_CONFIG), or_replace=True
+    )
+    if premium:
+        db.create_resource_pool(ResourcePool(
+            PREMIUM, priority=10, cascade=GENERAL, **GENERAL_CONFIG
+        ))
+
+
+def run_serve(tenants: int = 4, ops: int = 6, premium: bool = False,
+              session_pool_size: int = 4) -> ServeReport:
+    """Run one multi-tenant serving round; returns the audited report.
+
+    With ``premium=True`` tenant 0 runs in a dedicated high-priority
+    PREMIUM pool (cascading to GENERAL on queue timeout); everyone else
+    stays in the congested GENERAL pool.
+    """
+    fabric = _build_fabric(session_pool_size)
+    _prepare(fabric, premium)
+    checker = InvariantChecker(fabric.vertica)
+    mode = "pools" if premium else "shared"
+    stats = [
+        TenantStats(t, PREMIUM if premium and t == 0 else GENERAL)
+        for t in range(tenants)
+    ]
+    for tenant_stats in stats:
+        fabric.env.process(
+            _tenant(fabric, tenant_stats, ops),
+            name=f"tenant{tenant_stats.tenant}",
+        )
+    report = InvariantReport(f"serve:{mode}")
+    try:
+        fabric.env.run()
+        report.passed("clean-drain")
+    except BaseException as exc:  # noqa: BLE001 - audited, not swallowed
+        report.violated("clean-drain", f"serving run raised {exc!r}")
+    elapsed = fabric.env.now
+    if fabric.vertica.session_pool is not None:
+        fabric.vertica.session_pool.close_all()
+    report.merge(checker.check_no_leaks())
+    completed = sum(s.completed for s in stats)
+    if completed == 0:
+        report.violated("progress", "no tenant completed a single op")
+    else:
+        report.passed("progress")
+    return ServeReport(mode, stats, elapsed, report, fabric.metrics_snapshot())
+
+
+def run_comparison(tenants: int = 4, ops: int = 6,
+                   session_pool_size: int = 4) -> Dict[str, ServeReport]:
+    """The isolation experiment: same mix, shared GENERAL vs PREMIUM."""
+    return {
+        "shared": run_serve(tenants, ops, premium=False,
+                            session_pool_size=session_pool_size),
+        "pools": run_serve(tenants, ops, premium=True,
+                           session_pool_size=session_pool_size),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--ops", type=int, default=6,
+                        help="operations per tenant")
+    parser.add_argument("--session-pool", type=int, default=4,
+                        help="max idle pooled sessions per node (0 disables)")
+    parser.add_argument("--mode", choices=("shared", "pools", "compare"),
+                        default="compare")
+    args = parser.parse_args(argv)
+
+    if args.mode != "compare":
+        report = run_serve(args.tenants, args.ops,
+                           premium=args.mode == "pools",
+                           session_pool_size=args.session_pool)
+        print(report.describe())
+        return 0 if report.ok else 1
+
+    reports = run_comparison(args.tenants, args.ops, args.session_pool)
+    failed = False
+    for report in reports.values():
+        print(report.describe())
+        failed = failed or not report.ok
+    shared_p95 = reports["shared"].tenant(0).p95
+    premium_p95 = reports["pools"].tenant(0).p95
+    print(
+        f"tenant 0 p95: shared={shared_p95:.3f}s premium={premium_p95:.3f}s "
+        f"({'isolated' if premium_p95 < shared_p95 else 'NOT ISOLATED'})"
+    )
+    if premium_p95 >= shared_p95:
+        print("premium pool failed to improve tenant 0 latency",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

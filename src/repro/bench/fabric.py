@@ -43,6 +43,8 @@ class Fabric:
         telemetry: bool = False,
         failover_connect: bool = False,
         rate_log_limit: Optional[int] = 65536,
+        wlm: bool = False,
+        session_pool_size: int = 0,
     ):
         self.env = Environment()
         # Each fabric owns the global registry for its lifetime: enabled
@@ -61,6 +63,8 @@ class Fabric:
             num_nodes=num_vertica,
             cost_model=cost_model,
             failover_connect=failover_connect,
+            wlm=wlm,
+            session_pool_size=session_pool_size,
         )
         self.spark = SparkSession(
             env=self.env,

@@ -24,6 +24,7 @@ from repro.chaos.invariants import (
     InvariantViolation,
 )
 from repro.chaos.schedule import (
+    ALL_FAMILIES,
     ChaosAction,
     ChaosError,
     ChaosSchedule,
@@ -31,12 +32,14 @@ from repro.chaos.schedule import (
     FAMILIES,
     LinkDegrade,
     LockStorm,
+    PoolStorm,
     ProbeRule,
     StatementRule,
     VerticaRestart,
 )
 
 __all__ = [
+    "ALL_FAMILIES",
     "ChaosAction",
     "ChaosController",
     "ChaosError",
@@ -49,6 +52,7 @@ __all__ = [
     "InvariantViolation",
     "LinkDegrade",
     "LockStorm",
+    "PoolStorm",
     "ProbeRule",
     "StatementRule",
     "VerticaRestart",

@@ -202,6 +202,41 @@ class ChaosController(FaultPolicy):
             txn.abort()
             yield self.env.timeout(action.gap)
 
+    def fire_pool_storm(self, action) -> None:
+        if self.vertica is None or getattr(self.vertica, "wlm", None) is None:
+            return
+        self.record(
+            "pool_storm",
+            f"{action.pool} x{action.claims} for {action.duration:.3f}s",
+        )
+        for index in range(action.claims):
+            self.env.process(
+                self._pool_storm_claim(action),
+                name=f"chaos.pool_storm.{action.pool}.{index}",
+            )
+
+    def _pool_storm_claim(self, action):
+        """One noisy neighbour: claim an admission slot, hold, repeat."""
+        from repro.vertica.errors import AdmissionTimeout, CatalogError
+
+        wlm = self.vertica.wlm
+        end = self.env.now + action.duration
+        while self.env.now < end:
+            try:
+                ticket = yield from wlm.admit(action.pool)
+            except AdmissionTimeout:
+                # Queued out — the workload won the slot race; that *is*
+                # the contention.  Back off and try again.
+                yield self.env.timeout(action.gap)
+                continue
+            except CatalogError:
+                return  # pool dropped mid-storm
+            try:
+                yield self.env.timeout(action.hold)
+            finally:
+                ticket.release()
+            yield self.env.timeout(action.gap)
+
     # -- FaultPolicy hook (probe rules) -----------------------------------------
     def on_probe(self, ctx, label: str) -> None:
         for index, rule in enumerate(self.schedule.probe_rules):

@@ -10,7 +10,10 @@ guarantee *regardless* of faults:
   it must never disagree with the data.
 - **No leaked state**: per-job temporary tables are gone after the driver
   survived (success or failure), no transaction still holds a table lock,
-  and every client session was returned.
+  every client session was returned (sessions parked idle in a
+  client-side :class:`~repro.wlm.sessionpool.SessionPool` are baselined,
+  not leaks), and — on WLM runs — no resource pool still holds admission
+  slots or memory.
 - **V2S snapshot isolation** (§3.1.2): the rows a scan produced equal an
   ``AT EPOCH`` re-read of its pinned epoch — one consistent snapshot,
   even though tasks ran (and re-ran) while writers advanced the epoch.
@@ -87,9 +90,19 @@ class InvariantChecker:
 
     def __init__(self, vertica):
         self.db = vertica.db if hasattr(vertica, "db") else vertica
+        self.cluster = vertica if hasattr(vertica, "db") else None
         self._baseline_sessions = {
             node: self.db.session_count(node) for node in self.db.node_names
         }
+        # Idle sessions parked in a client-side pool are open on purpose;
+        # baseline them so pooled runs aren't flagged as leaking.
+        self._baseline_idle = {
+            node: self._pool_idle(node) for node in self.db.node_names
+        }
+
+    def _pool_idle(self, node: str) -> int:
+        pool = getattr(self.cluster, "session_pool", None)
+        return pool.idle_count(node) if pool is not None else 0
 
     # -- primitives ----------------------------------------------------------
     def _session(self):
@@ -264,11 +277,13 @@ class InvariantChecker:
             )
         else:
             report.passed("no-leaked-locks")
-        stranded = {
-            node: self.db.session_count(node) - baseline
-            for node, baseline in self._baseline_sessions.items()
-            if self.db.session_count(node) != baseline
-        }
+        stranded = {}
+        for node, baseline in self._baseline_sessions.items():
+            delta = self.db.session_count(node) - baseline
+            # sessions the client pool is deliberately holding idle
+            delta -= self._pool_idle(node) - self._baseline_idle.get(node, 0)
+            if delta:
+                stranded[node] = delta
         if stranded:
             report.violated(
                 "no-leaked-sessions",
@@ -287,4 +302,16 @@ class InvariantChecker:
             )
         else:
             report.passed("nodes-recovered")
+        wlm = getattr(self.cluster, "wlm", None)
+        if wlm is not None:
+            # The check only exists on WLM runs, so non-WLM audits keep
+            # their historical check counts.
+            leaked = wlm.leaked()
+            if leaked:
+                report.violated(
+                    "no-leaked-pool-slots",
+                    f"resource pools still busy after run: {leaked}",
+                )
+            else:
+                report.passed("no-leaked-pool-slots")
         return report

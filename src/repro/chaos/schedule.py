@@ -23,7 +23,10 @@ from __future__ import annotations
 import random
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-#: fault families :meth:`ChaosSchedule.random` can draw from
+#: fault families :meth:`ChaosSchedule.random` can draw from by default.
+#: ``pool_storm`` is deliberately NOT in this tuple: adding it would shift
+#: every existing seed's draw sequence.  WLM-aware soaks opt in by passing
+#: ``families=FAMILIES + ("pool_storm",)`` together with ``pools=...``.
 FAMILIES = (
     "executor_crash",
     "link_degrade",
@@ -32,6 +35,9 @@ FAMILIES = (
     "connection_sever",
     "task_kill",
 )
+
+#: every family random() understands, including the opt-in ones
+ALL_FAMILIES = FAMILIES + ("pool_storm",)
 
 
 class ChaosError(ValueError):
@@ -177,6 +183,45 @@ class LockStorm(ChaosAction):
         )
 
 
+class PoolStorm(ChaosAction):
+    """Flood one WLM resource pool with synthetic admission claims.
+
+    Models a burst of rogue tenants: for ``duration`` seconds,
+    ``claims`` background processes repeatedly admit into ``pool``, hold
+    their slot + memory grant for ``hold`` seconds, release, and pause
+    ``gap`` seconds — driving real statements into admission queues,
+    cascades, and :class:`~repro.vertica.errors.AdmissionTimeout`.  A
+    no-op on clusters running without WLM.
+    """
+
+    family = "pool_storm"
+
+    def __init__(self, pool: str, at: float, duration: float,
+                 claims: int = 4, hold: float = 0.05, gap: float = 0.01):
+        super().__init__(at)
+        if duration <= 0:
+            raise ChaosError(f"storm duration must be > 0: {duration}")
+        if claims < 1:
+            raise ChaosError(f"claims must be >= 1: {claims}")
+        if hold <= 0 or gap <= 0:
+            raise ChaosError(f"hold/gap must be > 0: {hold}/{gap}")
+        self.pool = pool.upper()
+        self.duration = duration
+        self.claims = claims
+        self.hold = hold
+        self.gap = gap
+
+    def apply(self, controller) -> None:
+        controller.fire_pool_storm(self)
+
+    def describe(self) -> str:
+        return (
+            f"t={self.at:.3f} pool_storm {self.pool} "
+            f"x{self.claims} for {self.duration:.3f}s "
+            f"(hold {self.hold}, gap {self.gap})"
+        )
+
+
 class ProbeRule:
     """Kill a deterministic fraction of task attempts at probe points.
 
@@ -286,15 +331,19 @@ class ChaosSchedule:
         events: int = 3,
         families: Sequence[str] = FAMILIES,
         sever_keywords: Sequence[str] = ("COPY", "COMMIT", "UPDATE"),
+        pools: Sequence[str] = (),
     ) -> "ChaosSchedule":
         """Derive a schedule from one integer seed.
 
         Families whose targets are unavailable (no spark nodes for
         ``executor_crash``, no link names for ``link_degrade``, ...) are
         skipped, so callers pass whatever topology they actually have.
+        ``pool_storm`` fires only when explicitly requested via
+        ``families`` *and* ``pools`` names at least one resource pool —
+        keeping draw sequences of pre-WLM seeds unchanged.
         """
         rng = random.Random(seed)
-        usable = [f for f in families if f in FAMILIES]
+        usable = [f for f in families if f in ALL_FAMILIES]
         if not usable:
             raise ChaosError(f"no known families in {families!r}")
         actions: List[ChaosAction] = []
@@ -338,5 +387,13 @@ class ChaosSchedule:
                     label=rng.choice(["", "s2v:", "phase1"]),
                     rate=rng.uniform(0.02, 0.12),
                     max_kills=rng.randint(1, 4),
+                ))
+            elif family == "pool_storm" and pools:
+                actions.append(PoolStorm(
+                    rng.choice(list(pools)), at,
+                    duration=rng.uniform(0.3, 1.5),
+                    claims=rng.randint(2, 6),
+                    hold=rng.uniform(0.02, 0.1),
+                    gap=rng.uniform(0.005, 0.02),
                 ))
         return cls(seed, actions, probe_rules, statement_rules)

@@ -39,6 +39,8 @@ class SimVerticaCluster:
         node_prefix: str = "node",
         copy_ingest_rate: float = 96e6,
         failover_connect: bool = False,
+        wlm: bool = False,
+        session_pool_size: int = 0,
     ):
         if env is None and sim_cluster is not None:
             env = sim_cluster.env
@@ -80,6 +82,25 @@ class SimVerticaCluster:
                 name: Link(self.env, f"{name}.ingest", copy_ingest_rate)
                 for name in node_names
             }
+        # WLM admission control (opt-in): every query/DML statement over a
+        # connection then acquires slot + memory grants from its session's
+        # resource pool before planning.
+        self.wlm = None
+        if wlm:
+            from repro.wlm import AdmissionController
+
+            self.wlm = AdmissionController(self.env, self.db.catalog)
+        # Client-side session pooling (opt-in): connections check their
+        # sessions back into a bounded per-node free list on close.
+        self.session_pool = None
+        if session_pool_size > 0:
+            from repro.wlm import SessionPool
+
+            self.session_pool = SessionPool(
+                self.db,
+                max_idle_per_node=session_pool_size,
+                failover=failover_connect,
+            )
 
     @property
     def node_names(self) -> List[str]:
@@ -89,7 +110,10 @@ class SimVerticaCluster:
         return self.sim_nodes[name]
 
     def connect(
-        self, node: Optional[str] = None, client_node: Optional[SimNode] = None
+        self,
+        node: Optional[str] = None,
+        client_node: Optional[SimNode] = None,
+        resource_pool: Optional[str] = None,
     ) -> "SimVerticaConnection":  # noqa: F821
         """Open a connection to one Vertica node.
 
@@ -97,11 +121,25 @@ class SimVerticaCluster:
         the socket (the executor's node for tasks, ``None`` for a driver
         connection — driver traffic is then free, like the paper's
         negligible control-plane traffic).
+
+        ``resource_pool`` selects the session's WLM pool, as if it opened
+        with ``SET RESOURCE_POOL``.  With a session pool installed the
+        session may be a reused idle one — the connection then skips its
+        connect-handshake latency.
         """
         from repro.connector.jdbc import SimVerticaConnection
 
         target = node or self.node_names[0]
-        session = self.db.connect(target, failover=self.failover_connect)
+        if self.session_pool is not None:
+            session, reused = self.session_pool.checkout(
+                target, resource_pool=resource_pool
+            )
+            conn = SimVerticaConnection(self, session, session.node, client_node)
+            conn._connected = reused
+            return conn
+        session = self.db.connect(
+            target, failover=self.failover_connect, resource_pool=resource_pool
+        )
         return SimVerticaConnection(self, session, session.node, client_node)
 
     def run(self, process_generator, name: str = "driver"):

@@ -74,7 +74,24 @@ class SimVerticaConnection:
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
-        self.session.close()
+        """Close the connection, or return its session to the cluster pool.
+
+        With a cluster-level :class:`~repro.wlm.sessionpool.SessionPool`
+        installed, a healthy session goes back on the free list for the
+        next checkout instead of tearing down; severed connections always
+        close for real.
+        """
+        pool = getattr(self.cluster, "session_pool", None)
+        if pool is not None and not self._severed:
+            pool.checkin(self.session)
+        else:
+            self.session.close()
+
+    def __enter__(self) -> "SimVerticaConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def sever(self) -> None:
         """Kill the connection: abort any open transaction, refuse reuse."""
@@ -124,21 +141,38 @@ class SimVerticaConnection:
             self._connected = True
         keyword = sql.lstrip().split(None, 1)[0].upper() if sql.strip() else ""
         is_ddl = keyword in ("CREATE", "DROP", "ALTER", "TRUNCATE")
-        latency = model.ddl_latency if is_ddl else model.query_latency
-        if latency:
-            yield env.timeout(latency)
-        if model.query_plan_cpu and keyword in ("SELECT", "AT", "INSERT",
-                                                "UPDATE", "DELETE", "COPY"):
-            yield from contact.compute(model.query_plan_cpu)
 
-        result = self.session.execute(sql, copy_data=copy_data)
+        # WLM admission: gate query/DML statements through the session's
+        # resource pool before any planning happens.  The ticket (slot +
+        # memory grant) is held for the statement's whole execution and
+        # its queue wait is charged into the statement's CostReport.
+        ticket = None
+        admission = getattr(self.cluster, "wlm", None)
+        if admission is not None and keyword in ("SELECT", "AT", "INSERT",
+                                                 "UPDATE", "DELETE", "COPY"):
+            ticket = yield from admission.admit(self.session.resource_pool)
+        try:
+            latency = model.ddl_latency if is_ddl else model.query_latency
+            if latency:
+                yield env.timeout(latency)
+            if model.query_plan_cpu and keyword in ("SELECT", "AT", "INSERT",
+                                                    "UPDATE", "DELETE", "COPY"):
+                yield from contact.compute(model.query_plan_cpu)
 
-        if copy_data is not None:
-            yield from self._charge_copy(result, copy_data, w)
-        else:
-            yield from self._charge_query(result, w, w_out)
-        if chaos is not None:
-            chaos.on_statement(self, sql, point="after")
+            result = self.session.execute(sql, copy_data=copy_data)
+
+            if ticket is not None:
+                result.cost.queue_wait_seconds += ticket.queue_wait
+                result.cost.resource_pool = ticket.pool_name
+            if copy_data is not None:
+                yield from self._charge_copy(result, copy_data, w)
+            else:
+                yield from self._charge_query(result, w, w_out)
+            if chaos is not None:
+                chaos.on_statement(self, sql, point="after")
+        finally:
+            if ticket is not None:
+                ticket.release()
         return result
 
     def retry_delay(self, attempt: int, backoff: float = 0.01) -> float:

@@ -28,15 +28,12 @@ _DFS_PREFIX = "pmml_models/"
 
 def _ensure_metadata_table(db: VerticaDatabase) -> None:
     if not db.catalog.has_table(PMML_MODELS_TABLE):
-        session = db.connect()
-        try:
+        with db.connect() as session:
             session.execute(
                 f"CREATE TABLE IF NOT EXISTS {PMML_MODELS_TABLE} ("
                 "model_name VARCHAR(200), model_type VARCHAR(80), "
                 "size_bytes INTEGER, num_features INTEGER) UNSEGMENTED ALL NODES"
             )
-        finally:
-            session.close()
 
 
 def deploy_pmml_model(
@@ -52,8 +49,7 @@ def deploy_pmml_model(
     if db.dfs.exists(path) and not overwrite:
         raise CatalogError(f"model {name!r} is already deployed")
     _ensure_metadata_table(db)
-    session = db.connect()
-    try:
+    with db.connect() as session:
         if overwrite and db.dfs.exists(path):
             session.execute(
                 f"DELETE FROM {PMML_MODELS_TABLE} WHERE model_name = '{name}'"
@@ -65,8 +61,6 @@ def deploy_pmml_model(
             f"{len(document.feature_names)})"
         )
         telemetry.counter("md.models_deployed").inc()
-    finally:
-        session.close()
 
 
 def get_pmml(db: VerticaDatabase, name: str) -> str:
@@ -78,28 +72,22 @@ def delete_model(db: VerticaDatabase, name: str) -> None:
     """Remove a deployed model (DFS document + metadata row)."""
     path = _DFS_PREFIX + name
     db.dfs.delete(path)
-    session = db.connect()
-    try:
+    with db.connect() as session:
         session.execute(
             f"DELETE FROM {PMML_MODELS_TABLE} WHERE model_name = '{name}'"
         )
-    finally:
-        session.close()
 
 
 def list_models(db: VerticaDatabase) -> List[Dict[str, Any]]:
     """Deployed model metadata, from the ``PMML_MODELS`` table."""
     if not db.catalog.has_table(PMML_MODELS_TABLE):
         return []
-    session = db.connect()
-    try:
+    with db.connect() as session:
         result = session.execute(
             f"SELECT model_name, model_type, size_bytes, num_features "
             f"FROM {PMML_MODELS_TABLE} ORDER BY model_name"
         )
         return result.to_dicts()
-    finally:
-        session.close()
 
 
 def install_pmml_udx(db: VerticaDatabase, cache_size: int = 32) -> None:

@@ -31,7 +31,7 @@ class ConnectorOptions:
         "db", "table", "dbschema", "host", "user", "password",
         "numpartitions", "scale_factor", "failed_rows_percent_tolerance",
         "reject_max", "avro_codec", "prehash_partitioning", "varchar_length",
-        "agg_pushdown",
+        "agg_pushdown", "resource_pool",
     }
 
     def __init__(self, options: Dict[str, Any], for_save: bool = False):
@@ -86,6 +86,12 @@ class ConnectorOptions:
         self.varchar_length = self._positive_int(
             options.get("varchar_length", 65000), "varchar_length"
         )
+        # WLM pool every session opened by this relation/writer runs in;
+        # None keeps the database default (GENERAL).
+        pool = options.get("resource_pool")
+        if pool is not None and (not isinstance(pool, str) or not pool.strip()):
+            raise OptionsError(f"option 'resource_pool' must be a pool name: {pool!r}")
+        self.resource_pool: Optional[str] = pool.strip().upper() if pool else None
 
     @staticmethod
     def _positive_int(value: Any, name: str) -> int:

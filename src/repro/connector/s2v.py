@@ -99,10 +99,20 @@ class S2VWriter:
 
         ``None`` is returned only for mode=ignore on an existing table.
         """
+        return self.cluster.run(self.save_process(), name=f"{self.job_name}.save")
+
+    def save_process(self) -> Generator:
+        """The whole save as one driver-side generator.
+
+        ``save()`` runs it to completion on an otherwise idle clock; a
+        multi-tenant workload instead embeds it in its own process
+        (``yield from writer.save_process()``) so many saves — and their
+        WLM admission waits — interleave on one simulation clock.
+        """
         try:
-            self.cluster.run(self._setup(), name=f"{self.job_name}.setup")
+            yield from self._setup()
         except Exception:
-            self._cleanup_after_failure(None)
+            yield from self._safe_cleanup(None)
             raise
         if self._skipped:
             return None
@@ -110,7 +120,7 @@ class S2VWriter:
         thunks = [self._make_task(rdd, i) for i in range(num_tasks)]
         job = self.spark.scheduler.submit(thunks, name=self.job_name)
         try:
-            self.cluster.env.run(job.done)
+            yield job.done
         except SparkError:
             # The job died but the driver is still alive: reconcile and drop
             # the per-job temporary tables.  The final status table keeps the
@@ -118,18 +128,16 @@ class S2VWriter:
             # first) for the user to consult — only a *total* Spark failure
             # (driver death) leaves temp tables behind, and those are cleaned
             # out-of-band via :mod:`repro.connector.jobs`.
-            self._cleanup_after_failure(job)
+            yield from self._safe_cleanup(job)
             raise
         try:
-            return self.cluster.run(
-                self._finalize(job), name=f"{self.job_name}.finalize"
-            )
+            return (yield from self._finalize(job))
         except Exception:
-            self._cleanup_after_failure(job)
+            yield from self._safe_cleanup(job)
             raise
 
     # ------------------------------------------------------------- failure path
-    def _cleanup_after_failure(self, job) -> None:
+    def _safe_cleanup(self, job) -> Generator:
         """Best-effort, idempotent teardown after a failed save.
 
         Never raises — the original failure is what the caller must see.
@@ -137,7 +145,7 @@ class S2VWriter:
         through :mod:`repro.connector.jobs`.
         """
         try:
-            self.cluster.run(self._cleanup(job), name=f"{self.job_name}.cleanup")
+            yield from self._cleanup(job)
         except Exception:
             telemetry.counter("s2v.cleanup_failures").inc()
 
@@ -147,8 +155,10 @@ class S2VWriter:
         if job is not None:
             while any(task.live_attempts for task in job.tasks):
                 yield self.cluster.env.timeout(0.05)
-        conn = self.cluster.connect(self.opts.host, client_node=None)
-        try:
+        with self.cluster.connect(
+            self.opts.host, client_node=None,
+            resource_pool=self.opts.resource_pool,
+        ) as conn:
             result = yield from conn.execute(
                 "SELECT COUNT(*) FROM v_catalog.tables "
                 f"WHERE table_name = '{FINAL_STATUS_TABLE}'"
@@ -177,13 +187,13 @@ class S2VWriter:
                 )
             for table in (self.status_table, self.committer_table, self.staging):
                 yield from conn.execute_with_retry(f"DROP TABLE IF EXISTS {table}")
-        finally:
-            conn.close()
 
     # -------------------------------------------------------------- setup phase
     def _setup(self) -> Generator:
-        conn = self.cluster.connect(self.opts.host, client_node=None)
-        try:
+        with self.cluster.connect(
+            self.opts.host, client_node=None,
+            resource_pool=self.opts.resource_pool,
+        ) as conn:
             result = yield from conn.execute(
                 "SELECT node_name FROM v_catalog.nodes ORDER BY node_name"
             )
@@ -250,8 +260,6 @@ class S2VWriter:
                 self._prehash_ring = HashRing(
                     [Segment(lo, hi, node) for lo, hi, node in result.rows]
                 )
-        finally:
-            conn.close()
 
     def _num_tasks(self) -> int:
         return self.opts.num_partitions
@@ -315,8 +323,10 @@ class S2VWriter:
         return thunk
 
     def _run_phases(self, ctx, task_index: int, rows: List[Tuple]) -> Generator:
-        conn = self.cluster.connect(self._task_node(task_index), client_node=ctx.node)
-        try:
+        with self.cluster.connect(
+            self._task_node(task_index), client_node=ctx.node,
+            resource_pool=self.opts.resource_pool,
+        ) as conn:
             with telemetry.span("s2v.phase1", task=task_index,
                                 attempt=ctx.attempt_number):
                 yield from self._phase1(ctx, conn, task_index, rows)
@@ -336,8 +346,6 @@ class S2VWriter:
             ctx.probe("s2v:after_phase4")
             with telemetry.span("s2v.phase5", task=task_index):
                 yield from self._phase5(ctx, conn)
-        finally:
-            conn.close()
 
     def _phase1(self, ctx, conn, task_index: int, rows: List[Tuple]) -> Generator:
         """Stage this partition's data exactly once.
@@ -543,8 +551,10 @@ class S2VWriter:
         if job is not None:
             while any(task.live_attempts for task in job.tasks):
                 yield self.cluster.env.timeout(0.05)
-        conn = self.cluster.connect(self.opts.host, client_node=None)
-        try:
+        with self.cluster.connect(
+            self.opts.host, client_node=None,
+            resource_pool=self.opts.resource_pool,
+        ) as conn:
             # Recovery: the entitled committer may have crashed between the
             # final-status update and the rename; the staging table is the
             # durable evidence and the driver completes the rename here.
@@ -585,5 +595,3 @@ class S2VWriter:
                 float(failed_percent or 0.0),
                 status,
             )
-        finally:
-            conn.close()

@@ -51,8 +51,7 @@ class VerticaRelation(BaseRelation):
     # -- catalog discovery (driver-side metadata queries) -----------------------
     def _discover(self) -> None:
         db = self.cluster.db
-        session = db.connect(self.opts.host, failover=True)
-        try:
+        with db.connect(self.opts.host, failover=True) as session:
             self.is_view = db.catalog.has_view(self.opts.table)
             if self.is_view:
                 self._schema = self._discover_view_schema(session)
@@ -87,8 +86,6 @@ class VerticaRelation(BaseRelation):
                 self.ring = HashRing(
                     [Segment(lo, hi, node) for lo, hi, node in segments]
                 )
-        finally:
-            session.close()
 
     def _discover_view_schema(self, session) -> StructType:
         """Infer a view's schema from a one-row sample.
@@ -130,11 +127,8 @@ class VerticaRelation(BaseRelation):
 
     def pin_epoch(self) -> int:
         """The snapshot epoch all of a job's task queries will read at."""
-        session = self.cluster.db.connect(self.opts.host, failover=True)
-        try:
+        with self.cluster.db.connect(self.opts.host, failover=True) as session:
             return session.scalar("SELECT current_epoch FROM v_catalog.epochs")
-        finally:
-            session.close()
 
     def _range_predicate(self, lo: int, hi: int) -> str:
         if self.is_view or self.unsegmented:
@@ -223,14 +217,14 @@ class VerticaRelation(BaseRelation):
         relation = self
 
         def thunk(ctx) -> Generator:
-            connection = relation.cluster.connect(relation.opts.host, ctx.node)
-            try:
+            with relation.cluster.connect(
+                relation.opts.host, ctx.node,
+                resource_pool=relation.opts.resource_pool,
+            ) as connection:
                 result = yield from connection.execute(
                     sql, weight=relation.opts.scale_factor, output_weight=1.0
                 )
                 return result.scalar()
-            finally:
-                connection.close()
 
         return self.spark.run_thunks([thunk], name=f"count:{self.opts.table}")[0]
 
@@ -259,8 +253,10 @@ class VerticaScanRDD(RDD):
         for lo, hi, node in self.plan[split]:
             # Locality: connect to the node that owns this hash range so the
             # query touches only node-local storage.
-            connection = relation.cluster.connect(node, client_node=ctx.node)
-            try:
+            with relation.cluster.connect(
+                node, client_node=ctx.node,
+                resource_pool=relation.opts.resource_pool,
+            ) as connection:
                 sql = relation.task_sql(
                     self.epoch, lo, hi, self.required_columns, self.filters
                 )
@@ -270,8 +266,6 @@ class VerticaScanRDD(RDD):
                     )
                 telemetry.counter("v2s.rows_fetched").inc(len(result.rows))
                 rows.extend(result.rows)
-            finally:
-                connection.close()
         return rows
 
 
@@ -304,8 +298,10 @@ class VerticaAggregateScanRDD(RDD):
         relation = self.relation
         rows: List[Tuple[Any, ...]] = []
         for lo, hi, node in self.plan[split]:
-            connection = relation.cluster.connect(node, client_node=ctx.node)
-            try:
+            with relation.cluster.connect(
+                node, client_node=ctx.node,
+                resource_pool=relation.opts.resource_pool,
+            ) as connection:
                 sql = relation.aggregate_task_sql(
                     self.epoch, lo, hi, self.group_by, self.aggregates,
                     self.filters,
@@ -332,6 +328,4 @@ class VerticaAggregateScanRDD(RDD):
                         "v2s.agg_pushdown.rows_saved"
                     ).inc(aggregated - fetched)
                 rows.extend(result.rows)
-            finally:
-                connection.close()
         return rows

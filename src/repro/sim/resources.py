@@ -1,9 +1,12 @@
 """Queued resources for the simulation kernel.
 
-Provides the three primitives the substrates need:
+Provides the primitives the substrates need:
 
 - :class:`Resource` — a counted resource with FIFO queuing (CPU core pools,
   Vertica's MAX-CLIENT-SESSIONS connection slots, resource-pool memory).
+- :class:`PriorityResource` — the same, but the wait queue is ordered by a
+  per-request priority (higher first), FIFO within equal priority — the
+  admission queue of a WLM resource pool.
 - :class:`Mutex` — a convenience single-slot resource.
 - :class:`Store` — an unbounded FIFO of items with blocking ``get`` (used
   as mailboxes between simulated processes).
@@ -11,6 +14,7 @@ Provides the three primitives the substrates need:
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from typing import Any, Deque, List, Optional, Tuple
 
@@ -105,6 +109,52 @@ class Resource:
             self.usage_log[-1] = (last_time, self._in_use)
         else:
             self.usage_log.append((self.env.now, self._in_use))
+
+
+class PriorityRequest(Request):
+    """A :class:`Request` with an admission priority.
+
+    Higher ``priority`` requests are granted first; requests of equal
+    priority keep strict FIFO order via a monotonic sequence number, so
+    grants stay deterministic.
+    """
+
+    _seq = itertools.count()
+
+    def __init__(self, resource: "Resource", amount: int, priority: int = 0):
+        super().__init__(resource, amount)
+        self.priority = priority
+        self.seq = next(PriorityRequest._seq)
+
+    @property
+    def sort_key(self) -> Tuple[int, int]:
+        return (-self.priority, self.seq)
+
+
+class PriorityResource(Resource):
+    """A counted resource whose wait queue is priority-ordered.
+
+    The queue stays a deque sorted by ``(-priority, seq)``; the base
+    class's head-of-queue granting and queued-cancellation logic then
+    work unchanged.  Head-of-line blocking is deliberate: a large
+    high-priority claim holds back smaller low-priority ones, exactly
+    like a queued high-priority statement in a real resource pool.
+    """
+
+    def request(self, amount: int = 1, priority: int = 0) -> PriorityRequest:
+        if amount <= 0 or amount > self.capacity:
+            raise SimulationError(
+                f"cannot request {amount} units of {self.name!r} "
+                f"(capacity {self.capacity})"
+            )
+        req = PriorityRequest(self, amount, priority)
+        # Insert before the first queued request that sorts after us.
+        index = len(self._waiting)
+        while index > 0 and req.sort_key < self._waiting[index - 1].sort_key:
+            index -= 1
+        self._waiting.insert(index, req)
+        self._grant()
+        return req
 
 
 class Mutex(Resource):

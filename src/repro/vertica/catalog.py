@@ -10,6 +10,8 @@ information is stored in the Vertica system catalog and can be queried",
   segment_upper_bound, node_name
 - ``v_catalog.tables`` — table_name, is_segmented, row_segmentation
 - ``v_catalog.epochs`` — current_epoch
+- ``v_catalog.resource_pools`` — WLM pool definitions (memory,
+  planned/max concurrency, priority, queue timeout, cascade)
 """
 
 from __future__ import annotations
@@ -105,9 +107,15 @@ class Catalog:
     """Tables and views, plus virtual system-table generation."""
 
     def __init__(self, node_names: Sequence[str]):
+        from repro.wlm.pools import ResourcePool, general_pool
+
         self.node_names = list(node_names)
         self.tables: Dict[str, TableDef] = {}
         self.views: Dict[str, ViewDef] = {}
+        #: WLM pool definitions; every database is born with GENERAL
+        self.resource_pools: Dict[str, "ResourcePool"] = {
+            "GENERAL": general_pool()
+        }
 
     # -- tables ----------------------------------------------------------------
     def create_table(
@@ -192,6 +200,48 @@ class Catalog:
         except KeyError:
             raise CatalogError(f"view {name!r} does not exist") from None
 
+    # -- resource pools ---------------------------------------------------------
+    def create_resource_pool(self, pool, or_replace: bool = False):
+        """Register a :class:`~repro.wlm.pools.ResourcePool` definition."""
+        key = pool.name  # already uppercased by the dataclass
+        if key in self.resource_pools and not or_replace:
+            raise CatalogError(f"resource pool {pool.name!r} already exists")
+        if pool.cascade is not None and pool.cascade not in self.resource_pools:
+            raise CatalogError(
+                f"resource pool {pool.name!r} cascades to unknown pool "
+                f"{pool.cascade!r}"
+            )
+        self.resource_pools[key] = pool
+        return pool
+
+    def drop_resource_pool(self, name: str, if_exists: bool = False) -> bool:
+        key = name.upper()
+        if key == "GENERAL":
+            raise CatalogError("the GENERAL pool cannot be dropped")
+        if key not in self.resource_pools:
+            if if_exists:
+                return False
+            raise CatalogError(f"resource pool {name!r} does not exist")
+        dependents = [
+            p.name for p in self.resource_pools.values() if p.cascade == key
+        ]
+        if dependents:
+            raise CatalogError(
+                f"resource pool {name!r} is the cascade target of "
+                f"{', '.join(sorted(dependents))}"
+            )
+        del self.resource_pools[key]
+        return True
+
+    def resource_pool(self, name: str):
+        try:
+            return self.resource_pools[name.upper()]
+        except KeyError:
+            raise CatalogError(f"resource pool {name!r} does not exist") from None
+
+    def has_resource_pool(self, name: str) -> bool:
+        return name.upper() in self.resource_pools
+
     # -- system tables ---------------------------------------------------------------
     def is_system_table(self, name: str) -> bool:
         return name.upper().startswith(("V_CATALOG.", "V_MONITOR."))
@@ -256,4 +306,27 @@ class Catalog:
             return columns, rows
         if key == "V_CATALOG.EPOCHS":
             return ["CURRENT_EPOCH"], [{"CURRENT_EPOCH": current_epoch}]
+        if key == "V_CATALOG.RESOURCE_POOLS":
+            columns = [
+                "POOL_NAME",
+                "MEMORY_MB",
+                "PLANNED_CONCURRENCY",
+                "MAX_CONCURRENCY",
+                "PRIORITY",
+                "QUEUE_TIMEOUT",
+                "CASCADE_TO",
+            ]
+            rows = [
+                {
+                    "POOL_NAME": p.name,
+                    "MEMORY_MB": p.memory_mb,
+                    "PLANNED_CONCURRENCY": p.planned_concurrency,
+                    "MAX_CONCURRENCY": p.max_concurrency,
+                    "PRIORITY": p.priority,
+                    "QUEUE_TIMEOUT": p.queue_timeout,
+                    "CASCADE_TO": p.cascade,
+                }
+                for _, p in sorted(self.resource_pools.items())
+            ]
+            return columns, rows
         raise SqlError(f"unknown system table {name!r}")

@@ -79,24 +79,41 @@ class VerticaDatabase:
         self.node_states[node] = "UP"
 
     # -- connections -----------------------------------------------------------
+    def _accepting(self, node: str) -> bool:
+        """True when ``node`` is UP with a free MAX-CLIENT-SESSIONS slot."""
+        return (
+            self.node_states[node] == "UP"
+            and self._session_counts[node] < self.max_client_sessions
+        )
+
     def connect(
-        self, node: Optional[str] = None, failover: bool = False
+        self,
+        node: Optional[str] = None,
+        failover: bool = False,
+        resource_pool: Optional[str] = None,
     ) -> "Session":
         """Open a session bound to ``node`` (default: the first node).
 
-        With ``failover=True`` a connection aimed at a DOWN node is
-        transparently redirected to the first UP node, modelling
+        With ``failover=True`` a connection aimed at a node that cannot
+        accept it — DOWN, or already at ``max_client_sessions`` — is
+        transparently redirected to the first node that can, modelling
         client-side connection failover — what keeps driver metadata
-        queries and retried tasks alive while chaos restarts a node.
+        queries and retried tasks alive while chaos restarts a node, and
+        what spreads tenants off a saturated node under serving load.
+
+        ``resource_pool`` pre-selects the session's WLM pool (as if the
+        first statement were ``SET RESOURCE_POOL``); it must exist in the
+        catalog.
         """
+        from repro import telemetry
         from repro.vertica.session import Session
 
         target = node or self.node_names[0]
         if target not in self.node_states:
             raise CatalogError(f"unknown node {target!r}")
-        if self.node_states[target] != "UP" and failover:
+        if failover and not self._accepting(target):
             for candidate in self.node_names:
-                if self.node_states[candidate] == "UP":
+                if self._accepting(candidate):
                     target = candidate
                     break
         if self.node_states[target] != "UP":
@@ -107,14 +124,35 @@ class VerticaDatabase:
                 f"({self.max_client_sessions})"
             )
         self._session_counts[target] += 1
-        return Session(self, target)
+        telemetry.gauge(f"db.sessions.active.{target}").set(
+            self._session_counts[target]
+        )
+        session = Session(self, target)
+        if resource_pool is not None:
+            session.set_resource_pool(resource_pool)
+        return session
 
     def _release_connection(self, node: str) -> None:
         if self._session_counts.get(node, 0) > 0:
             self._session_counts[node] -= 1
+            from repro import telemetry
+
+            telemetry.gauge(f"db.sessions.active.{node}").set(
+                self._session_counts[node]
+            )
 
     def session_count(self, node: str) -> int:
         return self._session_counts.get(node, 0)
+
+    # -- resource pools ---------------------------------------------------------
+    def create_resource_pool(self, pool, or_replace: bool = False):
+        """Register a WLM :class:`~repro.wlm.pools.ResourcePool`.
+
+        Sessions select it with ``SET RESOURCE_POOL = '<name>'`` (or the
+        connector's ``resource_pool`` option); it is visible through
+        ``V_CATALOG.RESOURCE_POOLS``.
+        """
+        return self.catalog.create_resource_pool(pool, or_replace=or_replace)
 
     def begin(self) -> Transaction:
         return Transaction(self.epochs, self.locks)

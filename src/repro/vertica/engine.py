@@ -54,6 +54,11 @@ class CostReport:
         self.node_rows_written: Dict[str, int] = {}
         self.rows_aggregated = 0
         self.node_rows_aggregated: Dict[str, int] = {}
+        #: seconds spent queued in WLM admission before execution began
+        self.queue_wait_seconds = 0.0
+        #: name of the resource pool the statement executed in (None when
+        #: the cluster runs without WLM admission)
+        self.resource_pool: Optional[str] = None
 
     def scanned(self, node: str, rows: int = 1) -> None:
         self.rows_scanned += rows
@@ -82,6 +87,9 @@ class CostReport:
         self.bytes_output += other.bytes_output
         self.rows_written += other.rows_written
         self.rows_aggregated += other.rows_aggregated
+        self.queue_wait_seconds += other.queue_wait_seconds
+        if other.resource_pool is not None:
+            self.resource_pool = other.resource_pool
         for node, rows in other.node_rows_aggregated.items():
             self.node_rows_aggregated[node] = (
                 self.node_rows_aggregated.get(node, 0) + rows
@@ -249,6 +257,43 @@ class Engine:
 
     def __init__(self, database: "repro.vertica.database.VerticaDatabase"):  # noqa: F821
         self.database = database
+
+    # ---------------------------------------------------------------- dispatch
+    def execute(
+        self,
+        statement,
+        txn: Transaction,
+        initiator: str,
+        copy_data=None,
+        resource_pool: Optional[str] = None,
+    ) -> Tuple[ResultSet, Optional[Any]]:
+        """Run one parsed DML/query statement; returns (result, copy_result).
+
+        The single entry point the session layer dispatches through, so
+        every statement's :class:`CostReport` is stamped with the resource
+        pool it ran in (``copy_result`` is non-None only for COPY).
+        """
+        copy_result = None
+        if isinstance(statement, ast.Select):
+            result = self.select(statement, txn, initiator)
+        elif isinstance(statement, ast.Explain):
+            result = self.explain(statement, txn, initiator)
+        elif isinstance(statement, ast.InsertValues):
+            result = self.insert_values(statement, txn, initiator)
+        elif isinstance(statement, ast.InsertSelect):
+            result = self.insert_select(statement, txn, initiator)
+        elif isinstance(statement, ast.Update):
+            result = self.update(statement, txn, initiator)
+        elif isinstance(statement, ast.Delete):
+            result = self.delete(statement, txn, initiator)
+        elif isinstance(statement, ast.CopyStatement):
+            from repro.vertica.copyload import run_copy
+
+            result, copy_result = run_copy(self, statement, txn, copy_data)
+        else:
+            raise SqlError(f"unhandled statement {type(statement).__name__}")
+        result.cost.resource_pool = resource_pool
+        return result, copy_result
 
     # ------------------------------------------------------------------ scans
     def scan(

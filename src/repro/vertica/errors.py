@@ -77,3 +77,21 @@ class CopyRejectError(VerticaError):
 
 class ConnectionLimitError(VerticaError):
     """A node refused a connection (MAX-CLIENT-SESSIONS exceeded)."""
+
+
+class AdmissionTimeout(VerticaError):
+    """A statement waited longer than its pool's QUEUETIMEOUT.
+
+    Raised by the WLM admission controller after the statement has
+    exhausted its pool's queue timeout and every cascade target's; all
+    queued slot/memory claims are returned before this surfaces.
+    """
+
+    def __init__(self, pool: str, waited: float, tried: tuple):
+        super().__init__(
+            f"admission to resource pool {pool!r} timed out after "
+            f"{waited:.3f}s (pools tried: {', '.join(tried)})"
+        )
+        self.pool = pool
+        self.waited = waited
+        self.tried = tried

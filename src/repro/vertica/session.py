@@ -14,9 +14,9 @@ from __future__ import annotations
 
 from typing import Any, Optional, Union
 
-from repro.vertica.copyload import CopyResult, run_copy
+from repro.vertica.copyload import CopyResult
 from repro.vertica.engine import ResultSet
-from repro.vertica.errors import TransactionError, VerticaError
+from repro.vertica.errors import SqlError, TransactionError, VerticaError
 from repro.vertica.sql import ast_nodes as ast
 from repro.vertica.sql.parser import parse_statement
 from repro.vertica.txn import ACTIVE, Transaction
@@ -40,6 +40,8 @@ class Session:
         self._txn: Optional[Transaction] = None
         self._explicit = False
         self._closed = False
+        #: the WLM pool this session's statements admit through
+        self.resource_pool = "GENERAL"
         self.last_result: Optional[ResultSet] = None
         self.last_copy_result: Optional[CopyResult] = None
 
@@ -52,6 +54,27 @@ class Session:
         self._txn = None
         self._closed = True
         self.database._release_connection(self.node)
+
+    def reset(self) -> None:
+        """Return the session to its just-connected state (pool checkin).
+
+        Aborts any open transaction and restores the default resource
+        pool, so a pooled session handed to the next tenant carries no
+        state from the previous one.
+        """
+        self._require_open()
+        if self._txn is not None and self._txn.status == ACTIVE:
+            self._txn.abort()
+        self._txn = None
+        self._explicit = False
+        self.resource_pool = "GENERAL"
+        self.last_result = None
+        self.last_copy_result = None
+
+    def set_resource_pool(self, name: str) -> None:
+        """Switch the session's WLM pool (``SET RESOURCE_POOL``)."""
+        pool = self.database.catalog.resource_pool(name)  # validates
+        self.resource_pool = pool.name
 
     def __enter__(self) -> "Session":
         return self
@@ -95,6 +118,10 @@ class Session:
             self._finish(commit=False)
             self.last_result = ResultSet()
             return self.last_result
+        if isinstance(statement, ast.SetOption):
+            self._set_option(statement)
+            self.last_result = ResultSet()
+            return self.last_result
 
         if isinstance(statement, _DDL_NODES):
             # DDL auto-commits any open transaction, as in Vertica.
@@ -105,25 +132,16 @@ class Session:
             return self.last_result
 
         txn = self._current_txn()
-        engine = self.database.engine
         try:
-            if isinstance(statement, ast.Select):
-                result = engine.select(statement, txn, self.node)
-            elif isinstance(statement, ast.Explain):
-                result = engine.explain(statement, txn, self.node)
-            elif isinstance(statement, ast.InsertValues):
-                result = engine.insert_values(statement, txn, self.node)
-            elif isinstance(statement, ast.InsertSelect):
-                result = engine.insert_select(statement, txn, self.node)
-            elif isinstance(statement, ast.Update):
-                result = engine.update(statement, txn, self.node)
-            elif isinstance(statement, ast.Delete):
-                result = engine.delete(statement, txn, self.node)
-            elif isinstance(statement, ast.CopyStatement):
-                result, copy_result = run_copy(engine, statement, txn, copy_data)
+            result, copy_result = self.database.engine.execute(
+                statement,
+                txn,
+                self.node,
+                copy_data=copy_data,
+                resource_pool=self.resource_pool,
+            )
+            if copy_result is not None:
                 self.last_copy_result = copy_result
-            else:  # pragma: no cover - parser restricts statement types
-                raise VerticaError(f"unhandled statement {type(statement).__name__}")
         except VerticaError:
             if not self._explicit:
                 if self._txn is not None and self._txn.status == ACTIVE:
@@ -134,6 +152,13 @@ class Session:
             self._finish(commit=True)
         self.last_result = result
         return result
+
+    def _set_option(self, statement: ast.SetOption) -> None:
+        name = statement.name.upper()
+        if name == "RESOURCE_POOL":
+            self.set_resource_pool(str(statement.value))
+            return
+        raise SqlError(f"unknown session option {statement.name!r}")
 
     def _finish(self, commit: bool) -> None:
         txn = self._txn

@@ -168,3 +168,11 @@ class CommitTransaction:
 @dataclass
 class RollbackTransaction:
     pass
+
+
+@dataclass
+class SetOption:
+    """``SET <name> = <value>`` — session options (e.g. RESOURCE_POOL)."""
+
+    name: str
+    value: Any

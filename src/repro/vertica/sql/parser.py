@@ -117,6 +117,7 @@ class _Parser:
             "COMMIT": self._commit,
             "ROLLBACK": self._rollback,
             "ABORT": self._rollback,
+            "SET": self._set,
         }.get(keyword)
         if handler is None:
             raise SqlError(f"unsupported statement {keyword!r}")
@@ -503,6 +504,29 @@ class _Parser:
         if not self.accept("TRANSACTION"):
             self.accept("WORK")
         return ast.RollbackTransaction()
+
+    def _set(self):
+        # SET <option> [=|TO] <value>   (e.g. SET RESOURCE_POOL = 'batch')
+        self.expect("SET")
+        self.accept("SESSION")
+        name = self.expect_ident()
+        if not self.accept("="):
+            self.accept("TO")
+        token = self.peek()
+        if token.kind == "STRING":
+            self.advance()
+            value: Any = token.text
+        elif token.kind == "NUMBER":
+            self.advance()
+            value = token.text
+        elif token.kind == "IDENT":
+            value = self.expect_ident()
+        else:
+            raise SqlError(
+                f"expected a value after SET {name}, found {token.raw!r} "
+                f"at offset {token.pos}"
+            )
+        return ast.SetOption(name, value)
 
     # -- expressions ---------------------------------------------------------------
     def expression(self) -> Expression:

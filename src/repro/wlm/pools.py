@@ -1,0 +1,84 @@
+"""Named resource pools: the catalog-level workload-management model.
+
+A :class:`ResourcePool` mirrors the knobs real Vertica exposes per pool
+(§ the product's CREATE RESOURCE POOL):
+
+- ``memory_mb`` — the pool's memory budget; each admitted statement is
+  granted ``memory_mb // planned_concurrency`` MB, so running more than
+  PLANNEDCONCURRENCY statements queues on memory even when slots remain;
+- ``max_concurrency`` — a hard cap on concurrently executing statements;
+- ``priority`` — admission order across pools contending for the same
+  runtime resources (cascades): higher admits first, FIFO within equal
+  priority;
+- ``queue_timeout`` — how long a statement may wait for admission before
+  cascading (if ``cascade`` names a secondary pool) or failing with
+  :class:`~repro.vertica.errors.AdmissionTimeout`;
+- ``cascade`` — the secondary pool an overflowing statement retries in,
+  modelling CASCADE TO.
+
+Pool definitions are pure data, persisted in the
+:class:`~repro.vertica.catalog.Catalog` (and visible through the
+``V_CATALOG.RESOURCE_POOLS`` system table); the runtime counterpart that
+actually holds slots and memory on the simulation clock is
+:class:`repro.wlm.admission.AdmissionController`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.vertica.errors import CatalogError
+
+#: every database is born with this pool; statements run in it by default
+GENERAL = "GENERAL"
+
+
+@dataclass(frozen=True)
+class ResourcePool:
+    """One named pool's admission knobs (pure data, catalog-persisted)."""
+
+    name: str
+    memory_mb: int = 8192
+    planned_concurrency: int = 32
+    max_concurrency: int = 64
+    priority: int = 0
+    queue_timeout: Optional[float] = 300.0  # None waits forever
+    cascade: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise CatalogError("a resource pool requires a name")
+        object.__setattr__(self, "name", self.name.upper())
+        if self.cascade is not None:
+            object.__setattr__(self, "cascade", self.cascade.upper())
+        if self.memory_mb <= 0:
+            raise CatalogError(
+                f"pool {self.name!r}: memory_mb must be positive: {self.memory_mb}"
+            )
+        if self.planned_concurrency <= 0 or self.max_concurrency <= 0:
+            raise CatalogError(
+                f"pool {self.name!r}: planned/max concurrency must be positive"
+            )
+        if self.max_concurrency < self.planned_concurrency:
+            raise CatalogError(
+                f"pool {self.name!r}: max_concurrency "
+                f"{self.max_concurrency} < planned_concurrency "
+                f"{self.planned_concurrency}"
+            )
+        if self.queue_timeout is not None and self.queue_timeout < 0:
+            raise CatalogError(
+                f"pool {self.name!r}: queue_timeout must be >= 0 or None"
+            )
+        if self.cascade == self.name:
+            raise CatalogError(f"pool {self.name!r} cannot cascade to itself")
+
+    @property
+    def memory_per_query_mb(self) -> int:
+        """The memory grant one admitted statement claims."""
+        return max(1, self.memory_mb // self.planned_concurrency)
+
+
+def general_pool() -> ResourcePool:
+    """The built-in default pool every database starts with."""
+    return ResourcePool(GENERAL)

@@ -1,13 +1,19 @@
 """Smoke test for the chaos soak harness (CI runs the full 25-seed soak)."""
 
-from repro.bench.chaos_soak import run_s2v_trial, run_soak, summarize
+from repro.bench.chaos_soak import (
+    run_s2v_trial,
+    run_soak,
+    run_wlm_trial,
+    summarize,
+)
 
 
 class TestSoakSmoke:
     def test_small_soak_holds_invariants(self):
         trials = run_soak(num_seeds=3, base_seed=100)
-        assert len(trials) == 9  # one S2V + one V2S + one agg per seed
+        assert len(trials) == 12  # one S2V + V2S + agg + wlm per seed
         assert any(t.workload == "agg" for t in trials)
+        assert any(t.workload == "wlm" for t in trials)
         bad = [t for t in trials if not t.ok]
         assert not bad, "\n".join(t.describe() for t in bad)
         # The soak must actually exercise faults and still complete work.
@@ -24,3 +30,13 @@ class TestSoakSmoke:
         assert "--replay-seed 5" in first.replay_command()
         assert "--mode append" in first.replay_command()
         assert "--speculation" in first.replay_command()
+
+    def test_wlm_trial_exactly_once_under_admission(self):
+        # A seed whose schedule includes a pool storm (seeded, so stable):
+        # exactly-once must hold while noisy neighbours fight the save for
+        # the starved ingest pool's two slots.
+        trial = run_wlm_trial(1299715)
+        assert trial.ok, trial.describe()
+        assert trial.injections > 0
+        assert "no-leaked-pool-slots" in trial.report.checks
+        assert "--workload wlm" in trial.replay_command()
