@@ -396,6 +396,122 @@ def run_wlm_trial(seed: int, speculation: bool = False,
     )
 
 
+#: the profile trial's query: a grouped aggregation whose exact answer is
+#: computable from the static ROWS (id is NULL-free, v has 31 groups)
+PROFILE_SELECT = (
+    f"SELECT v, COUNT(*), SUM(id) FROM {SOURCE} GROUP BY v ORDER BY v"
+)
+
+
+def _expected_profile_groups() -> List[tuple]:
+    groups: dict = {}
+    for i, v in ROWS:
+        groups.setdefault(v, []).append(i)
+    return [
+        (v, len(ids), sum(ids)) for v, ids in sorted(groups.items())
+    ]
+
+
+def run_profile_trial(seed: int, speculation: bool = False,
+                      verbose: bool = False) -> TrialResult:
+    """One seeded EXPLAIN + PROFILE of a grouped query under chaos.
+
+    The statements run over a data-plane connection (client node set, so
+    statement severs apply) while restarts and link faults fire.  When
+    the profiled query completes it must return exactly the aggregates
+    of the static source rows, its per-operator stats must reconcile
+    with the statement's CostReport, and — success or clean failure —
+    no session or lock may leak.
+    """
+    fabric = _fabric(speculation)
+    session = fabric.vertica.db.connect()
+    session.execute(
+        f"CREATE TABLE {SOURCE} (id INTEGER, v FLOAT) SEGMENTED BY HASH(id)"
+    )
+    values = ", ".join(f"({i}, {v})" for i, v in ROWS)
+    session.execute(f"INSERT INTO {SOURCE} VALUES {values}")
+    session.close()
+    checker = InvariantChecker(fabric.vertica)
+    schedule = ChaosSchedule.random(
+        seed,
+        spark_nodes=[worker.name for worker in fabric.spark.workers],
+        vertica_nodes=fabric.vertica.node_names,
+        link_names=sorted(fabric.all_links()),
+        horizon=HORIZON,
+        events=4,
+        families=("link_degrade", "vertica_restart", "connection_sever"),
+        sever_keywords=("PROFILE", "EXPLAIN"),
+    )
+    controller = fabric.attach_chaos(schedule)
+    if verbose:
+        print("\n".join(schedule.describe()))
+    outcome: dict = {}
+
+    def workload():
+        with fabric.vertica.connect(
+            client_node=fabric.spark.workers[0]
+        ) as connection:
+            plan = yield from connection.execute(
+                "EXPLAIN " + PROFILE_SELECT, weight=SCALE
+            )
+            outcome["plan"] = [row[0] for row in plan.rows]
+            outcome["profile"] = yield from connection.execute(
+                "PROFILE " + PROFILE_SELECT, weight=SCALE
+            )
+
+    raised: Optional[BaseException] = None
+    try:
+        fabric.vertica.run(workload(), name=f"chaos_profile_{seed}")
+    except Exception as exc:  # noqa: BLE001 - the audit decides if this is fine
+        raised = exc
+    report = InvariantReport(f"profile seed={seed}")
+    _drain(fabric, report)
+    if raised is None:
+        profiled = outcome["profile"]
+        expected = _expected_profile_groups()
+        actual = list(profiled.query_result.rows)
+        if actual == expected:
+            report.passed("profile-exact-answer")
+        else:
+            report.violated(
+                "profile-exact-answer",
+                f"profiled query produced {len(actual)} group rows that do "
+                f"not match the {len(expected)} expected groups",
+            )
+        stats = {
+            kind: (rows_in, rows_out)
+            for kind, rows_in, rows_out in profiled.profile.operator_rows()
+        }
+        if (stats.get("scan", (0, 0))[1] == profiled.cost.rows_scanned
+                == len(ROWS)
+                and stats.get("aggregate", (0, 0))[1] == len(expected)):
+            report.passed("profile-cost-reconciles")
+        else:
+            report.violated(
+                "profile-cost-reconciles",
+                f"operator stats {stats} disagree with cost "
+                f"rows_scanned={profiled.cost.rows_scanned}",
+            )
+        plan = outcome.get("plan", [])
+        if any("SCAN" in line for line in plan) and \
+                any("GROUP BY" in line.upper() for line in plan):
+            report.passed("explain-renders")
+        else:
+            report.violated(
+                "explain-renders",
+                f"EXPLAIN output is missing its scan/aggregate nodes: {plan}",
+            )
+    report.merge(checker.check_no_leaks())
+    if verbose:
+        for record in controller.injections:
+            print(record)
+        print(report.describe())
+    return TrialResult(
+        "profile", seed, "-", speculation, raised, report,
+        len(controller.injections),
+    )
+
+
 #: the S2V configuration rotation: both commit paths × speculation
 S2V_CONFIGS = (
     ("overwrite", False),
@@ -408,7 +524,7 @@ S2V_CONFIGS = (
 def run_soak(num_seeds: int = 25, base_seed: int = 0,
              verbose: bool = False) -> List[TrialResult]:
     """Run ``num_seeds`` S2V trials (rotating configs) plus V2S scan,
-    pushed-aggregate and WLM-admission trials."""
+    pushed-aggregate, WLM-admission and EXPLAIN/PROFILE trials."""
     trials: List[TrialResult] = []
     for index in range(num_seeds):
         seed = base_seed + index
@@ -423,6 +539,11 @@ def run_soak(num_seeds: int = 25, base_seed: int = 0,
         if verbose:
             print(trials[-1].describe())
         trials.append(run_wlm_trial(seed + 1299709, speculation=speculation))
+        if verbose:
+            print(trials[-1].describe())
+        trials.append(
+            run_profile_trial(seed + 15485863, speculation=speculation)
+        )
         if verbose:
             print(trials[-1].describe())
     return trials
@@ -446,11 +567,12 @@ def summarize(trials: Sequence[TrialResult]) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", type=int, default=25,
-                        help="number of soak seeds (4 trials per seed)")
+                        help="number of soak seeds (5 trials per seed)")
     parser.add_argument("--base-seed", type=int, default=0)
     parser.add_argument("--replay-seed", type=int, default=None,
                         help="replay one trial with full fault/audit output")
-    parser.add_argument("--workload", choices=("s2v", "v2s", "agg", "wlm"),
+    parser.add_argument("--workload",
+                        choices=("s2v", "v2s", "agg", "wlm", "profile"),
                         default="s2v")
     parser.add_argument("--mode", choices=("overwrite", "append"),
                         default="overwrite")
@@ -468,6 +590,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.workload == "wlm":
             trial = run_wlm_trial(args.replay_seed, args.speculation,
                                   verbose=True)
+        elif args.workload == "profile":
+            trial = run_profile_trial(args.replay_seed, args.speculation,
+                                      verbose=True)
         else:
             trial = run_v2s_trial(args.replay_seed, args.speculation,
                                   verbose=True)

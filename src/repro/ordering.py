@@ -1,0 +1,59 @@
+"""Shared NULLS-LAST ordering keys.
+
+Both sort paths in the fabric — the engine's ``ORDER BY`` (now the plan
+pipeline's Sort operator) and the Spark-side ``DataFrame.order_by`` —
+implement the same rule: **NULLs sort last in both directions**; only the
+value ordering reverses, never the null rank.  PR 3 fixed that rule in
+two places independently; this module is the single home for it.
+
+``null_last_key`` builds one component of a sort key::
+
+    sorted(rows, key=lambda r: tuple(null_last_key(v, descending=d)
+                                     for v, d in zip(r, directions)))
+
+Heterogeneous values that Python refuses to compare directly (e.g. int
+vs str, which SQL would have rejected at type-check time) fall back to
+comparing their string forms, so a sort never blows up mid-query.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+
+class AscendingKey:
+    """Sort-key wrapper; NULL ordering is decided by the rank element."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "AscendingKey") -> bool:
+        a, b = self.value, other.value
+        if a is None or b is None:
+            return False
+        try:
+            return a < b
+        except TypeError:
+            return str(a) < str(b)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AscendingKey) and self.value == other.value
+
+
+class DescendingKey(AscendingKey):
+    def __lt__(self, other: "AscendingKey") -> bool:  # type: ignore[override]
+        a, b = self.value, other.value
+        if a is None or b is None:
+            return False
+        try:
+            return b < a
+        except TypeError:
+            return str(b) < str(a)
+
+
+def null_last_key(value: Any, descending: bool = False) -> Tuple[bool, AscendingKey]:
+    """One sort-key component: ``(null rank, direction-aware wrapper)``."""
+    wrap = DescendingKey if descending else AscendingKey
+    return (value is None, wrap(value))

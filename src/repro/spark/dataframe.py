@@ -21,6 +21,7 @@ from repro.spark.datasource import (
     apply_filters,
     lookup_source,
 )
+from repro.ordering import null_last_key
 from repro.spark.errors import AnalysisError, SparkError
 from repro.spark.rdd import RDD
 from repro.spark.row import StructField, StructType
@@ -203,11 +204,10 @@ class DataFrame:
         rank.
         """
         indices = [self.schema.index_of(n) for n in names]
-        wrap = _DescendingKey if descending else _AscendingKey
         rows = sorted(
             self.collect(),
             key=lambda row: tuple(
-                (row[i] is None, wrap(row[i])) for i in indices
+                null_last_key(row[i], descending) for i in indices
             ),
         )
         return DataFrame(self.session, self.schema,
@@ -223,30 +223,6 @@ class DataFrame:
     @property
     def write(self) -> "DataFrameWriter":
         return DataFrameWriter(self)
-
-
-class _AscendingKey:
-    """Sort-key wrapper; NULL ordering is decided by the rank element."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: Any):
-        self.value = value
-
-    def __lt__(self, other: "_AscendingKey") -> bool:
-        if self.value is None or other.value is None:
-            return False
-        return self.value < other.value
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _AscendingKey) and self.value == other.value
-
-
-class _DescendingKey(_AscendingKey):
-    def __lt__(self, other: "_AscendingKey") -> bool:  # type: ignore[override]
-        if self.value is None or other.value is None:
-            return False
-        return other.value < self.value
 
 
 _AGGREGATES = {

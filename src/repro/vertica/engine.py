@@ -32,7 +32,6 @@ from repro.vertica.expr import (
     Expression,
     FunctionCall,
     Literal,
-    predicate_holds,
 )
 from repro.vertica.hashring import HASH_SPACE
 from repro.vertica.sql import ast_nodes as ast
@@ -109,6 +108,11 @@ class CostReport:
 class ResultSet:
     """Columns + rows + affected-row count + cost of one statement."""
 
+    #: set by ``PROFILE <query>``: the PlanProfile with per-operator stats
+    profile = None
+    #: set by ``PROFILE <query>``: the profiled query's own ResultSet
+    query_result = None
+
     def __init__(
         self,
         columns: Optional[List[str]] = None,
@@ -122,11 +126,22 @@ class ResultSet:
         self.cost = cost or CostReport()
 
     def scalar(self) -> Any:
-        """The single value of a one-row, one-column result."""
+        """The single value of a one-row, one-column result.
+
+        Raises :class:`~repro.vertica.errors.SqlError` (a
+        :class:`~repro.vertica.errors.VerticaError`) when the result is
+        empty or not exactly one row by one column — never a bare
+        ``IndexError``.
+        """
+        if not self.rows:
+            raise SqlError(
+                "scalar() on an empty result "
+                "(expected exactly one row with one column)"
+            )
         if len(self.rows) != 1 or len(self.rows[0]) != 1:
             raise SqlError(
-                f"scalar() on a {len(self.rows)}x"
-                f"{len(self.rows[0]) if self.rows else 0} result"
+                f"scalar() on a {len(self.rows)}x{len(self.rows[0])} result "
+                "(expected exactly one row with one column)"
             )
         return self.rows[0][0]
 
@@ -278,6 +293,8 @@ class Engine:
             result = self.select(statement, txn, initiator)
         elif isinstance(statement, ast.Explain):
             result = self.explain(statement, txn, initiator)
+        elif isinstance(statement, ast.Profile):
+            result = self.profile(statement, txn, initiator)
         elif isinstance(statement, ast.InsertValues):
             result = self.insert_values(statement, txn, initiator)
         elif isinstance(statement, ast.InsertSelect):
@@ -381,6 +398,17 @@ class Engine:
         initiator: str,
         cost: Optional[CostReport] = None,
     ) -> ResultSet:
+        """Run one SELECT through the bind → optimize → execute pipeline."""
+        return self._run_select(statement, txn, initiator, cost)[0]
+
+    def _run_select(
+        self,
+        statement: ast.Select,
+        txn: Transaction,
+        initiator: str,
+        cost: Optional[CostReport] = None,
+    ):
+        """Shared SELECT entry: returns (ResultSet, PipelineExecution)."""
         cost = cost if cost is not None else CostReport()
         telemetry.counter("vertica.queries.select").inc()
         if statement.at_epoch is not None:
@@ -397,419 +425,46 @@ class Engine:
                 "has been merged out"
             )
         snapshot = txn.snapshot_epoch(statement.at_epoch)
-        rows, source_columns = self._source_rows(statement, txn, initiator, snapshot, cost)
+        # Imported lazily: plan modules import this module at their top.
+        from repro.vertica.plan import execute_select
 
-        if statement.where is not None:
-            rows = [r for r in rows if predicate_holds(statement.where, r[1])]
-
-        has_aggregate = any(item.aggregate for item in statement.items)
-        if has_aggregate or statement.group_by:
-            columns, out_rows = self._aggregate(statement, rows, initiator, cost)
-        else:
-            columns, out_rows = self._project(statement, rows, source_columns, cost)
-
-        if statement.order_by:
-            out_rows = self._order(statement, columns, out_rows)
-        if statement.limit is not None:
-            out_rows = out_rows[: statement.limit]
-        result_rows = [row for __, row in out_rows]
-        return ResultSet(columns, result_rows, cost=cost)
+        return execute_select(self, statement, txn, initiator, snapshot, cost)
 
     def explain(
         self, statement: ast.Explain, txn: Transaction, initiator: str
     ) -> ResultSet:
-        """Render a query plan: access path, pruning, pushdowns, estimates."""
-        db = self.database
-        query = statement.query
-        lines: List[str] = []
-        if query.source is None:
-            lines.append("EXPR: constant projection (no FROM)")
-        else:
-            key = query.source.name.upper()
-            if db.catalog.is_system_table(key) or key.startswith("V_MONITOR."):
-                lines.append(f"SCAN SYSTEM TABLE {key}")
-            elif db.catalog.has_view(key):
-                lines.append(f"SCAN VIEW {key} (expanded at execution)")
-            else:
-                table = db.catalog.table(key)
-                snapshot = (
-                    query.at_epoch
-                    if query.at_epoch is not None
-                    else db.epochs.current
-                )
-                if table.unsegmented:
-                    lines.append(
-                        f"SCAN {key} [unsegmented, local copy on {initiator}]"
-                    )
-                    estimate = db.storage[initiator].live_row_count(key, snapshot)
-                else:
-                    hash_range = extract_hash_range(
-                        query.where, table.segmentation_columns
-                    )
-                    assert table.ring is not None
-                    scanned = [
-                        s.node
-                        for s in table.ring.segments
-                        if hash_range.intersects(s.lo, s.hi)
-                    ]
-                    pruned = [n for n in table.ring.nodes if n not in scanned]
-                    seg = ", ".join(table.segmentation_columns)
-                    lines.append(f"SCAN {key} [segmented by HASH({seg})]")
-                    if hash_range.is_full:
-                        lines.append(f"  segments: all ({len(scanned)} nodes)")
-                    else:
-                        lines.append(
-                            f"  hash range: [{hash_range.lo}, {hash_range.hi})"
-                        )
-                        lines.append(f"  segments scanned: {scanned}")
-                        if pruned:
-                            lines.append(f"  segments pruned: {pruned}")
-                    estimate = sum(
-                        db.storage[node].live_row_count(key, snapshot)
-                        for node in scanned
-                    )
-                lines.append(f"  estimated rows: {estimate}")
-                if query.at_epoch is not None:
-                    lines.append(f"  snapshot: AT EPOCH {query.at_epoch}")
-        for join in query.joins:
-            lines.append(
-                f"JOIN {join.table.name.upper()} ON {join.condition.sql()}"
-            )
-        if query.where is not None:
-            lines.append(f"FILTER: {query.where.sql()}")
-        aggregates = [i for i in query.items if i.aggregate]
-        if aggregates or query.group_by:
-            names = ", ".join(self._item_name(i) for i in query.items)
-            lines.append(f"AGGREGATE: {names}")
-            if query.group_by:
-                keys = ", ".join(e.sql() for e in query.group_by)
-                lines.append(f"  group by: {keys}")
-        else:
-            names = ", ".join(self._item_name(i) if not i.star else "*"
-                              for i in query.items)
-            lines.append(f"PROJECT: {names}")
-        if query.order_by:
-            keys = ", ".join(
-                o.expression.sql() + (" DESC" if o.descending else "")
-                for o in query.order_by
-            )
-            lines.append(f"SORT: {keys}")
-        if query.limit is not None:
-            lines.append(f"LIMIT: {query.limit}")
+        """Render the optimized plan: access path, pruning, pushdowns.
+
+        Binds and optimizes through the real pipeline but executes
+        nothing (row estimates come from storage metadata only).
+        """
+        from repro.vertica.plan import explain_lines
+
+        lines = explain_lines(self, statement.query, initiator)
         return ResultSet(["QUERY_PLAN"], [(line,) for line in lines])
 
-    def _source_rows(
-        self,
-        statement: ast.Select,
-        txn: Transaction,
-        initiator: str,
-        snapshot: int,
-        cost: CostReport,
-    ) -> Tuple[List[Tuple[str, Dict[str, Any]]], List[str]]:
-        """Rows as (producing node, dict) plus the source column order."""
-        db = self.database
-        if statement.source is None:
-            return [(initiator, {})], []
-        source = statement.source
-        rows = self._relation_rows(source, txn, initiator, snapshot, cost, statement.where)
-        columns = self._relation_columns(source.name)
-        for join in statement.joins:
-            right_rows = self._relation_rows(join.table, txn, initiator, snapshot, cost, None)
-            right_columns = self._relation_columns(join.table.name)
-            joined: List[Tuple[str, Dict[str, Any]]] = []
-            for node, left_row in rows:
-                for __, right_row in right_rows:
-                    merged = dict(right_row)
-                    merged.update(left_row)  # left wins on ambiguity
-                    merged.update(
-                        {k: v for k, v in right_row.items() if "." in k}
-                    )
-                    if predicate_holds(join.condition, {**right_row, **left_row, **merged}):
-                        joined.append((node, merged))
-            rows = joined
-            columns = columns + [c for c in right_columns if c not in columns]
-        return rows, columns
+    def profile(
+        self, statement: ast.Profile, txn: Transaction, initiator: str
+    ) -> ResultSet:
+        """Execute the query and report per-operator execution stats.
 
-    def _relation_columns(self, name: str) -> List[str]:
-        db = self.database
-        key = name.upper()
-        if key == "V_MONITOR.STORAGE_CONTAINERS":
-            return ["NODE_NAME", "TABLE_NAME", "CONTAINER_COUNT", "LIVE_ROWS"]
-        if db.catalog.is_system_table(key):
-            columns, __ = db.catalog.system_table_rows(
-                key, db.epochs.current, db.node_states
-            )
-            return columns
-        if db.catalog.has_view(key):
-            view = db.catalog.view(key)
-            return self._select_output_columns(view.query)
-        return db.catalog.table(key).column_names()
-
-    def _relation_rows(
-        self,
-        ref: ast.TableRef,
-        txn: Transaction,
-        initiator: str,
-        snapshot: int,
-        cost: CostReport,
-        where: Optional[Expression],
-    ) -> List[Tuple[str, Dict[str, Any]]]:
-        db = self.database
-        key = ref.name.upper()
-        alias = (ref.alias or ref.name.split(".")[-1]).upper()
-        if key == "V_MONITOR.STORAGE_CONTAINERS":
-            from repro.vertica.tuplemover import storage_container_stats
-
-            out = [
-                (
-                    initiator,
-                    {
-                        "NODE_NAME": node,
-                        "TABLE_NAME": table,
-                        "CONTAINER_COUNT": count,
-                        "LIVE_ROWS": rows,
-                    },
-                )
-                for node, table, count, rows in storage_container_stats(db)
-            ]
-        elif db.catalog.is_system_table(key):
-            __, sys_rows = db.catalog.system_table_rows(
-                key, db.epochs.current, db.node_states
-            )
-            out = [(initiator, dict(row)) for row in sys_rows]
-        elif db.catalog.has_view(key):
-            out = self._view_rows(key, txn, initiator, snapshot, cost)
-        else:
-            table = db.catalog.table(key)
-            hash_range = extract_hash_range(where, table.segmentation_columns)
-            out = [
-                (scan_row.node, scan_row.data)
-                for scan_row in self.scan(
-                    key, snapshot, txn, initiator, hash_range=hash_range, cost=cost
-                )
-            ]
-        # Expose alias-qualified names alongside plain ones.
-        qualified = []
-        for node, row in out:
-            merged = dict(row)
-            for column, value in row.items():
-                if "." not in column:
-                    merged[f"{alias}.{column}"] = value
-            qualified.append((node, merged))
-        return qualified
-
-    def _view_rows(
-        self,
-        view_name: str,
-        txn: Transaction,
-        initiator: str,
-        snapshot: int,
-        cost: CostReport,
-    ) -> List[Tuple[str, Dict[str, Any]]]:
-        """Execute a view and attribute its rows via the synthetic ring.
-
-        Views have no physical segmentation; the connector parallelises
-        them with SYNTHETIC_HASH ranges, so we attribute each output row to
-        the node that owns its synthetic hash — mirroring which node would
-        serve that range.
+        The report rows are the rendered profile; the profiled query's
+        own result hangs off ``query_result`` and the structured stats
+        off ``profile``.  The report carries the real query's
+        CostReport, so WLM accounting charges PROFILE like the query it
+        ran.
         """
-        from repro.vertica.hashring import synthetic_ring, vertica_hash
+        from repro.vertica.plan.pipeline import PlanProfile
 
-        db = self.database
-        view = db.catalog.view(view_name)
-        query = view.query
-        if query.at_epoch is None and snapshot is not None:
-            query = ast.Select(
-                query.items,
-                query.source,
-                joins=query.joins,
-                where=query.where,
-                group_by=query.group_by,
-                having=query.having,
-                order_by=query.order_by,
-                limit=query.limit,
-                at_epoch=snapshot,
-            )
-        result = self.select(query, txn, initiator, cost=cost)
-        ring = synthetic_ring(db.node_names)
-        out = []
-        for row in result.rows:
-            data = dict(zip(result.columns, row))
-            values = [data[k] for k in sorted(data)]
-            node = ring.node_for(vertica_hash(*values)) if values else initiator
-            out.append((node, data))
-        return out
-
-    # -------------------------------------------------------------- projection
-    def _select_output_columns(self, statement: ast.Select) -> List[str]:
-        out: List[str] = []
-        for item in statement.items:
-            if item.star:
-                if statement.source is None:
-                    raise SqlError("SELECT * requires a FROM clause")
-                out.extend(self._relation_columns(statement.source.name))
-                for join in statement.joins:
-                    for column in self._relation_columns(join.table.name):
-                        if column not in out:
-                            out.append(column)
-            else:
-                out.append(self._item_name(item))
-        return out
-
-    @staticmethod
-    def _item_name(item: ast.SelectItem) -> str:
-        if item.alias:
-            return item.alias
-        if item.aggregate:
-            if item.aggregate_arg is None:
-                return f"{item.aggregate}(*)"
-            return f"{item.aggregate}({item.aggregate_arg.sql()})"
-        if item.udf:
-            return item.udf
-        assert item.expression is not None
-        if isinstance(item.expression, ColumnRef):
-            return item.expression.name.split(".")[-1]
-        return item.expression.sql()
-
-    def _project(
-        self,
-        statement: ast.Select,
-        rows: List[Tuple[str, Dict[str, Any]]],
-        source_columns: List[str],
-        cost: CostReport,
-    ) -> Tuple[List[str], List[Tuple[str, Tuple[Any, ...]]]]:
-        db = self.database
-        columns: List[str] = []
-        extractors = []
-        for item in statement.items:
-            if item.star:
-                for column in source_columns:
-                    columns.append(column)
-                    extractors.append(
-                        lambda row, c=column: row.get(c)
-                    )
-            elif item.udf:
-                columns.append(self._item_name(item))
-                function = db.udx.lookup(item.udf)
-                extractors.append(
-                    lambda row, f=function, it=item: f(
-                        [a.evaluate(row) for a in it.udf_args], it.parameters
-                    )
-                )
-            else:
-                columns.append(self._item_name(item))
-                assert item.expression is not None
-                extractors.append(lambda row, e=item.expression: e.evaluate(row))
-        out: List[Tuple[str, Tuple[Any, ...]]] = []
-        for node, row in rows:
-            values = tuple(extract(row) for extract in extractors)
-            nbytes = sum(_value_bytes(v) for v in values)
-            cost.output(node, nbytes)
-            out.append((node, values))
-        return columns, out
-
-    def _aggregate(
-        self,
-        statement: ast.Select,
-        rows: List[Tuple[str, Dict[str, Any]]],
-        initiator: str,
-        cost: CostReport,
-    ) -> Tuple[List[str], List[Tuple[str, Tuple[Any, ...]]]]:
-        # Aggregation input, attributed to producing nodes: what the wire
-        # would have carried without pushdown, and what the group-hash
-        # CPU charge (agg_cpu_per_row) bills.
-        for node, __ in rows:
-            cost.aggregated(node)
-        groups: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = {}
-        if statement.group_by:
-            for __, row in rows:
-                key = tuple(expr.evaluate(row) for expr in statement.group_by)
-                groups.setdefault(key, []).append(row)
-        else:
-            groups[()] = [row for __, row in rows]
-
-        columns = [self._item_name(item) for item in statement.items]
-        out: List[Tuple[str, Tuple[Any, ...]]] = []
-        for key in groups:
-            group_rows = groups[key]
-            values: List[Any] = []
-            for item in statement.items:
-                if item.aggregate:
-                    values.append(self._aggregate_value(item, group_rows))
-                elif item.expression is not None:
-                    if not group_rows:
-                        values.append(None)
-                    else:
-                        values.append(item.expression.evaluate(group_rows[0]))
-                else:
-                    raise SqlError("SELECT * cannot be combined with aggregates")
-            row_tuple = tuple(values)
-            if statement.having is not None:
-                # HAVING is evaluated against the aggregate output row
-                # (reference aggregates by their select-list aliases).
-                output_row = dict(zip(columns, row_tuple))
-                if not predicate_holds(statement.having, output_row):
-                    continue
-            cost.output(initiator, sum(_value_bytes(v) for v in row_tuple))
-            out.append((initiator, row_tuple))
-        if not statement.group_by and not out:
-            # Aggregates over an empty input still return one row.
-            row_tuple = tuple(
-                self._aggregate_value(item, []) if item.aggregate else None
-                for item in statement.items
-            )
-            out.append((initiator, row_tuple))
-        return columns, out
-
-    @staticmethod
-    def _aggregate_value(item: ast.SelectItem, group_rows: List[Dict[str, Any]]) -> Any:
-        name = item.aggregate
-        if item.aggregate_arg is None:
-            if name != "COUNT":
-                raise SqlError(f"{name} requires an argument")
-            return len(group_rows)
-        values = [item.aggregate_arg.evaluate(row) for row in group_rows]
-        values = [v for v in values if v is not None]
-        if item.distinct:
-            values = list(dict.fromkeys(values))
-        if name == "COUNT":
-            return len(values)
-        if not values:
-            return None
-        if name == "SUM":
-            return sum(values)
-        if name == "AVG":
-            return sum(values) / len(values)
-        if name == "MIN":
-            return min(values)
-        if name == "MAX":
-            return max(values)
-        raise SqlError(f"unknown aggregate {name!r}")  # pragma: no cover
-
-    def _order(
-        self,
-        statement: ast.Select,
-        columns: List[str],
-        out_rows: List[Tuple[str, Tuple[Any, ...]]],
-    ) -> List[Tuple[str, Tuple[Any, ...]]]:
-        def sort_key(entry: Tuple[str, Tuple[Any, ...]]):
-            __, row = entry
-            data = dict(zip(columns, row))
-            key = []
-            for order in statement.order_by:
-                try:
-                    value = order.expression.evaluate(data)
-                except SqlError:
-                    value = None
-                # NULLs always sort last, in both directions.
-                null_rank = 1 if value is None else 0
-                if order.descending:
-                    key.append((null_rank, _Reversed(value)))
-                else:
-                    key.append((null_rank, _Sortable(value)))
-            return tuple(key)
-
-        return sorted(out_rows, key=sort_key)
+        telemetry.counter("vertica.queries.profile").inc()
+        result, execution = self._run_select(statement.query, txn, initiator)
+        prof = PlanProfile(execution, result)
+        report = ResultSet(
+            ["PROFILE"], [(line,) for line in prof.lines()], cost=result.cost
+        )
+        report.profile = prof
+        report.query_result = result
+        return report
 
     # ------------------------------------------------------------------- DML
     def insert_rows(
@@ -905,13 +560,13 @@ class Engine:
         for column, __ in assignments:
             if not table.has_column(column):
                 raise SqlError(f"table {table.name!r} has no column {column!r}")
+        from repro.vertica.plan import dml_matching_rows
+
         matched: List[Dict[str, Any]] = []
         seen_keys = set()
-        for scan_row in self.scan(
-            table.name, snapshot, txn, initiator, cost=cost, for_update=True
+        for scan_row in dml_matching_rows(
+            self, table.name, statement.where, txn, initiator, snapshot, cost
         ):
-            if not predicate_holds(statement.where, scan_row.data):
-                continue
             if scan_row.container is not None:
                 txn.stage_delete(scan_row.container, scan_row.row_index)
             if table.unsegmented:
@@ -937,13 +592,13 @@ class Engine:
         telemetry.counter("vertica.queries.delete").inc()
         cost = CostReport()
         snapshot = db.epochs.current
+        from repro.vertica.plan import dml_matching_rows
+
         count = 0
         seen_keys = set()
-        for scan_row in self.scan(
-            table.name, snapshot, txn, initiator, cost=cost, for_update=True
+        for scan_row in dml_matching_rows(
+            self, table.name, statement.where, txn, initiator, snapshot, cost
         ):
-            if not predicate_holds(statement.where, scan_row.data):
-                continue
             if scan_row.container is not None:
                 txn.stage_delete(scan_row.container, scan_row.row_index)
             if table.unsegmented:
@@ -953,35 +608,3 @@ class Engine:
                 seen_keys.add(key)
             count += 1
         return ResultSet(rowcount=count, cost=cost)
-
-
-class _Sortable:
-    """Wrapper making heterogeneous sort keys comparable (SQL-ish)."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: Any):
-        self.value = value
-
-    def __lt__(self, other: "_Sortable") -> bool:
-        a, b = self.value, other.value
-        if a is None or b is None:
-            return False
-        try:
-            return a < b
-        except TypeError:
-            return str(a) < str(b)
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _Sortable) and self.value == other.value
-
-
-class _Reversed(_Sortable):
-    def __lt__(self, other: "_Sortable") -> bool:  # type: ignore[override]
-        a, b = self.value, other.value
-        if a is None or b is None:
-            return False
-        try:
-            return b < a
-        except TypeError:
-            return str(b) < str(a)

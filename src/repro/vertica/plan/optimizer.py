@@ -1,0 +1,318 @@
+"""Rule-based optimizer over the logical plan.
+
+Rules run in a fixed order and record their names in
+``plan.rules_applied`` when they rewrite the tree:
+
+1. **constant folding** — literal-only subexpressions are evaluated at
+   plan time.  A subtree whose evaluation raises (``1/0``) is left
+   unfolded so the error still surfaces at execution, exactly when the
+   legacy interpreter raised it (i.e. never, for queries that evaluate
+   zero rows).
+2. **hash-range tightening** — ``extract_hash_range`` over the *pristine*
+   WHERE clause (as parsed, not the folded copy — folding could make new
+   conjuncts recognisable and change which segments the legacy
+   interpreter would have scanned, breaking byte-identical CostReports)
+   restricts the FROM table's scan to intersecting segments.
+3. **predicate pushdown** — with a single-table FROM (no joins), the
+   Filter node collapses into the scan, which applies the predicate
+   row-wise while batching.  Views and system tables keep their Filter
+   above (their rows are computed, not scanned).
+4. **projection pruning** — base-table scans materialize only columns
+   referenced anywhere in the query.  Disabled whenever ``*`` or
+   ``SYNTHETIC_HASH()`` appears (both observe entire rows).
+
+DML matching scans (``for_update``) only ever get constant folding: the
+statement must visit and charge every replica row, so tightening/pruning
+would change its CostReport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import List, Optional, Set, Tuple
+
+from repro.vertica.engine import extract_hash_range
+from repro.vertica.expr import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.vertica.plan import logical
+from repro.vertica.plan.logical import LogicalPlan, TableScan
+from repro.vertica.sql import ast_nodes as ast
+
+RULE_CONSTANT_FOLDING = "constant folding"
+RULE_HASH_RANGE = "hash-range tightening"
+RULE_PREDICATE_PUSHDOWN = "predicate pushdown"
+RULE_PROJECTION_PRUNING = "projection pruning"
+
+
+def optimize(plan: LogicalPlan, database) -> LogicalPlan:
+    """Apply all rules in order, recording the ones that fired."""
+    if _fold_plan(plan):
+        plan.rules_applied.append(RULE_CONSTANT_FOLDING)
+    if _tighten_hash_range(plan):
+        plan.rules_applied.append(RULE_HASH_RANGE)
+    if _push_predicate(plan):
+        plan.rules_applied.append(RULE_PREDICATE_PUSHDOWN)
+    if _prune_columns(plan):
+        plan.rules_applied.append(RULE_PROJECTION_PRUNING)
+    return plan
+
+
+# ---------------------------------------------------------------- folding
+def fold_expression(expr: Expression) -> Tuple[Expression, bool]:
+    """Fold literal-only subtrees; returns (new expression, changed?)."""
+    if isinstance(expr, (Literal, ColumnRef, Star)):
+        return expr, False
+    if isinstance(expr, BinaryOp):
+        left, lc = fold_expression(expr.left)
+        right, rc = fold_expression(expr.right)
+        node = BinaryOp(expr.op, left, right) if (lc or rc) else expr
+        return _try_fold(node, [left, right], lc or rc)
+    if isinstance(expr, UnaryOp):
+        operand, changed = fold_expression(expr.operand)
+        node = UnaryOp(expr.op, operand) if changed else expr
+        return _try_fold(node, [operand], changed)
+    if isinstance(expr, IsNull):
+        operand, changed = fold_expression(expr.operand)
+        node = IsNull(operand, expr.negated) if changed else expr
+        return _try_fold(node, [operand], changed)
+    if isinstance(expr, Between):
+        operand, oc = fold_expression(expr.operand)
+        low, lc = fold_expression(expr.low)
+        high, hc = fold_expression(expr.high)
+        changed = oc or lc or hc
+        node = Between(operand, low, high) if changed else expr
+        return _try_fold(node, [operand, low, high], changed)
+    if isinstance(expr, InList):
+        operand, oc = fold_expression(expr.operand)
+        folded = [fold_expression(o) for o in expr.options]
+        changed = oc or any(c for __, c in folded)
+        options = [o for o, __ in folded]
+        node = InList(operand, options, expr.negated) if changed else expr
+        return _try_fold(node, [operand] + options, changed)
+    if isinstance(expr, Like):
+        operand, changed = fold_expression(expr.operand)
+        node = Like(operand, expr.pattern, expr.negated) if changed else expr
+        return _try_fold(node, [operand], changed)
+    if isinstance(expr, FunctionCall):
+        if expr.name == "SYNTHETIC_HASH":
+            return expr, False  # observes the whole row; never foldable
+        folded = [fold_expression(a) for a in expr.args]
+        changed = any(c for __, c in folded)
+        args = [a for a, __ in folded]
+        node = FunctionCall(expr.name, args) if changed else expr
+        return _try_fold(node, args, changed)
+    return expr, False
+
+
+def _try_fold(
+    node: Expression, children: List[Expression], changed: bool
+) -> Tuple[Expression, bool]:
+    if all(isinstance(c, Literal) for c in children):
+        try:
+            return Literal(node.evaluate({})), True
+        except Exception:
+            # Leave unfolded: the error (if the row count makes it
+            # reachable at all) must surface at execution time.
+            pass
+    return node, changed
+
+
+def _fold_optional(expr: Optional[Expression]) -> Tuple[Optional[Expression], bool]:
+    if expr is None:
+        return None, False
+    return fold_expression(expr)
+
+
+def _fold_item(item: ast.SelectItem) -> Tuple[ast.SelectItem, bool]:
+    expression, ec = _fold_optional(item.expression)
+    aggregate_arg, ac = _fold_optional(item.aggregate_arg)
+    folded_args = [fold_expression(a) for a in item.udf_args]
+    uc = any(c for __, c in folded_args)
+    if not (ec or ac or uc):
+        return item, False
+    return (
+        dc_replace(
+            item,
+            expression=expression,
+            aggregate_arg=aggregate_arg,
+            udf_args=[a for a, __ in folded_args],
+        ),
+        True,
+    )
+
+
+def _fold_plan(plan: LogicalPlan) -> bool:
+    changed = False
+    for node in plan.nodes():
+        if isinstance(node, TableScan) and node.predicate is not None:
+            node.predicate, c = fold_expression(node.predicate)
+            changed |= c
+        elif isinstance(node, logical.Filter):
+            node.predicate, c = fold_expression(node.predicate)
+            changed |= c
+        elif isinstance(node, logical.Join):
+            node.condition, c = fold_expression(node.condition)
+            changed |= c
+        elif isinstance(node, logical.Project):
+            for i, item in enumerate(node.items):
+                node.items[i], c = _fold_item(item)
+                changed |= c
+        elif isinstance(node, logical.Aggregate):
+            for i, item in enumerate(node.items):
+                node.items[i], c = _fold_item(item)
+                changed |= c
+            for i, expr in enumerate(node.group_by):
+                node.group_by[i], c = fold_expression(expr)
+                changed |= c
+            node.having, c = _fold_optional(node.having)
+            changed |= c
+        elif isinstance(node, logical.Sort):
+            for i, order in enumerate(node.order_by):
+                folded, c = fold_expression(order.expression)
+                if c:
+                    node.order_by[i] = ast.OrderItem(folded, order.descending)
+                    changed = True
+    return changed
+
+
+# ---------------------------------------------------------- hash tightening
+def _from_scan(plan: LogicalPlan) -> Optional[TableScan]:
+    """The FROM-clause table scan (leftmost leaf), if it is a base table."""
+    node = plan.root
+    while True:
+        if isinstance(node, logical.Join):
+            node = node.left
+            continue
+        children = node.children()
+        if not children:
+            break
+        node = children[0]
+    return node if isinstance(node, TableScan) else None
+
+
+def _tighten_hash_range(plan: LogicalPlan) -> bool:
+    scan = _from_scan(plan)
+    if scan is None or scan.for_update:
+        return False
+    hash_range = extract_hash_range(
+        plan.pristine_where, scan.table.segmentation_columns
+    )
+    scan.hash_range = hash_range
+    return not hash_range.is_full
+
+
+# ------------------------------------------------------------- pushdown
+def _push_predicate(plan: LogicalPlan) -> bool:
+    for node in plan.nodes():
+        if not isinstance(node, logical.Filter):
+            continue
+        child = node.child
+        if isinstance(child, TableScan) and not child.for_update:
+            child.predicate = node.predicate
+            _splice_out(plan, node, child)
+            return True
+    return False
+
+
+def _splice_out(plan: LogicalPlan, node, replacement) -> None:
+    if plan.root is node:
+        plan.root = replacement
+        return
+    for candidate in plan.nodes():
+        if getattr(candidate, "child", None) is node:
+            candidate.child = replacement
+            return
+        if getattr(candidate, "left", None) is node:
+            candidate.left = replacement
+            return
+        if getattr(candidate, "right", None) is node:
+            candidate.right = replacement
+            return
+
+
+# --------------------------------------------------------------- pruning
+def _contains_synthetic_hash(expr: Optional[Expression]) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, FunctionCall):
+        if expr.name == "SYNTHETIC_HASH":
+            return True
+        return any(_contains_synthetic_hash(a) for a in expr.args)
+    if isinstance(expr, BinaryOp):
+        return _contains_synthetic_hash(expr.left) or _contains_synthetic_hash(
+            expr.right
+        )
+    if isinstance(expr, (UnaryOp, IsNull, Like)):
+        return _contains_synthetic_hash(expr.operand)
+    if isinstance(expr, Between):
+        return any(
+            _contains_synthetic_hash(e) for e in (expr.operand, expr.low, expr.high)
+        )
+    if isinstance(expr, InList):
+        return _contains_synthetic_hash(expr.operand) or any(
+            _contains_synthetic_hash(o) for o in expr.options
+        )
+    return False
+
+
+def _all_expressions(plan: LogicalPlan) -> List[Expression]:
+    out: List[Expression] = []
+    for node in plan.nodes():
+        if isinstance(node, TableScan):
+            if node.predicate is not None:
+                out.append(node.predicate)
+        elif isinstance(node, logical.Filter):
+            out.append(node.predicate)
+        elif isinstance(node, logical.Join):
+            out.append(node.condition)
+        elif isinstance(node, (logical.Project, logical.Aggregate)):
+            for item in node.items:
+                if item.expression is not None:
+                    out.append(item.expression)
+                if item.aggregate_arg is not None:
+                    out.append(item.aggregate_arg)
+                out.extend(item.udf_args)
+            if isinstance(node, logical.Aggregate):
+                out.extend(node.group_by)
+                if node.having is not None:
+                    out.append(node.having)
+        elif isinstance(node, logical.Sort):
+            out.extend(o.expression for o in node.order_by)
+    return out
+
+
+def _prune_columns(plan: LogicalPlan) -> bool:
+    for node in plan.nodes():
+        if isinstance(node, (logical.Project, logical.Aggregate)):
+            if any(item.star for item in node.items):
+                return False
+    expressions = _all_expressions(plan)
+    if any(_contains_synthetic_hash(e) for e in expressions):
+        return False
+    needed: Set[str] = set()
+    for expr in expressions:
+        needed.update(expr.columns())
+    pruned = False
+    for node in plan.nodes():
+        if not isinstance(node, TableScan) or node.for_update:
+            continue
+        keep = [
+            c
+            for c in node.table.column_names()
+            if c in needed or f"{node.alias}.{c}" in needed
+        ]
+        if len(keep) < len(node.table.column_names()):
+            node.columns = keep
+            pruned = True
+    return pruned

@@ -156,6 +156,13 @@ class Explain:
 
 
 @dataclass
+class Profile:
+    """``PROFILE <select>``: run the query, report per-operator stats."""
+
+    query: "Select"
+
+
+@dataclass
 class BeginTransaction:
     pass
 

@@ -111,6 +111,7 @@ class _Parser:
             "SELECT": self._select_statement,
             "AT": self._at_epoch_select,
             "EXPLAIN": self._explain,
+            "PROFILE": self._profile,
             "COPY": self._copy,
             "BEGIN": self._begin,
             "START": self._begin,
@@ -272,6 +273,10 @@ class _Parser:
     def _explain(self):
         self.expect("EXPLAIN")
         return ast.Explain(self._select())
+
+    def _profile(self):
+        self.expect("PROFILE")
+        return ast.Profile(self._select())
 
     def _select_statement(self):
         return self._select()

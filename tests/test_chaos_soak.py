@@ -1,6 +1,7 @@
 """Smoke test for the chaos soak harness (CI runs the full 25-seed soak)."""
 
 from repro.bench.chaos_soak import (
+    run_profile_trial,
     run_s2v_trial,
     run_soak,
     run_wlm_trial,
@@ -11,9 +12,10 @@ from repro.bench.chaos_soak import (
 class TestSoakSmoke:
     def test_small_soak_holds_invariants(self):
         trials = run_soak(num_seeds=3, base_seed=100)
-        assert len(trials) == 12  # one S2V + V2S + agg + wlm per seed
+        assert len(trials) == 15  # one S2V + V2S + agg + wlm + profile per seed
         assert any(t.workload == "agg" for t in trials)
         assert any(t.workload == "wlm" for t in trials)
+        assert any(t.workload == "profile" for t in trials)
         bad = [t for t in trials if not t.ok]
         assert not bad, "\n".join(t.describe() for t in bad)
         # The soak must actually exercise faults and still complete work.
@@ -30,6 +32,21 @@ class TestSoakSmoke:
         assert "--replay-seed 5" in first.replay_command()
         assert "--mode append" in first.replay_command()
         assert "--speculation" in first.replay_command()
+
+    def test_profile_trial_exact_answers_and_no_leaks(self):
+        # A fault-free-success seed and a clean-failure seed both hold the
+        # bar; replayability mirrors the other workloads.
+        trial = run_profile_trial(15485863)
+        assert trial.ok, trial.describe()
+        assert "no-leaked-sessions" in trial.report.checks
+        assert "no-leaked-locks" in trial.report.checks
+        if trial.succeeded:
+            assert "profile-exact-answer" in trial.report.checks
+            assert "profile-cost-reconciles" in trial.report.checks
+        assert "--workload profile" in trial.replay_command()
+        again = run_profile_trial(15485863)
+        assert again.injections == trial.injections
+        assert again.succeeded == trial.succeeded
 
     def test_wlm_trial_exactly_once_under_admission(self):
         # A seed whose schedule includes a pool storm (seeded, so stable):

@@ -1,0 +1,91 @@
+"""Regression tests for the shared NULLS-LAST ordering helper.
+
+PR 3 fixed "NULLs sort last in both directions" twice — once in the
+engine's ORDER BY, once in ``DataFrame.order_by``.  ``repro.ordering``
+is now the single home for that rule; these tests pin the helper itself
+and prove both consumers (SQL and Spark) still agree on the same data.
+"""
+
+import pytest
+
+from repro.ordering import AscendingKey, DescendingKey, null_last_key
+from repro.sim import Environment
+from repro.spark import SparkSession, StructField, StructType
+from repro.vertica import VerticaDatabase
+
+
+class TestNullLastKey:
+    def test_ascending_nulls_last(self):
+        values = [3, None, 1, None, 2]
+        ordered = sorted(values, key=null_last_key)
+        assert ordered == [1, 2, 3, None, None]
+
+    def test_descending_nulls_still_last(self):
+        values = [3, None, 1, None, 2]
+        ordered = sorted(values, key=lambda v: null_last_key(v, True))
+        assert ordered == [3, 2, 1, None, None]
+
+    def test_sort_is_stable_for_equal_keys(self):
+        pairs = [(2, "a"), (1, "b"), (2, "c"), (1, "d")]
+        ordered = sorted(pairs, key=lambda p: null_last_key(p[0]))
+        assert ordered == [(1, "b"), (1, "d"), (2, "a"), (2, "c")]
+
+    def test_heterogeneous_values_fall_back_to_str(self):
+        # int vs str cannot compare in Python; the key falls back to the
+        # string forms instead of raising mid-sort.
+        assert AscendingKey(1) < AscendingKey("2")
+        assert DescendingKey("2") < DescendingKey(1)
+        ordered = sorted([10, "2", 1], key=null_last_key)
+        assert ordered == [1, 10, "2"]  # "1" < "10" < "2"
+
+    def test_none_never_compares_less(self):
+        assert not (AscendingKey(None) < AscendingKey(1))
+        assert not (AscendingKey(1) < AscendingKey(None))
+        assert not (DescendingKey(None) < DescendingKey(1))
+
+    def test_equality_is_value_equality(self):
+        assert AscendingKey(5) == AscendingKey(5)
+        assert AscendingKey(5) != AscendingKey(6)
+
+
+DATA = [(1, 30), (2, None), (3, 10), (4, None), (5, 20)]
+
+
+class TestConsumersAgree:
+    """The engine's ORDER BY and DataFrame.order_by share one rule."""
+
+    @pytest.fixture
+    def sql_rows(self):
+        db = VerticaDatabase(num_nodes=2)
+        session = db.connect()
+        session.execute(
+            "CREATE TABLE t (id INTEGER, v INTEGER) "
+            "SEGMENTED BY HASH(id) ALL NODES"
+        )
+        session.execute(
+            "INSERT INTO t VALUES "
+            + ", ".join(
+                f"({i}, {'NULL' if v is None else v})" for i, v in DATA
+            )
+        )
+        return session
+
+    @pytest.fixture
+    def df(self):
+        spark = SparkSession(env=Environment(), num_workers=2)
+        schema = StructType(
+            [StructField("id", "long"), StructField("v", "long")]
+        )
+        return spark.create_dataframe(DATA, schema, 2)
+
+    def test_ascending_agree(self, sql_rows, df):
+        sql = sql_rows.execute("SELECT id, v FROM t ORDER BY v, id").rows
+        spark = df.order_by("v", "id").collect()
+        assert list(sql) == [tuple(r) for r in spark]
+        assert [r[1] for r in sql] == [10, 20, 30, None, None]
+
+    def test_descending_agree(self, sql_rows, df):
+        sql = sql_rows.execute("SELECT id, v FROM t ORDER BY v DESC").rows
+        spark = df.order_by("v", descending=True).collect()
+        assert [r[1] for r in sql] == [30, 20, 10, None, None]
+        assert [r[1] for r in spark] == [30, 20, 10, None, None]

@@ -1,0 +1,247 @@
+"""Tests for the layered plan pipeline: binder, optimizer, EXPLAIN, PROFILE.
+
+The differential suite (``test_plan_differential``) proves the pipeline's
+*answers* equal the legacy interpreter's; this file tests the pipeline's
+own surface — the logical tree the binder builds, which optimizer rules
+fire, what EXPLAIN/PROFILE render, how per-operator stats reconcile with
+the CostReport, and the ``ResultSet.scalar()`` error contract.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import MetricsRegistry
+from repro.vertica import VerticaDatabase
+from repro.vertica.engine import ResultSet
+from repro.vertica.errors import SqlError, VerticaError
+from repro.vertica.plan import bind_select, optimize
+from repro.vertica.plan import logical
+from repro.vertica.plan.optimizer import (
+    RULE_CONSTANT_FOLDING,
+    RULE_HASH_RANGE,
+    RULE_PREDICATE_PUSHDOWN,
+    RULE_PROJECTION_PRUNING,
+    fold_expression,
+)
+from repro.vertica.sql.parser import parse_statement
+
+
+@pytest.fixture
+def db():
+    database = VerticaDatabase(num_nodes=4)
+    session = database.connect()
+    session.execute(
+        "CREATE TABLE t (a INTEGER, b FLOAT, c VARCHAR(10)) "
+        "SEGMENTED BY HASH(a) ALL NODES"
+    )
+    session.execute(
+        "INSERT INTO t VALUES " + ", ".join(
+            f"({i}, {i}.5, 'n{i % 5}')" for i in range(40)
+        )
+    )
+    return database
+
+
+def bound_plan(db, sql):
+    statement = parse_statement(sql)
+    return optimize(bind_select(db, statement), db)
+
+
+def plan_text(session, sql):
+    return "\n".join(r[0] for r in session.execute(sql).rows)
+
+
+class TestBinderShape:
+    def test_select_tree_shape(self, db):
+        plan = bound_plan(
+            db, "SELECT a FROM t WHERE b > 1.0 ORDER BY a LIMIT 5"
+        )
+        kinds = [type(n).__name__ for n in plan.nodes()]
+        assert kinds == ["Limit", "Sort", "Project", "TableScan"]
+
+    def test_aggregate_tree_shape(self, db):
+        plan = bound_plan(db, "SELECT a, COUNT(*) FROM t GROUP BY a")
+        kinds = [type(n).__name__ for n in plan.nodes()]
+        assert kinds == ["Aggregate", "TableScan"]
+
+    def test_output_columns_precede_folding(self, db):
+        plan = bound_plan(db, "SELECT 1 + 2 FROM t")
+        # Constant folding rewrites the expression but must not rename
+        # the output column the binder derived from the original SQL.
+        assert plan.output_columns == ["(1 + 2)"]
+        assert RULE_CONSTANT_FOLDING in plan.rules_applied
+
+    def test_join_is_left_deep(self, db):
+        session = db.connect()
+        session.execute("CREATE TABLE u (x INTEGER) UNSEGMENTED ALL NODES")
+        plan = bound_plan(db, "SELECT a, x FROM t JOIN u ON a = x")
+        join = next(
+            n for n in plan.nodes() if isinstance(n, logical.Join)
+        )
+        assert isinstance(join.left, logical.TableScan)
+        assert isinstance(join.right, logical.TableScan)
+        assert join.right.key == "U"
+
+
+class TestOptimizerRules:
+    def test_predicate_pushdown_fires(self, db):
+        plan = bound_plan(db, "SELECT a FROM t WHERE b > 1.0")
+        assert RULE_PREDICATE_PUSHDOWN in plan.rules_applied
+        scan = next(n for n in plan.nodes() if isinstance(n, logical.TableScan))
+        assert scan.predicate is not None
+        # The Filter node collapsed into the scan.
+        assert not any(isinstance(n, logical.Filter) for n in plan.nodes())
+
+    def test_projection_pruning_fires(self, db):
+        plan = bound_plan(db, "SELECT a FROM t WHERE b > 1.0")
+        assert RULE_PROJECTION_PRUNING in plan.rules_applied
+        scan = next(n for n in plan.nodes() if isinstance(n, logical.TableScan))
+        assert scan.columns == ["A", "B"]
+
+    def test_star_disables_pruning(self, db):
+        plan = bound_plan(db, "SELECT * FROM t WHERE b > 1.0")
+        assert RULE_PROJECTION_PRUNING not in plan.rules_applied
+
+    def test_synthetic_hash_disables_pruning(self, db):
+        plan = bound_plan(db, "SELECT a FROM t WHERE SYNTHETIC_HASH() >= 0")
+        assert RULE_PROJECTION_PRUNING not in plan.rules_applied
+
+    def test_hash_range_tightening_fires(self, db):
+        segment = db.catalog.table("t").ring.segments[1]
+        plan = bound_plan(
+            db,
+            f"SELECT a FROM t WHERE HASH(a) >= {segment.lo} "
+            f"AND HASH(a) < {segment.hi}",
+        )
+        assert RULE_HASH_RANGE in plan.rules_applied
+        scan = next(n for n in plan.nodes() if isinstance(n, logical.TableScan))
+        assert (scan.hash_range.lo, scan.hash_range.hi) == (
+            segment.lo, segment.hi,
+        )
+
+    def test_constant_folding_preserves_errors(self, db):
+        folded, changed = fold_expression(
+            parse_statement("SELECT 1 / 0 FROM t").items[0].expression
+        )
+        # Division by zero must stay unfolded and raise at execution.
+        assert not changed
+        session = db.connect()
+        with pytest.raises(SqlError):
+            session.execute("SELECT 1 / 0 FROM t")
+
+    def test_filter_stays_above_view(self, db):
+        session = db.connect()
+        session.execute("CREATE VIEW v AS SELECT a, b FROM t")
+        plan = bound_plan(db, "SELECT a FROM v WHERE a > 3")
+        assert any(isinstance(n, logical.Filter) for n in plan.nodes())
+        assert RULE_PREDICATE_PUSHDOWN not in plan.rules_applied
+
+
+class TestExplain:
+    def test_explain_lists_fired_rules(self, db):
+        session = db.connect()
+        plan = plan_text(session, "EXPLAIN SELECT a FROM t WHERE b > 1.0")
+        assert "OPTIMIZER:" in plan
+        assert RULE_PREDICATE_PUSHDOWN in plan
+        assert RULE_PROJECTION_PRUNING in plan
+
+    def test_explain_shows_pushed_filter_and_pruned_columns(self, db):
+        session = db.connect()
+        plan = plan_text(session, "EXPLAIN SELECT a FROM t WHERE b > 1.0")
+        assert "FILTER: (B > 1.0) [pushed into scan]" in plan
+        assert "columns: A, B [pruned]" in plan
+
+    def test_explain_is_indented_tree(self, db):
+        session = db.connect()
+        plan = session.execute(
+            "EXPLAIN SELECT a FROM t ORDER BY a LIMIT 3"
+        )
+        lines = [r[0] for r in plan.rows]
+        assert plan.columns == ["QUERY_PLAN"]
+        assert lines[0].startswith("LIMIT: 3")
+        assert lines[1].startswith("  SORT: A")
+        assert lines[2].startswith("    PROJECT: A")
+
+
+class TestProfile:
+    def test_profile_runs_query_and_reports_operators(self, db):
+        session = db.connect()
+        report = session.execute("PROFILE SELECT a FROM t WHERE b > 1.0")
+        assert report.columns == ["PROFILE"]
+        assert report.query_result is not None
+        assert len(report.query_result.rows) == 39  # b = 0.5 filtered out
+        kinds = [kind for kind, __, __ in report.profile.operator_rows()]
+        assert kinds == ["project", "scan"]
+
+    def test_profile_rows_reconcile_with_cost(self, db):
+        session = db.connect()
+        report = session.execute("PROFILE SELECT a, b, c FROM t")
+        cost = report.cost
+        stats = {
+            kind: (rows_in, rows_out)
+            for kind, rows_in, rows_out in report.profile.operator_rows()
+        }
+        # Scan visited exactly the rows the CostReport charged, and the
+        # projection emitted exactly the rows the CostReport output.
+        assert stats["scan"][1] == cost.rows_scanned == 40
+        assert stats["project"][1] == cost.rows_output == 40
+        assert "COST: rows scanned: 40" in "\n".join(
+            r[0] for r in report.rows
+        )
+
+    def test_profile_aggregate_reconciles(self, db):
+        session = db.connect()
+        report = session.execute(
+            "PROFILE SELECT c, COUNT(*) FROM t GROUP BY c"
+        )
+        stats = dict(
+            (kind, (rows_in, rows_out))
+            for kind, rows_in, rows_out in report.profile.operator_rows()
+        )
+        assert stats["aggregate"][0] == report.cost.rows_aggregated == 40
+        assert stats["aggregate"][1] == len(report.query_result.rows) == 5
+
+    def test_profile_charges_like_the_query(self, db):
+        session = db.connect()
+        plain = session.execute("SELECT a FROM t").cost
+        profiled = session.execute("PROFILE SELECT a FROM t").cost
+        assert profiled.rows_scanned == plain.rows_scanned
+        assert profiled.node_output_bytes == plain.node_output_bytes
+
+    def test_plan_telemetry_counters(self, db):
+        telemetry.install(MetricsRegistry(enabled=True))
+        try:
+            session = db.connect()
+            session.execute("SELECT a FROM t")
+            assert telemetry.counter("vertica.plan.scan.rows_out").value == 40.0
+            assert telemetry.counter("vertica.plan.project.rows_out").value == 40.0
+        finally:
+            telemetry.reset()
+
+
+class TestScalarContract:
+    def test_scalar_on_empty_result_raises_vertica_error(self, db):
+        session = db.connect()
+        result = session.execute("SELECT a FROM t WHERE a > 999")
+        with pytest.raises(VerticaError, match="empty result"):
+            result.scalar()
+
+    def test_scalar_on_multi_column_result_raises(self):
+        result = ResultSet(["A", "B"], [(1, 2)])
+        with pytest.raises(VerticaError, match="1x2"):
+            result.scalar()
+
+    def test_scalar_on_multi_row_result_raises(self):
+        result = ResultSet(["A"], [(1,), (2,)])
+        with pytest.raises(VerticaError, match="2x1"):
+            result.scalar()
+
+    def test_scalar_never_raises_index_error(self):
+        try:
+            ResultSet([], []).scalar()
+        except VerticaError:
+            pass
+
+    def test_scalar_happy_path(self, db):
+        session = db.connect()
+        assert session.execute("SELECT COUNT(*) FROM t").scalar() == 40
