@@ -17,6 +17,10 @@ from repro.avrolite.schema import Schema, SchemaError
 _FLOAT = struct.Struct("<f")
 _DOUBLE = struct.Struct("<d")
 
+#: Avro int/long are 64-bit two's complement on the wire
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+
 
 def zigzag_encode(value: int) -> int:
     # Python's arithmetic right shift makes this work for both signs.
@@ -152,7 +156,16 @@ class DatumWriter:
         if kind == "boolean":
             enc.write_boolean(bool(datum))
         elif kind in ("int", "long"):
-            enc.write_long(int(datum))
+            value = int(datum)
+            # The wire format is 64-bit: the encoder masks to 64 bits, so an
+            # out-of-range value would silently wrap and decode as a
+            # *different* number.  Refuse it here instead — a loud write-time
+            # error is symmetric, a corrupted round trip is not.
+            if not INT64_MIN <= value <= INT64_MAX:
+                raise SchemaError(
+                    f"value {value} out of 64-bit range for kind {kind!r}"
+                )
+            enc.write_long(value)
         elif kind == "float":
             enc.write_float(float(datum))
         elif kind == "double":

@@ -91,7 +91,8 @@ class TrialResult:
 
     def replay_command(self) -> str:
         spec = " --speculation" if self.speculation else ""
-        mode = f" --mode {self.mode}" if self.workload == "s2v" else ""
+        mode = (f" --mode {self.mode}"
+                if self.workload in ("s2v", "staged-s2v") else "")
         return (
             f"python -m repro.bench.chaos_soak --replay-seed {self.seed} "
             f"--workload {self.workload}{mode}{spec}"
@@ -112,7 +113,7 @@ class TrialResult:
 
 
 def _fabric(speculation: bool, wlm: bool = False,
-            session_pool_size: int = 0) -> Fabric:
+            session_pool_size: int = 0, with_hdfs: bool = False) -> Fabric:
     return Fabric(
         num_vertica=3,
         num_spark=4,
@@ -122,6 +123,8 @@ def _fabric(speculation: bool, wlm: bool = False,
         failover_connect=True,
         wlm=wlm,
         session_pool_size=session_pool_size,
+        with_hdfs=with_hdfs,
+        hdfs_nodes=3,
     )
 
 
@@ -239,6 +242,141 @@ def run_v2s_trial(seed: int, speculation: bool = False,
         print(report.describe())
     return TrialResult(
         "v2s", seed, "-", speculation, raised, report,
+        len(controller.injections),
+    )
+
+
+def run_staged_s2v_trial(seed: int, mode: str = "overwrite",
+                         speculation: bool = False,
+                         verbose: bool = False) -> TrialResult:
+    """One seeded *staging-transport* S2V save under chaos, audited.
+
+    Tasks write attempt-named columnar files to the staging FS before
+    claiming their status rows, the winner writes the ``_MANIFEST``, and
+    the driver bulk-loads the manifested files — so the chaos probes at
+    ``s2v:staged_before_file_write`` / ``after_file_write`` and
+    ``staged_before_manifest`` / ``after_manifest`` exercise crashes
+    mid-write and severs on either side of the commit record.  Beyond the
+    usual exactly-once audit, the staging FS itself must be empty after
+    the run: loser attempts, partial files and manifests are all swept.
+    """
+    fabric = _fabric(speculation, with_hdfs=True)
+    checker = InvariantChecker(fabric.vertica)
+    prior: List = []
+    if mode == "append":
+        prior = list(PRIOR_ROWS)
+        session = fabric.vertica.db.connect()
+        session.execute(f"CREATE TABLE {TARGET} (id INTEGER, v FLOAT)")
+        values = ", ".join(f"({i}, {v})" for i, v in prior)
+        session.execute(f"INSERT INTO {TARGET} VALUES {values}")
+        session.close()
+    schedule = ChaosSchedule.random(
+        seed,
+        spark_nodes=[worker.name for worker in fabric.spark.workers],
+        vertica_nodes=fabric.vertica.node_names,
+        link_names=sorted(fabric.all_links()),
+        tables=(FINAL_STATUS_TABLE, TARGET.upper()),
+        horizon=HORIZON,
+        events=4,
+    )
+    controller = fabric.attach_chaos(schedule)
+    if verbose:
+        print("\n".join(schedule.describe()))
+    df = fabric.spark.create_dataframe(ROWS, SCHEMA, num_partitions=NUM_TASKS)
+    writer = S2VWriter(
+        fabric.spark, mode,
+        {"db": fabric.vertica, "table": TARGET, "numpartitions": NUM_TASKS,
+         "scale_factor": SCALE, "transport": "staging",
+         "staging_fs": fabric.hdfs, "staging_root": "/staging"},
+        df,
+    )
+    raised: Optional[BaseException] = None
+    try:
+        writer.save()
+    except Exception as exc:  # noqa: BLE001 - the audit decides if this is fine
+        raised = exc
+    report = InvariantReport(f"staged-s2v seed={seed}")
+    _drain(fabric, report)
+    report.merge(checker.check_s2v_save(
+        writer.job_name, TARGET, ROWS,
+        mode=mode, prior_rows=prior, raised=raised,
+    ))
+    report.merge(checker.check_no_orphaned_staging(fabric.hdfs))
+    if verbose:
+        for record in controller.injections:
+            print(record)
+        print(report.describe())
+    return TrialResult(
+        "staged-s2v", seed, mode, speculation, raised, report,
+        len(controller.injections),
+    )
+
+
+def run_staged_v2s_trial(seed: int, speculation: bool = False,
+                         verbose: bool = False) -> TrialResult:
+    """One seeded staging-transport V2S scan under chaos, audited.
+
+    The relation exports segment-local columnar files to the staging FS
+    at a pinned epoch, then scan tasks read them block-locally.  Whatever
+    the chaos does, a successful scan must equal the ``AT EPOCH``
+    snapshot, and after ``cleanup_staging()`` the staging FS must hold
+    nothing — including when the export itself died part-way.
+    """
+    from repro.connector.v2s import VerticaRelation
+
+    fabric = _fabric(speculation, with_hdfs=True)
+    session = fabric.vertica.db.connect()
+    session.execute(
+        f"CREATE TABLE {SOURCE} (id INTEGER, v FLOAT) SEGMENTED BY HASH(id)"
+    )
+    values = ", ".join(f"({i}, {v})" for i, v in ROWS)
+    session.execute(f"INSERT INTO {SOURCE} VALUES {values}")
+    session.close()
+    checker = InvariantChecker(fabric.vertica)
+    schedule = ChaosSchedule.random(
+        seed,
+        spark_nodes=[worker.name for worker in fabric.spark.workers],
+        vertica_nodes=fabric.vertica.node_names,
+        link_names=sorted(fabric.all_links()),
+        horizon=HORIZON,
+        events=4,
+        families=("executor_crash", "link_degrade", "vertica_restart",
+                  "connection_sever", "task_kill"),
+        sever_keywords=("AT",),
+    )
+    controller = fabric.attach_chaos(schedule)
+    if verbose:
+        print("\n".join(schedule.describe()))
+    relation = VerticaRelation(fabric.spark, {
+        "db": fabric.vertica, "table": SOURCE, "numpartitions": NUM_TASKS,
+        "scale_factor": SCALE, "transport": "staging",
+        "staging_fs": fabric.hdfs, "staging_root": "/staging",
+    })
+    raised: Optional[BaseException] = None
+    rows: List = []
+    epoch: Optional[int] = None
+    try:
+        rdd = relation.build_scan()
+        epoch = rdd.epoch
+        for partition in fabric.spark.run_job(
+                rdd, name=f"chaos_staged_v2s_{seed}"):
+            rows.extend(partition)
+    except Exception as exc:  # noqa: BLE001 - the audit decides if this is fine
+        raised = exc
+    report = InvariantReport(f"staged-v2s seed={seed}")
+    _drain(fabric, report)
+    relation.cleanup_staging()
+    if raised is None and epoch is not None:
+        report.merge(checker.check_v2s_scan(SOURCE, epoch, rows))
+    else:
+        report.merge(checker.check_no_leaks())
+    report.merge(checker.check_no_orphaned_staging(fabric.hdfs))
+    if verbose:
+        for record in controller.injections:
+            print(record)
+        print(report.describe())
+    return TrialResult(
+        "staged-v2s", seed, "-", speculation, raised, report,
         len(controller.injections),
     )
 
@@ -524,7 +662,8 @@ S2V_CONFIGS = (
 def run_soak(num_seeds: int = 25, base_seed: int = 0,
              verbose: bool = False) -> List[TrialResult]:
     """Run ``num_seeds`` S2V trials (rotating configs) plus V2S scan,
-    pushed-aggregate, WLM-admission and EXPLAIN/PROFILE trials."""
+    pushed-aggregate, WLM-admission, EXPLAIN/PROFILE and staging-transport
+    (S2V and V2S over the distributed FS) trials."""
     trials: List[TrialResult] = []
     for index in range(num_seeds):
         seed = base_seed + index
@@ -543,6 +682,16 @@ def run_soak(num_seeds: int = 25, base_seed: int = 0,
             print(trials[-1].describe())
         trials.append(
             run_profile_trial(seed + 15485863, speculation=speculation)
+        )
+        if verbose:
+            print(trials[-1].describe())
+        trials.append(
+            run_staged_s2v_trial(seed + 32452843, mode, speculation)
+        )
+        if verbose:
+            print(trials[-1].describe())
+        trials.append(
+            run_staged_v2s_trial(seed + 49979687, speculation=speculation)
         )
         if verbose:
             print(trials[-1].describe())
@@ -567,12 +716,13 @@ def summarize(trials: Sequence[TrialResult]) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", type=int, default=25,
-                        help="number of soak seeds (5 trials per seed)")
+                        help="number of soak seeds (7 trials per seed)")
     parser.add_argument("--base-seed", type=int, default=0)
     parser.add_argument("--replay-seed", type=int, default=None,
                         help="replay one trial with full fault/audit output")
     parser.add_argument("--workload",
-                        choices=("s2v", "v2s", "agg", "wlm", "profile"),
+                        choices=("s2v", "v2s", "agg", "wlm", "profile",
+                                 "staged-s2v", "staged-v2s"),
                         default="s2v")
     parser.add_argument("--mode", choices=("overwrite", "append"),
                         default="overwrite")
@@ -593,6 +743,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.workload == "profile":
             trial = run_profile_trial(args.replay_seed, args.speculation,
                                       verbose=True)
+        elif args.workload == "staged-s2v":
+            trial = run_staged_s2v_trial(args.replay_seed, args.mode,
+                                         args.speculation, verbose=True)
+        elif args.workload == "staged-v2s":
+            trial = run_staged_v2s_trial(args.replay_seed, args.speculation,
+                                         verbose=True)
         else:
             trial = run_v2s_trial(args.replay_seed, args.speculation,
                                   verbose=True)

@@ -167,14 +167,17 @@ class Fabric:
         scale: float,
         filters: Sequence = (),
         columns: Optional[Sequence[str]] = None,
+        **options,
     ) -> Tuple[float, int]:
         """Time a V2S load; returns (elapsed seconds, rows loaded)."""
-        df = self.spark.read.format("vertica").options(
-            db=self.vertica,
-            table=table,
-            numpartitions=partitions,
-            scale_factor=scale,
-        ).load()
+        opts = {
+            "db": self.vertica,
+            "table": table,
+            "numpartitions": partitions,
+            "scale_factor": scale,
+        }
+        opts.update(options)
+        df = self.spark.read.format("vertica").options(opts).load()
         for pushdown in filters:
             df = df.filter(pushdown)
         if columns:

@@ -265,6 +265,32 @@ class InvariantChecker:
             report.merge(self.check_no_leaks())
         return report
 
+    # -- staging transport ------------------------------------------------------
+    def check_no_orphaned_staging(self, hdfs,
+                                  prefix: str = "/staging") -> InvariantReport:
+        """No staging files may outlive their job on the distributed FS.
+
+        The rename-free commit protocol writes attempt files and a
+        ``_MANIFEST`` under ``<staging_root>/<job>/``; cleanup must sweep
+        the whole job directory whether the save committed or failed.
+        Anything still listed under ``prefix`` after the run — loser
+        attempts, partial writes, stale manifests — is leaked storage the
+        next job can never reclaim.
+        """
+        report = InvariantReport("staging")
+        leftovers = sorted(hdfs.fs.list(prefix.rstrip("/") + "/"))
+        if leftovers:
+            shown = ", ".join(leftovers[:5])
+            if len(leftovers) > 5:
+                shown += f", ... ({len(leftovers)} total)"
+            report.violated(
+                "no-orphaned-staging-files",
+                f"files left under {prefix!r} after run: {shown}",
+            )
+        else:
+            report.passed("no-orphaned-staging-files")
+        return report
+
     # -- global hygiene ---------------------------------------------------------
     def check_no_leaks(self) -> InvariantReport:
         """No held locks, no stranded sessions, all nodes recovered."""

@@ -38,8 +38,10 @@ class VerticaCostModel:
         per_connection_rate_cap: Optional[float] = None,
         load_cpu_per_row: float = 0.0,
         load_cpu_per_byte: float = 0.0,
+        columnar_load_cpu_factor: float = 1.0,
         encode_cpu_per_row: float = 0.0,
         encode_cpu_per_byte: float = 0.0,
+        columnar_encode_cpu_factor: float = 1.0,
         copy_rate_cap: Optional[float] = None,
         jdbc_float_bytes: int = 19,
         jdbc_int_bytes: int = 12,
@@ -61,9 +63,17 @@ class VerticaCostModel:
         self.per_connection_rate_cap = per_connection_rate_cap
         self.load_cpu_per_row = load_cpu_per_row
         self.load_cpu_per_byte = load_cpu_per_byte
+        #: per-row parse discount for COPY FORMAT COLUMNAR: bulk columnar
+        #: loads map column chunks straight into the ROS and skip the
+        #: per-row Avro/CSV unpack that dominates row-wise COPY CPU
+        self.columnar_load_cpu_factor = columnar_load_cpu_factor
         #: Spark-side Avro encode cost (charged on the executor's node)
         self.encode_cpu_per_row = encode_cpu_per_row
         self.encode_cpu_per_byte = encode_cpu_per_byte
+        #: per-row discount when encoding columnar staging files: the
+        #: writer packs whole column chunks instead of marshaling each
+        #: row's fields through the Avro datum path
+        self.columnar_encode_cpu_factor = columnar_encode_cpu_factor
         #: max throughput of one COPY ingest stream (S2V alternation cap)
         self.copy_rate_cap = copy_rate_cap
         self.jdbc_float_bytes = jdbc_float_bytes
@@ -122,8 +132,10 @@ PAPER_COST_MODEL = VerticaCostModel(
     per_connection_rate_cap=40e6,  # Table 2: one connection ≈ 38-40 MB/s
     load_cpu_per_row=8e-6,  # COPY parse/unpack per Avro row (Fig 9, Tab 3)
     load_cpu_per_byte=1.2e-9,
+    columnar_load_cpu_factor=0.25,  # columnar bulk load skips row unpack
     encode_cpu_per_row=3e-6,  # Spark-side Avro encode per row
     encode_cpu_per_byte=2.0e-9,
+    columnar_encode_cpu_factor=0.25,  # column-chunk packing, no row marshal
     copy_rate_cap=9e6,  # single COPY ingest stream
     jdbc_float_bytes=22,
 )

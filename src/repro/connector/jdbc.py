@@ -165,7 +165,7 @@ class SimVerticaConnection:
                 result.cost.queue_wait_seconds += ticket.queue_wait
                 result.cost.resource_pool = ticket.pool_name
             if copy_data is not None:
-                yield from self._charge_copy(result, copy_data, w)
+                yield from self._charge_copy(result, copy_data, w, sql)
             else:
                 yield from self._charge_query(result, w, w_out)
             if chaos is not None:
@@ -302,9 +302,20 @@ class SimVerticaConnection:
                 contact.streams.release(slot)
 
     def _charge_copy(
-        self, result: ResultSet, copy_data: Union[bytes, str], w: float
+        self,
+        result: ResultSet,
+        copy_data: Union[bytes, str],
+        w: float,
+        sql: str = "",
     ) -> Generator:
         model = self.cost_model
+        # Columnar bulk loads map column chunks straight into the ROS;
+        # the dominant per-row unpack cost of row-wise COPY shrinks.
+        load_cpu_factor = (
+            model.columnar_load_cpu_factor
+            if "FORMAT COLUMNAR" in sql.upper()
+            else 1.0
+        )
         env = self.env
         cluster = self.cluster
         contact = cluster.sim_nodes[self.node_name]
@@ -354,7 +365,8 @@ class SimVerticaConnection:
                     )
                 )
             seconds = (
-                rows * w * model.load_cpu_per_row + share * model.load_cpu_per_byte
+                rows * w * model.load_cpu_per_row * load_cpu_factor
+                + share * model.load_cpu_per_byte
             )
             if seconds > 0:
                 pending.append(env.process(node.compute(seconds)))

@@ -31,8 +31,12 @@ class ConnectorOptions:
         "db", "table", "dbschema", "host", "user", "password",
         "numpartitions", "scale_factor", "failed_rows_percent_tolerance",
         "reject_max", "avro_codec", "prehash_partitioning", "varchar_length",
-        "agg_pushdown", "resource_pool",
+        "agg_pushdown", "resource_pool", "transport", "staging_fs",
+        "staging_root",
     }
+
+    #: transports the connector knows how to move rows over
+    TRANSPORTS = ("direct", "staging")
 
     def __init__(self, options: Dict[str, Any], for_save: bool = False):
         unknown = set(options) - self.KNOWN
@@ -92,6 +96,37 @@ class ConnectorOptions:
         if pool is not None and (not isinstance(pool, str) or not pool.strip()):
             raise OptionsError(f"option 'resource_pool' must be a pool name: {pool!r}")
         self.resource_pool: Optional[str] = pool.strip().upper() if pool else None
+        # Transport selection: "direct" streams rows over JDBC/COPY; "staging"
+        # bridges them as columnar files on a distributed FS (Figure 12's
+        # HDFS) with a rename-free manifest commit.
+        transport = str(options.get("transport", "direct")).strip().lower()
+        if transport not in self.TRANSPORTS:
+            raise OptionsError(
+                f"option 'transport' must be one of {self.TRANSPORTS}: "
+                f"{options.get('transport')!r}"
+            )
+        self.transport = transport
+        self.staging_fs = options.get("staging_fs")
+        root = options.get("staging_root", "/staging")
+        if not isinstance(root, str) or not root.startswith("/") or \
+                root.endswith("/"):
+            raise OptionsError(
+                f"option 'staging_root' must be an absolute directory path "
+                f"without a trailing slash: {root!r}"
+            )
+        self.staging_root = root
+        if self.transport == "staging":
+            if self.staging_fs is None:
+                raise OptionsError(
+                    "transport='staging' requires option 'staging_fs' "
+                    "(a SimHdfsCluster both clusters can reach)"
+                )
+            if self.prehash_partitioning:
+                raise OptionsError(
+                    "prehash_partitioning routes rows per task connection "
+                    "and cannot combine with transport='staging' (staged "
+                    "loads are bulk per node, not per task)"
+                )
 
     @staticmethod
     def _positive_int(value: Any, name: str) -> int:

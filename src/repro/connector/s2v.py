@@ -35,7 +35,9 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro import telemetry
 from repro.avrolite import encode_rows
+from repro.connector import staging as stg
 from repro.connector.options import ConnectorOptions
+from repro.hdfs.columnar import write_columnar
 from repro.spark.errors import SparkError
 from repro.vertica.errors import LockContention, RetriesExhausted, VerticaError
 
@@ -71,6 +73,20 @@ class S2VResult:
         )
 
 
+class _DriverContext:
+    """Stands in for a TaskContext when the driver runs commit phases.
+
+    The driver is not a task: it cannot be chaos-killed at probes and has
+    no attempt identity, so probes are no-ops.
+    """
+
+    node = None
+    attempt_number = 0
+
+    def probe(self, label: str) -> None:
+        return None
+
+
 class S2VWriter:
     """One save invocation (one Spark job)."""
 
@@ -92,6 +108,16 @@ class S2VWriter:
         self._skipped = False
         #: plan used when prehash_partitioning is on: task -> node
         self._prehash_ring = None
+        #: staging transport: tasks write columnar attempt files to a
+        #: distributed FS; the driver bulk-COPYs the manifest's winners
+        self.staged = self.opts.transport == "staging"
+        self.hdfs = self.opts.staging_fs
+        self._columnar_header_bytes = (
+            len(write_columnar(self.avro_schema, [])) if self.staged else 0
+        )
+        #: shared by every task's staged write: balances block placement
+        #: across datanodes (see staging.write_staged_file)
+        self._staging_write_load: Dict[str, float] = {}
 
     # ------------------------------------------------------------------- save
     def save(self) -> Optional[S2VResult]:
@@ -187,6 +213,10 @@ class S2VWriter:
                 )
             for table in (self.status_table, self.committer_table, self.staging):
                 yield from conn.execute_with_retry(f"DROP TABLE IF EXISTS {table}")
+        if self.staged and self.hdfs is not None:
+            # A failed staged job's attempt files and manifest are all
+            # garbage — sweep the whole job directory (pure metadata ops).
+            stg.sweep_job_dir(self.hdfs, self.opts.staging_root, self.job_name)
 
     # -------------------------------------------------------------- setup phase
     def _setup(self) -> Generator:
@@ -220,13 +250,19 @@ class S2VWriter:
                     varchar_length=self.opts.varchar_length,
                 )
             )
+            # In staging mode the status row also records which attempt file
+            # won — the Stocator-style commit record the manifest is built
+            # from (added only when staged, so direct-mode runs keep their
+            # exact statement sequence).
+            file_column = ", file VARCHAR(500)" if self.staged else ""
             yield from conn.execute(
                 f"CREATE TABLE {self.status_table} (task_id INTEGER, "
-                "rows_inserted INTEGER, rows_failed INTEGER, done BOOLEAN) "
-                "UNSEGMENTED ALL NODES"
+                "rows_inserted INTEGER, rows_failed INTEGER, done BOOLEAN"
+                f"{file_column}) UNSEGMENTED ALL NODES"
             )
+            row_tail = ", NULL" if self.staged else ""
             values = ", ".join(
-                f"({i}, 0, 0, FALSE)" for i in range(self._num_tasks())
+                f"({i}, 0, 0, FALSE{row_tail})" for i in range(self._num_tasks())
             )
             yield from conn.execute_with_retry(
                 f"INSERT INTO {self.status_table} VALUES {values}"
@@ -329,7 +365,10 @@ class S2VWriter:
         ) as conn:
             with telemetry.span("s2v.phase1", task=task_index,
                                 attempt=ctx.attempt_number):
-                yield from self._phase1(ctx, conn, task_index, rows)
+                if self.staged:
+                    yield from self._phase1_staged(ctx, conn, task_index, rows)
+                else:
+                    yield from self._phase1(ctx, conn, task_index, rows)
             ctx.probe("s2v:after_phase1")
             with telemetry.span("s2v.phase2", task=task_index):
                 all_done = yield from self._phase2(ctx, conn)
@@ -430,6 +469,71 @@ class S2VWriter:
             failed += copy_result.rejected
         return loaded, failed
 
+    def _phase1_staged(self, ctx, conn, task_index: int,
+                       rows: List[Tuple]) -> Generator:
+        """Stage this partition as an attempt-named columnar file.
+
+        The file is written *before* any database state changes, under a
+        name unique to this attempt, and is never renamed: the conditional
+        done-flag update (which also records the file path) is the single
+        atomic arbiter of which attempt's file the job commits.  A losing
+        or crashed attempt leaves only an unclaimed file, swept at cleanup.
+        """
+        result = yield from conn.execute(
+            f"SELECT done FROM {self.status_table} WHERE task_id = {task_index}"
+        )
+        if result.scalar() is True:
+            # A previous attempt of this task already claimed its file.
+            return
+        model = self.cluster.cost_model
+        weight = self.opts.scale_factor
+        payload = write_columnar(self.avro_schema, rows)
+        data_bytes = max(0, len(payload) - self._columnar_header_bytes)
+        nbytes = self._columnar_header_bytes + data_bytes * weight
+        encode_seconds = (
+            weight * len(rows) * model.encode_cpu_per_row
+            * model.columnar_encode_cpu_factor
+            + data_bytes * weight * model.encode_cpu_per_byte
+        )
+        if encode_seconds > 0:
+            yield from ctx.node.compute(encode_seconds)
+        path = stg.attempt_file_path(
+            self.opts.staging_root, self.job_name, task_index, ctx.attempt_id
+        )
+        ctx.probe("s2v:staged_before_file_write")
+        yield from stg.write_staged_file(
+            self.hdfs, ctx.node, "default", path, payload, nbytes,
+            name=f"stage:{path}", load_map=self._staging_write_load,
+        )
+        ctx.probe("s2v:staged_after_file_write")
+        attempt = 0
+        while True:
+            try:
+                yield from conn.execute("BEGIN")
+                update = yield from conn.execute(
+                    f"UPDATE {self.status_table} SET done = TRUE, "
+                    f"rows_inserted = {len(rows)}, rows_failed = 0, "
+                    f"file = '{path}' "
+                    f"WHERE task_id = {task_index} AND done = FALSE"
+                )
+                break
+            except LockContention as contention:
+                yield from conn.execute("ROLLBACK")
+                attempt += 1
+                if attempt > MAX_LOCK_RETRIES:
+                    raise RetriesExhausted(
+                        f"UPDATE {self.status_table}", attempt, contention
+                    ) from contention
+                yield self.cluster.env.timeout(conn.retry_delay(attempt))
+        if update.rowcount == 1:
+            ctx.probe("s2v:phase1_before_commit")
+            yield from conn.execute("COMMIT")
+            ctx.probe("s2v:phase1_after_commit")
+        else:
+            # A duplicate claimed first; our file stays behind as an orphan
+            # for the cleanup sweep (no rename, no delete on the hot path).
+            yield from conn.execute("ROLLBACK")
+
     def _phase2(self, ctx, conn) -> Generator:
         result = yield from conn.execute(
             f"SELECT COUNT(*) FROM {self.status_table} "
@@ -450,6 +554,14 @@ class S2VWriter:
         return result.scalar() == task_index
 
     def _phase5(self, ctx, conn) -> Generator:
+        if self.staged:
+            # The winner's commit is the manifest: a driver-readable record
+            # of the winning attempt files.  Loading and publishing the
+            # target stay with the driver (the single bulk-load committer),
+            # which also owns the rejected-row tolerance — staged tasks
+            # never parse rows, so rejections only exist at bulk-load time.
+            yield from self._phase5_staged_manifest(ctx, conn)
+            return
         result = yield from conn.execute(
             f"SELECT SUM(rows_inserted), SUM(rows_failed) FROM {self.status_table}"
         )
@@ -472,6 +584,31 @@ class S2VWriter:
             yield from self._commit_append(ctx, conn, failed_percent)
         else:
             yield from self._commit_overwrite(ctx, conn, failed_percent)
+
+    def _phase5_staged_manifest(self, ctx, conn) -> Generator:
+        """Write the commit manifest: the winning attempt file per task.
+
+        The status table is frozen once every task is done, so the manifest
+        content is deterministic — a speculative duplicate of the winner
+        rewrites byte-identical content (overwrite of an immutable record,
+        not a rename), which makes this step idempotent.
+        """
+        result = yield from conn.execute(
+            f"SELECT task_id, rows_inserted, file FROM {self.status_table}"
+        )
+        entries = [
+            {"task": int(task), "rows": int(rows or 0), "path": path}
+            for task, rows, path in result.rows
+        ]
+        payload = stg.encode_manifest(self.job_name, entries)
+        path = stg.manifest_path(self.opts.staging_root, self.job_name)
+        ctx.probe("s2v:staged_before_manifest")
+        yield from stg.write_staged_file(
+            self.hdfs, ctx.node, "default", path, payload, float(len(payload)),
+            name=f"manifest:{self.job_name}",
+        )
+        telemetry.counter("hdfs.staging.manifests_written").inc()
+        ctx.probe("s2v:staged_after_manifest")
 
     def _commit_append(self, ctx, conn, failed_percent: float) -> Generator:
         """Atomic: conditional final-status update + INSERT..SELECT, one txn."""
@@ -555,6 +692,8 @@ class S2VWriter:
             self.opts.host, client_node=None,
             resource_pool=self.opts.resource_pool,
         ) as conn:
+            if self.staged:
+                return (yield from self._finalize_staged(conn))
             # Recovery: the entitled committer may have crashed between the
             # final-status update and the rename; the staging table is the
             # durable evidence and the driver completes the rename here.
@@ -595,3 +734,124 @@ class S2VWriter:
                 float(failed_percent or 0.0),
                 status,
             )
+
+    # ---------------------------------------------------------- staged finalize
+    def _finalize_staged(self, conn) -> Generator:
+        """Driver side of the staged commit: bulk loads, then publication.
+
+        Reads the winner manifest, issues one bulk ``COPY ... FORMAT
+        COLUMNAR`` per Vertica node over that node's share of the files
+        (pulled from HDFS through the node's ingest ceiling, all nodes in
+        parallel), applies the rejected-row tolerance, and publishes the
+        staging table with the same conditional final-status arbiter the
+        direct transport uses.  The driver connection has no client node,
+        so this path cannot be severed — it is the single committer.
+        """
+        manifest_file = stg.manifest_path(self.opts.staging_root, self.job_name)
+        if not self.hdfs.fs.exists(manifest_file):
+            raise S2VError(
+                f"{self.job_name}: staged job finished its tasks but no "
+                f"manifest exists at {manifest_file!r}"
+            )
+        manifest = stg.decode_manifest(self.hdfs.fs.read(manifest_file))
+        loaded, rejected = yield from self._bulk_load_staged(manifest)
+        total = loaded + rejected
+        failed_percent = (rejected / total) if total else 0.0
+        if failed_percent > self.opts.failed_rows_percent_tolerance:
+            yield from conn.execute_with_retry(
+                f"UPDATE {FINAL_STATUS_TABLE} SET status = 'FAILURE', "
+                f"failed_percent = {failed_percent} "
+                f"WHERE job_name = '{self.job_name}' AND status = 'IN_PROGRESS'"
+            )
+            raise S2VError(
+                f"{self.job_name}: rejected fraction {failed_percent:.4f} "
+                f"exceeds tolerance {self.opts.failed_rows_percent_tolerance}"
+            )
+        ctx = _DriverContext()
+        if self.mode == "append":
+            yield from self._commit_append(ctx, conn, failed_percent)
+        else:
+            yield from self._commit_overwrite(ctx, conn, failed_percent)
+        result = yield from conn.execute(
+            f"SELECT status, failed_percent FROM {FINAL_STATUS_TABLE} "
+            f"WHERE job_name = '{self.job_name}'"
+        )
+        status, failed_percent = result.rows[0]
+        for table in (self.status_table, self.committer_table, self.staging):
+            yield from conn.execute_with_retry(f"DROP TABLE IF EXISTS {table}")
+        stg.sweep_job_dir(
+            self.hdfs, self.opts.staging_root, self.job_name,
+            committed=[entry["path"] for entry in manifest["files"]],
+        )
+        return S2VResult(
+            self.job_name, loaded, rejected, float(failed_percent or 0.0),
+            status,
+        )
+
+    def _bulk_load_staged(self, manifest) -> Generator:
+        """One bulk COPY per Vertica node over its share of manifest files."""
+        env = self.cluster.env
+        by_node: Dict[str, List[Dict]] = {}
+        for entry in manifest["files"]:
+            node = self.nodes[entry["task"] % len(self.nodes)]
+            by_node.setdefault(node, []).append(entry)
+        counts: List[Tuple[int, int]] = []
+        weight = self.opts.scale_factor
+        header = self._columnar_header_bytes
+        # shared across the per-node loads: spreads concurrent pulls over
+        # block replicas instead of hammering each block's first copy
+        load_map: Dict[str, float] = {}
+
+        def load_node(node_name: str, entries: List[Dict]) -> Generator:
+            with self.cluster.connect(
+                node_name, client_node=None,
+                resource_pool=self.opts.resource_pool,
+            ) as node_conn:
+                # COPY streams its input straight off the staging FS:
+                # the pull transfers run concurrently with the node's
+                # parse/redistribute work, just like a direct COPY
+                # overlaps wire time with load CPU.
+                payloads: List[bytes] = []
+                virtual = 0.0
+                pulls = []
+                for entry in entries:
+                    size = self.hdfs.fs.file_size(entry["path"])
+                    nbytes = header + max(0, size - header) * weight
+                    payloads.append(self.hdfs.fs.read(entry["path"]))
+                    virtual += nbytes
+                    pulls.append(env.process(
+                        stg.pull_staged_file(
+                            self.cluster, self.hdfs, entry["path"],
+                            node_name, nbytes,
+                            name=f"bulk-pull:{entry['path']}",
+                            load_map=load_map,
+                        ),
+                        name=f"bulk-pull-{node_name}",
+                    ))
+                blob = b"".join(payloads)
+                effective_weight = virtual / max(1, len(blob))
+                with telemetry.span("hdfs.staging.bulk_copy", node=node_name,
+                                    files=len(entries)):
+                    yield from node_conn.execute(
+                        f"COPY {self.staging} FROM "
+                        f"'{stg.job_dir(self.opts.staging_root, self.job_name)}"
+                        f"/node-{node_name}' FORMAT COLUMNAR "
+                        f"REJECTMAX {CHUNK_REJECT_MAX} DIRECT",
+                        copy_data=blob,
+                        weight=effective_weight,
+                    )
+                    if pulls:
+                        yield env.all_of(pulls)
+                copy_result = node_conn.session.last_copy_result
+                counts.append((copy_result.loaded, copy_result.rejected))
+
+        loads = [
+            env.process(load_node(node, entries), name=f"bulk-load-{node}")
+            for node, entries in sorted(by_node.items())
+        ]
+        if loads:
+            yield env.all_of(loads)
+        return (
+            sum(loaded for loaded, __ in counts),
+            sum(rejected for __, rejected in counts),
+        )

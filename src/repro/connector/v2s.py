@@ -22,10 +22,13 @@ Design, as in the paper:
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro import telemetry
+from repro.connector import staging as stg
 from repro.connector.options import ConnectorOptions
+from repro.hdfs.columnar import read_columnar, write_columnar
 from repro.spark.datasource import (
     AggregateSpec,
     BaseRelation,
@@ -39,6 +42,10 @@ from repro.vertica.hashring import HashRing, Segment, synthetic_ring
 from repro.vertica.types import parse_type
 
 
+#: unique suffix per staged export, so repeated scans never collide
+_staged_export_ids = itertools.count(1)
+
+
 class VerticaRelation(BaseRelation):
     """A Vertica table or view exposed through the Data Source API."""
 
@@ -46,6 +53,8 @@ class VerticaRelation(BaseRelation):
         self.spark = spark
         self.opts = ConnectorOptions(options)
         self.cluster = self.opts.cluster
+        #: staging directories created by staged scans, for cleanup_staging
+        self._staging_dirs: List[str] = []
         self._discover()
 
     # -- catalog discovery (driver-side metadata queries) -----------------------
@@ -160,8 +169,124 @@ class VerticaRelation(BaseRelation):
         filters: Sequence[Filter] = (),
     ) -> RDD:
         epoch = self.pin_epoch()
+        if self.opts.transport == "staging":
+            return self._build_staged_scan(epoch, required_columns, filters)
         plan = self.ring.partition_plan(self.opts.num_partitions)
         return VerticaScanRDD(self, plan, epoch, required_columns, filters)
+
+    # -- staged transport (distributed-FS bridge) ------------------------------
+    def _build_staged_scan(
+        self,
+        epoch: int,
+        required_columns: Optional[Sequence[str]],
+        filters: Sequence[Filter],
+    ) -> "StagedScanRDD":
+        """Export segment-local columnar files to the staging FS, then scan
+        them one task per HDFS block.
+
+        Each hash range is exported by *its owning node* (projection and
+        filters applied inside Vertica, at the pinned epoch), so the wire
+        from Vertica to the staging cluster carries columnar bytes instead
+        of fat textual JDBC rows, and the export runs without the
+        per-connection result-stream ceiling.  Scan tasks then read the
+        staged blocks straight off the datanodes.
+        """
+        hdfs = self.opts.staging_fs
+        scale = self.opts.scale_factor
+        model = self.cluster.cost_model
+        job = (
+            f"V2S_{self.opts.table.replace('.', '_')}_"
+            f"{next(_staged_export_ids)}"
+        )
+        export_dir = f"{self.opts.staging_root}/v2s/{job}"
+        columns = list(required_columns) if required_columns else None
+        struct = self._schema.select(columns) if columns else self._schema
+        avro = struct.to_avro("v2s_row")
+        header_bytes = len(write_columnar(avro, []))
+        # Export at finer granularity than the scan asked for: more,
+        # smaller segment-local files overlap per-range encode with the
+        # node's writes and give the block scan evenly-packed waves
+        # (the scan's partition count comes from the block count anyway).
+        export_ranges = max(self.opts.num_partitions, 8 * len(self.cluster.node_names))
+        ranges = [r for part in self.ring.partition_plan(export_ranges)
+                  for r in part]
+        # shared across the concurrent exports: balances block writes
+        # over datanodes (see write_staged_file)
+        write_load: Dict[str, float] = {}
+
+        def export_range(index: int, lo: int, hi: int, node_name: str) -> Generator:
+            vnode = self.cluster.sim_nodes[node_name]
+            with self.cluster.connect(
+                node_name, client_node=None,
+                resource_pool=self.opts.resource_pool,
+            ) as connection:
+                sql = self.task_sql(epoch, lo, hi, columns, filters)
+                with telemetry.span(
+                    "v2s.staged_export", segment=index, node=node_name
+                ):
+                    # output_weight=0: rows leave as columnar file bytes
+                    # (charged below), not as a JDBC result stream.
+                    result = yield from connection.execute(
+                        sql, weight=scale, output_weight=0.0
+                    )
+                    rows = result.rows
+                    payload = write_columnar(avro, rows)
+                    data_bytes = max(0, len(payload) - header_bytes)
+                    nbytes = header_bytes + data_bytes * scale
+                    encode_seconds = (
+                        scale * len(rows) * model.encode_cpu_per_row
+                        * model.columnar_encode_cpu_factor
+                        + data_bytes * scale * model.encode_cpu_per_byte
+                    )
+                    if encode_seconds:
+                        yield from vnode.compute(encode_seconds)
+                    path = f"{export_dir}/seg-{index:05d}-{node_name}"
+                    yield from stg.write_staged_file(
+                        hdfs, vnode, model.external_nic, path, payload,
+                        nbytes, name=f"v2s-export:{path}",
+                        load_map=write_load,
+                    )
+            telemetry.counter("v2s.staged.segments_exported").inc()
+            telemetry.counter("v2s.staged.rows_exported").inc(len(rows))
+
+        def export_all() -> Generator:
+            processes = [
+                self.cluster.env.process(
+                    export_range(i, lo, hi, node), name=f"{job}.seg{i}"
+                )
+                for i, (lo, hi, node) in enumerate(ranges)
+            ]
+            yield self.cluster.env.all_of(processes)
+
+        # Register the directory *before* exporting: a failed export must
+        # still be reclaimable via cleanup_staging().
+        self._staging_dirs.append(export_dir)
+        self.cluster.run(export_all(), name=f"v2s-staged-export:{self.opts.table}")
+        blocks = []
+        for path in sorted(hdfs.fs.list(export_dir + "/")):
+            blocks.extend(hdfs.fs.block_locations(path))
+        return StagedScanRDD(
+            self, blocks, epoch, export_dir, struct, header_bytes
+        )
+
+    def cleanup_staging(self) -> List[str]:
+        """Delete every staged export this relation has produced.
+
+        Export files are scan-scoped garbage once the job that read them
+        finishes; callers (and the chaos invariant checker) rely on this
+        leaving the staging FS empty.  Returns the deleted paths.
+        """
+        hdfs = self.opts.staging_fs
+        deleted: List[str] = []
+        if hdfs is None:
+            return deleted
+        for directory in self._staging_dirs:
+            for path in hdfs.fs.list(directory + "/"):
+                hdfs.fs.delete(path)
+                deleted.append(path)
+        self._staging_dirs = []
+        telemetry.counter("hdfs.staging.exports_cleaned").inc(len(deleted))
+        return deleted
 
     def aggregate_task_sql(
         self,
@@ -267,6 +392,98 @@ class VerticaScanRDD(RDD):
                 telemetry.counter("v2s.rows_fetched").inc(len(result.rows))
                 rows.extend(result.rows)
         return rows
+
+
+class StagedScanRDD(RDD):
+    """One partition per staged-export HDFS block.
+
+    The export already applied projection and filters inside Vertica at
+    the pinned epoch, so tasks only move and decode bytes: read the block
+    from a live replica, charge decode CPU, and return the block's share
+    of its file's rows.
+    """
+
+    def __init__(
+        self,
+        relation: VerticaRelation,
+        blocks: List[Any],
+        epoch: int,
+        export_dir: str,
+        schema: StructType,
+        header_bytes: int = 0,
+    ):
+        super().__init__(relation.spark, max(1, len(blocks)))
+        self.relation = relation
+        self.blocks = blocks
+        self.epoch = epoch
+        self.export_dir = export_dir
+        self.schema = schema
+        self.header_bytes = header_bytes
+        #: cache: export file path -> decoded rows
+        self._file_rows: Dict[str, List[Tuple[Any, ...]]] = {}
+        # Balance block reads across replicas up front (deterministic and
+        # independent of task execution order): without this, every task
+        # reading its block's first replica hot-spots whichever datanode
+        # the placement hash favoured.
+        load_map: Dict[str, float] = {}
+        hdfs = relation.opts.staging_fs
+        self._sources: Dict[str, str] = {
+            block.block_id: stg.pick_replica(
+                hdfs, block, load_map, float(block.size)
+            )
+            for block in blocks
+        }
+
+    def _rows_of(self, path: str) -> List[Tuple[Any, ...]]:
+        if path not in self._file_rows:
+            hdfs = self.relation.opts.staging_fs
+            __, rows = read_columnar(hdfs.fs.read(path))
+            self._file_rows[path] = rows
+        return self._file_rows[path]
+
+    def compute(self, split: int, ctx) -> Generator:
+        relation = self.relation
+        hdfs = relation.opts.staging_fs
+        if not self.blocks:
+            return []
+        block = self.blocks[split]
+        live = hdfs.fs.live_replicas(block) or list(block.replicas)
+        source_name = self._sources.get(block.block_id)
+        if source_name not in live:  # assigned replica's node went down
+            source_name = live[0]
+        source_node = hdfs.sim_nodes[source_name]
+        # Headers are real bytes paid once per file, not once per virtual
+        # row: the block carries its proportional share of the file's
+        # virtual volume (mirrors the export-side charge).
+        file_size = hdfs.fs.file_size(block.path)
+        virtual_file = self.header_bytes + max(
+            0, file_size - self.header_bytes
+        ) * relation.opts.scale_factor
+        nbytes = virtual_file * (block.size / file_size) if file_size else 0.0
+        with telemetry.span(
+            "v2s.staged_read", task=split, block=block.block_id
+        ):
+            yield hdfs.sim_cluster.network.transfer(
+                hdfs.read_route(source_node, ctx.node),
+                nbytes,
+                name=f"v2s-staged-read:{block.block_id}",
+            )
+            if hdfs.decode_cpu_per_byte:
+                yield from ctx.node.compute(nbytes * hdfs.decode_cpu_per_byte)
+        telemetry.counter("hdfs.staging.files_read").inc()
+        telemetry.counter("hdfs.staging.bytes_read").inc(int(nbytes))
+        # The block's share of its file's rows (rows are apportioned
+        # evenly across the file's blocks, like the native HDFS source).
+        siblings = [b for b in self.blocks if b.path == block.path]
+        index = next(
+            i for i, b in enumerate(siblings) if b.block_id == block.block_id
+        )
+        rows = self._rows_of(block.path)
+        count = len(siblings)
+        lo = (len(rows) * index) // count
+        hi = (len(rows) * (index + 1)) // count
+        telemetry.counter("v2s.rows_fetched").inc(hi - lo)
+        return rows[lo:hi]
 
 
 class VerticaAggregateScanRDD(RDD):

@@ -14,6 +14,13 @@ provides both pieces:
 """
 
 from repro.hdfs.filesystem import Block, HdfsCluster, HdfsError
-from repro.hdfs.columnar import read_columnar, write_columnar
+from repro.hdfs.columnar import read_columnar, read_columnar_concat, write_columnar
 
-__all__ = ["Block", "HdfsCluster", "HdfsError", "read_columnar", "write_columnar"]
+__all__ = [
+    "Block",
+    "HdfsCluster",
+    "HdfsError",
+    "read_columnar",
+    "read_columnar_concat",
+    "write_columnar",
+]

@@ -39,9 +39,7 @@ def write_columnar(schema: Schema, rows: Sequence[Tuple[Any, ...]]) -> bytes:
     return header.getvalue() + b"".join(chunks)
 
 
-def read_columnar(data: bytes) -> Tuple[Schema, List[Tuple[Any, ...]]]:
-    """Decode a columnar file back into (schema, rows)."""
-    dec = BinaryDecoder(data)
+def _read_frame(dec: BinaryDecoder) -> Tuple[Schema, List[Tuple[Any, ...]]]:
     if dec.read_raw(4) != MAGIC:
         raise SchemaError("not a columnar file (bad magic)")
     schema = Schema.loads(dec.read_string())
@@ -59,4 +57,35 @@ def read_columnar(data: bytes) -> Tuple[Schema, List[Tuple[Any, ...]]]:
         chunk_dec = BinaryDecoder(payload)
         columns.append([reader.read(chunk_dec) for __ in range(nrows)])
     rows = [tuple(column[i] for column in columns) for i in range(nrows)]
+    return schema, rows
+
+
+def read_columnar(data: bytes) -> Tuple[Schema, List[Tuple[Any, ...]]]:
+    """Decode a columnar file back into (schema, rows)."""
+    return _read_frame(BinaryDecoder(data))
+
+
+def read_columnar_concat(data: bytes) -> Tuple[Schema, List[Tuple[Any, ...]]]:
+    """Decode back-to-back concatenated columnar frames into one row list.
+
+    Task-attempt files are plain byte strings, so a bulk loader can
+    concatenate many of them into one payload; this reads every frame (a
+    single :func:`read_columnar` would silently stop after the first) and
+    requires all frames to carry the same schema.
+    """
+    dec = BinaryDecoder(data)
+    schema: Schema = None  # type: ignore[assignment]
+    rows: List[Tuple[Any, ...]] = []
+    while not dec.exhausted:
+        frame_schema, frame_rows = _read_frame(dec)
+        if schema is None:
+            schema = frame_schema
+        elif frame_schema != schema:
+            raise SchemaError(
+                "concatenated columnar frames disagree on schema: "
+                f"{schema.dumps()} vs {frame_schema.dumps()}"
+            )
+        rows.extend(frame_rows)
+    if schema is None:
+        raise SchemaError("empty columnar payload (no frames)")
     return schema, rows

@@ -57,6 +57,8 @@ class HdfsCluster:
         self._names: Dict[str, List[Block]] = {}
         #: datanodes: node -> block_id -> bytes
         self._stores: Dict[str, Dict[int, bytes]] = {n: {} for n in self.node_names}
+        #: datanodes currently marked DOWN (unreadable until recovered)
+        self._down: set = set()
 
     # -- namespace -------------------------------------------------------------
     def exists(self, path: str) -> bool:
@@ -66,15 +68,37 @@ class HdfsCluster:
         return sorted(p for p in self._names if p.startswith(prefix))
 
     def delete(self, path: str) -> None:
-        blocks = self._names.pop(path, None)
+        blocks = self._names.get(path)
         if blocks is None:
             raise HdfsError(f"no such file {path!r}")
+        # Free replica bytes *before* dropping the namenode entry: a crash
+        # midway then leaves a still-referenced (truncated, detectable) file
+        # rather than unreferenced store bytes no audit can attribute.
         for block in blocks:
             for node in block.replicas:
                 self._stores[node].pop(block.block_id, None)
+        del self._names[path]
 
     def file_size(self, path: str) -> int:
         return sum(b.size for b in self._blocks(path))
+
+    def orphaned_blocks(self) -> Dict[str, List[int]]:
+        """Store bytes no namenode entry references (should always be empty).
+
+        An audit hook: overwrite/delete free replica bytes before touching
+        namespace metadata, so no interleaving of those operations can leave
+        unreferenced blocks behind.  Returns ``node -> [block ids]`` for any
+        that exist anyway.
+        """
+        referenced = {
+            block.block_id for blocks in self._names.values() for block in blocks
+        }
+        orphans: Dict[str, List[int]] = {}
+        for node, store in self._stores.items():
+            leaked = sorted(set(store) - referenced)
+            if leaked:
+                orphans[node] = leaked
+        return orphans
 
     def block_locations(self, path: str) -> List[Block]:
         """The per-block metadata a block-aware reader schedules over."""
@@ -93,17 +117,25 @@ class HdfsCluster:
         if path in self._names and not overwrite:
             raise HdfsError(f"file {path!r} already exists")
         if path in self._names:
+            # Free the old file's replicas first — an overwrite interrupted
+            # after this point can lose the old contents (overwrite is not
+            # atomic, as in HDFS) but can never strand their bytes.
             self.delete(path)
         blocks: List[Block] = []
+        chunks: List[bytes] = []
         for index in range(0, max(1, -(-len(data) // self.block_size))):
             chunk = data[index * self.block_size : (index + 1) * self.block_size]
             block_id = next(self._block_ids)
             replicas = self._place(block_id)
-            block = Block(block_id, path, index, len(chunk), tuple(replicas))
-            for node in replicas:
-                self._stores[node][block_id] = chunk
-            blocks.append(block)
+            blocks.append(Block(block_id, path, index, len(chunk), tuple(replicas)))
+            chunks.append(chunk)
+        # Register the namenode entry before filling the stores: a crash
+        # mid-placement leaves a referenced file with missing replicas (a
+        # detectable corrupt read) instead of orphaned store bytes.
         self._names[path] = blocks
+        for block, chunk in zip(blocks, chunks):
+            for node in block.replicas:
+                self._stores[node][block.block_id] = chunk
         return blocks
 
     def _place(self, block_id: int) -> List[str]:
@@ -114,23 +146,71 @@ class HdfsCluster:
             for i in range(self.replication)
         ]
 
+    # -- datanode liveness --------------------------------------------------------
+    def fail_node(self, node: str) -> None:
+        """Mark a datanode DOWN: its replicas stay placed but unreadable."""
+        if node not in self._stores:
+            raise HdfsError(f"unknown datanode {node!r}")
+        self._down.add(node)
+
+    def recover_node(self, node: str) -> None:
+        if node not in self._stores:
+            raise HdfsError(f"unknown datanode {node!r}")
+        self._down.discard(node)
+
+    def is_down(self, node: str) -> bool:
+        return node in self._down
+
+    def live_replicas(self, block: Block) -> List[str]:
+        """The block's replicas on datanodes that are currently UP."""
+        return [n for n in block.replicas if n not in self._down]
+
     def read(self, path: str) -> bytes:
-        return b"".join(
-            self.read_block(block, block.replicas[0]) for block in self._blocks(path)
-        )
+        out = []
+        for block in self._blocks(path):
+            live = self.live_replicas(block)
+            if not live:
+                raise HdfsError(
+                    f"block {block.block_id} of {path!r} has no live replica: "
+                    f"all of {list(block.replicas)} are DOWN"
+                )
+            out.append(self.read_block(block, live[0]))
+        return b"".join(out)
 
     def read_block(self, block: Block, node: Optional[str] = None) -> bytes:
-        """Read one block from a specific replica (default: first)."""
-        target = node or block.replicas[0]
+        """Read one block from a specific replica (default: first live one).
+
+        Failures are spelled out: asking a non-replica, or a replica whose
+        datanode is DOWN, names the block, the asked node and the candidate
+        replicas (with their liveness) — never an opaque KeyError.
+        """
+        live = self.live_replicas(block)
+        target = node or (live[0] if live else None)
+        candidates = ", ".join(
+            f"{n}{' (DOWN)' if n in self._down else ''}" for n in block.replicas
+        )
+        if target is None:
+            raise HdfsError(
+                f"block {block.block_id} of {block.path!r} has no live "
+                f"replica; candidates: {candidates}"
+            )
         if target not in block.replicas:
             raise HdfsError(
-                f"node {target!r} holds no replica of block {block.block_id}"
+                f"node {target!r} holds no replica of block {block.block_id} "
+                f"of {block.path!r}; candidates: {candidates}"
+            )
+        if target in self._down:
+            raise HdfsError(
+                f"replica of block {block.block_id} of {block.path!r} on "
+                f"{target!r} is unreadable: datanode is DOWN; "
+                f"candidates: {candidates}"
             )
         try:
             return self._stores[target][block.block_id]
         except KeyError:
             raise HdfsError(
-                f"block {block.block_id} missing from {target!r} (corrupt replica)"
+                f"block {block.block_id} missing from {target!r} (corrupt "
+                f"replica); candidates: {candidates}"
             ) from None
 
     def total_blocks(self, path: str) -> int:

@@ -114,6 +114,38 @@ def parse_avro_rows(
     return good, bad
 
 
+def parse_columnar_rows(
+    table: TableDef, payload: bytes
+) -> Tuple[List[Dict[str, Any]], List[RejectedRow]]:
+    """Decode concatenated columnar frames into coerced row dicts.
+
+    The staging transport's bulk loads concatenate many task-attempt files
+    into one COPY payload, so the decoder must read *every* frame.
+    """
+    from repro.hdfs.columnar import read_columnar_concat
+
+    try:
+        __, rows = read_columnar_concat(payload)
+    except SchemaError as exc:
+        raise SqlError(f"COPY: cannot decode columnar payload: {exc}") from exc
+    good: List[Dict[str, Any]] = []
+    bad: List[RejectedRow] = []
+    columns = table.columns
+    for values in rows:
+        if len(values) != len(columns):
+            bad.append(RejectedRow(values, f"expected {len(columns)} fields"))
+            continue
+        row: Dict[str, Any] = {}
+        try:
+            for column, value in zip(columns, values):
+                row[column.name] = column.sql_type.coerce(value)
+        except TypeMismatchError as exc:
+            bad.append(RejectedRow(values, str(exc)))
+            continue
+        good.append(row)
+    return good, bad
+
+
 def run_copy(
     engine: "repro.vertica.engine.Engine",  # noqa: F821
     statement,
@@ -139,6 +171,10 @@ def run_copy(
         if not isinstance(payload, (bytes, bytearray)):
             raise SqlError("COPY FORMAT AVRO requires a bytes payload")
         good, bad = parse_avro_rows(table, bytes(payload))
+    elif statement.file_format == "COLUMNAR":
+        if not isinstance(payload, (bytes, bytearray)):
+            raise SqlError("COPY FORMAT COLUMNAR requires a bytes payload")
+        good, bad = parse_columnar_rows(table, bytes(payload))
     else:
         if isinstance(payload, (bytes, bytearray)):
             payload = bytes(payload).decode("utf-8")

@@ -464,7 +464,7 @@ class _Parser:
                 continue
             if self.accept("FORMAT"):
                 file_format = self.expect_ident()
-                if file_format not in ("CSV", "AVRO"):
+                if file_format not in ("CSV", "AVRO", "COLUMNAR"):
                     raise SqlError(f"unsupported COPY format {file_format!r}")
                 continue
             if self.accept("DELIMITER"):

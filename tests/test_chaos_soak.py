@@ -4,6 +4,8 @@ from repro.bench.chaos_soak import (
     run_profile_trial,
     run_s2v_trial,
     run_soak,
+    run_staged_s2v_trial,
+    run_staged_v2s_trial,
     run_wlm_trial,
     summarize,
 )
@@ -12,10 +14,14 @@ from repro.bench.chaos_soak import (
 class TestSoakSmoke:
     def test_small_soak_holds_invariants(self):
         trials = run_soak(num_seeds=3, base_seed=100)
-        assert len(trials) == 15  # one S2V + V2S + agg + wlm + profile per seed
+        # one S2V + V2S + agg + wlm + profile + staged-s2v + staged-v2s
+        # per seed
+        assert len(trials) == 21
         assert any(t.workload == "agg" for t in trials)
         assert any(t.workload == "wlm" for t in trials)
         assert any(t.workload == "profile" for t in trials)
+        assert any(t.workload == "staged-s2v" for t in trials)
+        assert any(t.workload == "staged-v2s" for t in trials)
         bad = [t for t in trials if not t.ok]
         assert not bad, "\n".join(t.describe() for t in bad)
         # The soak must actually exercise faults and still complete work.
@@ -57,3 +63,21 @@ class TestSoakSmoke:
         assert trial.injections > 0
         assert "no-leaked-pool-slots" in trial.report.checks
         assert "--workload wlm" in trial.replay_command()
+
+    def test_staged_s2v_trial_audits_staging_fs(self):
+        trial = run_staged_s2v_trial(3, mode="overwrite")
+        assert trial.ok, trial.describe()
+        assert "no-orphaned-staging-files" in trial.report.checks
+        assert "--workload staged-s2v" in trial.replay_command()
+        assert "--mode overwrite" in trial.replay_command()
+        again = run_staged_s2v_trial(3, mode="overwrite")
+        assert again.injections == trial.injections
+        assert again.succeeded == trial.succeeded
+
+    def test_staged_v2s_trial_audits_staging_fs(self):
+        trial = run_staged_v2s_trial(103, speculation=True)
+        assert trial.ok, trial.describe()
+        assert "no-orphaned-staging-files" in trial.report.checks
+        if trial.succeeded:
+            assert "epoch-snapshot" in trial.report.checks
+        assert "--workload staged-v2s" in trial.replay_command()

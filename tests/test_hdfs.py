@@ -4,8 +4,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.avrolite import Schema
-from repro.hdfs import HdfsCluster, HdfsError, read_columnar, write_columnar
+from repro.avrolite import Schema, SchemaError
+from repro.hdfs import (
+    HdfsCluster,
+    HdfsError,
+    read_columnar,
+    read_columnar_concat,
+    write_columnar,
+)
 
 NODES = [f"dn{i}" for i in range(4)]
 
@@ -73,6 +79,71 @@ class TestFilesystem:
         for store in fs._stores.values():
             for block_id in ids:
                 assert block_id not in store
+
+    def test_overwrite_frees_old_blocks(self, fs):
+        # regression: overwrite used to re-place new blocks while the old
+        # file's replica bytes stayed resident on the datanodes forever
+        fs.write("/f", b"x" * 350)
+        old_ids = {b.block_id for b in fs.block_locations("/f")}
+        fs.write("/f", b"y" * 120, overwrite=True)
+        for store in fs._stores.values():
+            assert not old_ids & set(store)
+        assert fs.read("/f") == b"y" * 120
+        assert fs.orphaned_blocks() == {}
+
+    def test_orphaned_blocks_audit_detects_leaks(self, fs):
+        fs.write("/f", b"x" * 50)
+        block = fs.block_locations("/f")[0]
+        # simulate a buggy deletion that forgets the store bytes
+        fs._names.pop("/f")
+        orphans = fs.orphaned_blocks()
+        assert orphans
+        assert all(block.block_id in ids for ids in orphans.values())
+
+    def test_read_block_down_node_error_names_candidates(self, fs):
+        fs.write("/f", b"x" * 50)
+        block = fs.block_locations("/f")[0]
+        victim = block.replicas[0]
+        fs.fail_node(victim)
+        with pytest.raises(HdfsError) as err:
+            fs.read_block(block, victim)
+        message = str(err.value)
+        assert victim in message and "DOWN" in message
+        for replica in block.replicas:
+            assert replica in message
+        fs.recover_node(victim)
+        assert fs.read_block(block, victim) == b"x" * 50
+
+    def test_read_block_non_replica_error_names_candidates(self, fs):
+        fs.write("/f", b"z")
+        block = fs.block_locations("/f")[0]
+        outsiders = [n for n in NODES if n not in block.replicas]
+        if not outsiders:
+            pytest.skip("replication covers every node")
+        with pytest.raises(HdfsError) as err:
+            fs.read_block(block, outsiders[0])
+        message = str(err.value)
+        assert outsiders[0] in message
+        for replica in block.replicas:
+            assert replica in message
+
+    def test_read_block_all_replicas_down(self, fs):
+        fs.write("/f", b"q" * 10)
+        block = fs.block_locations("/f")[0]
+        for replica in block.replicas:
+            fs.fail_node(replica)
+        with pytest.raises(HdfsError, match="no live"):
+            fs.read_block(block)
+        with pytest.raises(HdfsError):
+            fs.read("/f")
+
+    def test_missing_path_metadata_errors(self, fs):
+        with pytest.raises(HdfsError):
+            fs.file_size("/nope")
+        with pytest.raises(HdfsError):
+            fs.block_locations("/nope")
+        with pytest.raises(HdfsError):
+            fs.total_blocks("/nope")
 
     def test_list_prefix(self, fs):
         fs.write("/a/1", b"x")
@@ -144,7 +215,7 @@ class TestColumnar:
     @given(
         st.lists(
             st.tuples(
-                st.integers(min_value=-(2**40), max_value=2**40),
+                st.integers(min_value=-(2**63), max_value=2**63 - 1),
                 st.one_of(st.none(), st.floats(allow_nan=False, allow_infinity=False)),
                 st.one_of(st.none(), st.text(max_size=20)),
             ),
@@ -156,3 +227,61 @@ class TestColumnar:
         data = write_columnar(ROW_SCHEMA, rows)
         __, decoded = read_columnar(data)
         assert decoded == rows
+
+    def test_null_only_rows_round_trip(self):
+        # regression: an all-NULL column chunk must decode back to Nones,
+        # not collapse into a zero-row file
+        rows = [(i, None, None) for i in range(10)]
+        data = write_columnar(ROW_SCHEMA, rows)
+        __, decoded = read_columnar(data)
+        assert decoded == rows
+
+    def test_int64_bounds_round_trip(self):
+        rows = [(-(2**63), None, "min"), (2**63 - 1, None, "max")]
+        data = write_columnar(ROW_SCHEMA, rows)
+        __, decoded = read_columnar(data)
+        assert decoded == rows
+
+    def test_int64_out_of_range_rejected(self):
+        # regression: values past 64 bits used to silently wrap on the
+        # zig-zag wire and decode as a different number
+        for value in (2**63, -(2**63) - 1):
+            with pytest.raises(SchemaError, match="64-bit"):
+                write_columnar(ROW_SCHEMA, [(value, None, None)])
+
+
+class TestColumnarConcat:
+    def test_reads_every_frame(self):
+        first = [(i, float(i), None) for i in range(5)]
+        second = [(i, None, f"r{i}") for i in range(5, 9)]
+        payload = write_columnar(ROW_SCHEMA, first) + write_columnar(
+            ROW_SCHEMA, second
+        )
+        schema, rows = read_columnar_concat(payload)
+        assert schema == ROW_SCHEMA
+        assert rows == first + second
+        # a plain read_columnar would silently stop after frame one
+        __, only_first = read_columnar(payload)
+        assert only_first == first
+
+    def test_single_frame_matches_read_columnar(self):
+        rows = [(1, 2.0, "a"), (2, None, None)]
+        payload = write_columnar(ROW_SCHEMA, rows)
+        assert read_columnar_concat(payload) == read_columnar(payload)
+
+    def test_zero_row_frames_concatenate(self):
+        payload = write_columnar(ROW_SCHEMA, []) * 3
+        __, rows = read_columnar_concat(payload)
+        assert rows == []
+
+    def test_mismatched_schemas_rejected(self):
+        other = Schema.record("row", [("id", Schema.primitive("long"))])
+        payload = write_columnar(ROW_SCHEMA, [(1, None, None)]) + write_columnar(
+            other, [(2,)]
+        )
+        with pytest.raises(SchemaError, match="disagree"):
+            read_columnar_concat(payload)
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(SchemaError, match="no frames"):
+            read_columnar_concat(b"")

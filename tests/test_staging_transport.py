@@ -1,0 +1,285 @@
+"""Tests for the distributed-FS staging transport (S2V and V2S).
+
+The staging transport replaces JDBC row streams with columnar files on
+the simulated HDFS: S2V tasks write attempt-named files committed via a
+rename-free ``_MANIFEST`` (Stocator-style), V2S exports segment-local
+files that scan tasks read block-locally.  These tests pin the
+exactly-once and cleanup guarantees: winners' data lands exactly once,
+losers' files are swept, and nothing outlives its job on the staging FS.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.baselines.hdfs_source import SimHdfsCluster
+from repro.connector import SimVerticaCluster
+from repro.connector.defaultsource import DefaultSource
+from repro.connector.options import ConnectorOptions, OptionsError
+from repro.connector.s2v import FINAL_STATUS_TABLE
+from repro.connector.v2s import VerticaRelation
+from repro.sim import Environment
+from repro.spark import JobFailedError, SparkSession, StructField, StructType
+from repro.spark.faults import ProbeFailurePolicy
+
+SCHEMA = StructType([StructField("id", "long"), StructField("val", "double")])
+ROWS = [(i, float(i) * 0.25) for i in range(200)]
+NUM_TASKS = 4
+ROOT = "/staging"
+
+
+def make_fabric(fault_policy=None, speculation=False):
+    env = Environment()
+    vc = SimVerticaCluster(env=env, num_nodes=3)
+    spark = SparkSession(
+        env=env,
+        cluster=vc.sim_cluster,
+        num_workers=4,
+        fault_policy=fault_policy,
+        speculation=speculation,
+    )
+    hdfs = SimHdfsCluster(env, vc.sim_cluster, num_nodes=3)
+    return vc, spark, hdfs
+
+
+def staged_options(vc, hdfs, table="dest", **extra):
+    options = {
+        "db": vc,
+        "table": table,
+        "numpartitions": NUM_TASKS,
+        "transport": "staging",
+        "staging_fs": hdfs,
+        "staging_root": ROOT,
+    }
+    options.update(extra)
+    return options
+
+
+def save(vc, spark, hdfs, rows=ROWS, mode="overwrite", table="dest", **extra):
+    df = spark.create_dataframe(rows, SCHEMA, num_partitions=NUM_TASKS)
+    df.write.format("vertica").options(
+        staged_options(vc, hdfs, table, **extra)
+    ).mode(mode).save()
+    return DefaultSource.last_save_result
+
+
+def table_rows(vc, table="dest"):
+    session = vc.db.connect()
+    try:
+        return sorted(session.execute(f"SELECT * FROM {table}").rows)
+    finally:
+        session.close()
+
+
+def staging_files(hdfs):
+    return hdfs.fs.list(ROOT + "/")
+
+
+class TestStagedS2V:
+    def test_overwrite_creates_table(self):
+        vc, spark, hdfs = make_fabric()
+        result = save(vc, spark, hdfs)
+        assert table_rows(vc) == sorted(ROWS)
+        assert result.status == "SUCCESS"
+        assert result.rows_loaded == len(ROWS)
+
+    def test_overwrite_replaces_existing(self):
+        vc, spark, hdfs = make_fabric()
+        save(vc, spark, hdfs, rows=[(999, 1.0)])
+        save(vc, spark, hdfs)
+        assert table_rows(vc) == sorted(ROWS)
+
+    def test_append_adds_rows(self):
+        vc, spark, hdfs = make_fabric()
+        save(vc, spark, hdfs)
+        save(vc, spark, hdfs, rows=[(1000, -1.0)], mode="append")
+        assert table_rows(vc) == sorted(ROWS + [(1000, -1.0)])
+
+    def test_errorifexists_leaves_no_staging_files(self):
+        vc, spark, hdfs = make_fabric()
+        save(vc, spark, hdfs)
+        with pytest.raises(Exception):
+            save(vc, spark, hdfs, mode="errorifexists")
+        assert table_rows(vc) == sorted(ROWS)
+        assert staging_files(hdfs) == []
+
+    def test_staging_swept_after_success(self):
+        vc, spark, hdfs = make_fabric()
+        save(vc, spark, hdfs)
+        # attempt files and the _MANIFEST are all gone
+        assert staging_files(hdfs) == []
+
+    def test_loser_attempt_file_is_orphan_swept(self):
+        # Attempt 0 of task 1 dies *after* writing its staged file but
+        # before claiming its status row; the retry writes a second file
+        # and wins.  The loser's file must be swept, the data must land
+        # exactly once.
+        policy = ProbeFailurePolicy({(1, 0): "s2v:staged_after_file_write"})
+        vc, spark, hdfs = make_fabric(fault_policy=policy)
+        save(vc, spark, hdfs)
+        assert policy.injected
+        assert table_rows(vc) == sorted(ROWS)
+        assert staging_files(hdfs) == []
+
+    def test_crash_before_file_write_retries(self):
+        policy = ProbeFailurePolicy({(2, 0): "s2v:staged_before_file_write"})
+        vc, spark, hdfs = make_fabric(fault_policy=policy)
+        save(vc, spark, hdfs)
+        assert policy.injected
+        assert table_rows(vc) == sorted(ROWS)
+        assert staging_files(hdfs) == []
+
+    def test_crash_around_manifest_write_is_survivable(self):
+        # The manifest write is idempotent: a committer crash on either
+        # side of it must not duplicate rows or leak files.
+        for probe in ("s2v:staged_before_manifest", "s2v:staged_after_manifest"):
+            failures = {(task, 0): probe for task in range(NUM_TASKS)}
+            policy = ProbeFailurePolicy(failures)
+            vc, spark, hdfs = make_fabric(fault_policy=policy)
+            save(vc, spark, hdfs)
+            assert policy.injected, probe
+            assert table_rows(vc) == sorted(ROWS), probe
+            assert staging_files(hdfs) == [], probe
+
+    def test_failed_job_sweeps_staging(self):
+        # every attempt of task 0 dies after writing its file: the job
+        # fails, the target stays absent, and the staging FS is swept.
+        failures = {
+            (0, attempt): "s2v:staged_after_file_write" for attempt in range(8)
+        }
+        policy = ProbeFailurePolicy(failures)
+        vc, spark, hdfs = make_fabric(fault_policy=policy)
+        with pytest.raises(JobFailedError):
+            save(vc, spark, hdfs)
+        assert not vc.db.catalog.has_table("DEST")
+        assert staging_files(hdfs) == []
+
+    def test_speculative_duplicates_do_not_duplicate(self):
+        vc, spark, hdfs = make_fabric(speculation=True)
+        save(vc, spark, hdfs)
+        assert table_rows(vc) == sorted(ROWS)
+        assert staging_files(hdfs) == []
+
+    def test_orphan_sweep_is_counted(self):
+        telemetry.install(telemetry.MetricsRegistry(enabled=True))
+        try:
+            policy = ProbeFailurePolicy(
+                {(1, 0): "s2v:staged_after_file_write"}
+            )
+            vc, spark, hdfs = make_fabric(fault_policy=policy)
+            save(vc, spark, hdfs)
+            swept = telemetry.counter("hdfs.staging.orphans_swept").value
+            assert swept >= 1
+        finally:
+            telemetry.reset()
+
+
+class TestStagedV2S:
+    def _populate(self, vc, table="src", rows=ROWS):
+        session = vc.db.connect()
+        session.execute(
+            f"CREATE TABLE {table} (id INTEGER, val FLOAT) SEGMENTED BY HASH(id)"
+        )
+        values = ", ".join(f"({i}, {v})" for i, v in rows)
+        session.execute(f"INSERT INTO {table} VALUES {values}")
+        session.close()
+
+    def test_round_trip_rows_equal(self):
+        vc, spark, hdfs = make_fabric()
+        self._populate(vc)
+        df = spark.read.format("vertica").options(
+            staged_options(vc, hdfs, table="src")
+        ).load()
+        assert sorted(df.collect()) == sorted(ROWS)
+
+    def test_scan_is_pinned_to_export_epoch(self):
+        vc, spark, hdfs = make_fabric()
+        self._populate(vc)
+        relation = VerticaRelation(
+            spark, staged_options(vc, hdfs, table="src")
+        )
+        rdd = relation.build_scan()
+        # writers advance the table *after* the export: the staged scan
+        # must still produce the snapshot it exported.
+        session = vc.db.connect()
+        session.execute("INSERT INTO src VALUES (9999, -9.0)")
+        session.close()
+        rows = [row for part in spark.run_job(rdd) for row in part]
+        assert sorted(rows) == sorted(ROWS)
+
+    def test_projection_is_pushed_into_export(self):
+        vc, spark, hdfs = make_fabric()
+        self._populate(vc)
+        relation = VerticaRelation(
+            spark, staged_options(vc, hdfs, table="src")
+        )
+        rdd = relation.build_scan(required_columns=["id"])
+        rows = [row for part in spark.run_job(rdd) for row in part]
+        assert sorted(rows) == sorted((i,) for i, __ in ROWS)
+
+    def test_cleanup_staging_removes_exports(self):
+        vc, spark, hdfs = make_fabric()
+        self._populate(vc)
+        df = spark.read.format("vertica").options(
+            staged_options(vc, hdfs, table="src")
+        ).load()
+        df.collect()
+        assert staging_files(hdfs)  # export files exist until cleaned
+        deleted = df._relation.cleanup_staging()
+        assert deleted
+        assert staging_files(hdfs) == []
+        # idempotent: a second cleanup has nothing left to do
+        assert df._relation.cleanup_staging() == []
+
+    def test_export_files_are_columnar_and_block_local(self):
+        vc, spark, hdfs = make_fabric()
+        self._populate(vc)
+        relation = VerticaRelation(
+            spark, staged_options(vc, hdfs, table="src")
+        )
+        rdd = relation.build_scan()
+        paths = staging_files(hdfs)
+        assert paths
+        from repro.hdfs import read_columnar
+
+        exported = []
+        for path in paths:
+            __, rows = read_columnar(hdfs.fs.read(path))
+            exported.extend(rows)
+        assert sorted(exported) == sorted(ROWS)
+        # one scan partition per exported block
+        total_blocks = sum(hdfs.fs.total_blocks(p) for p in paths)
+        assert rdd.num_partitions == total_blocks
+
+
+class TestStagingOptions:
+    def test_transport_must_be_known(self):
+        vc, __, ___ = make_fabric()
+        with pytest.raises(OptionsError):
+            ConnectorOptions({"db": vc, "table": "t", "transport": "carrier"})
+
+    def test_staging_requires_fs(self):
+        vc, __, ___ = make_fabric()
+        with pytest.raises(OptionsError):
+            ConnectorOptions({"db": vc, "table": "t", "transport": "staging"})
+
+    def test_staging_root_must_be_absolute_dir(self):
+        vc, __, hdfs = make_fabric()
+        for bad in ("relative/path", "/trailing/", ""):
+            with pytest.raises(OptionsError):
+                ConnectorOptions({
+                    "db": vc, "table": "t", "transport": "staging",
+                    "staging_fs": hdfs, "staging_root": bad,
+                })
+
+    def test_staging_rejects_prehash(self):
+        vc, __, hdfs = make_fabric()
+        with pytest.raises(OptionsError):
+            ConnectorOptions({
+                "db": vc, "table": "t", "transport": "staging",
+                "staging_fs": hdfs, "prehash_partitioning": True,
+            })
+
+    def test_direct_is_default(self):
+        vc, __, ___ = make_fabric()
+        opts = ConnectorOptions({"db": vc, "table": "t"})
+        assert opts.transport == "direct"
