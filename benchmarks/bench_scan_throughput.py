@@ -1,11 +1,13 @@
 """Scan/aggregate throughput of the plan pipeline vs the legacy interpreter.
 
-The ``repro.vertica.plan`` pipeline replaced the per-row-dict interpreter
-with columnar batch operators.  This bench measures rows/sec on the three
-canonical shapes — full scan, filtered scan, grouped aggregation — over a
-20,000-row table and writes a report artifact comparing against the
-legacy interpreter's numbers (measured on the same workload immediately
-before the interpreter was deleted, same container class).
+The measurement itself lives in the ``scan_throughput`` area of the grid
+harness (:mod:`repro.bench.grid`): three canonical shapes — full scan,
+filtered scan, grouped aggregation — over a 20,000-row table, best-of-N
+wall timing, recorded as rows/sec in ``BENCH_scan_throughput.json`` and
+gated in CI against the committed baseline's floors.  This bench drives
+that area through pytest and layers on the legacy-interpreter comparison
+(numbers measured on the same workload immediately before the interpreter
+was deleted, same container class; see docs/ENGINE.md).
 
 It also closes the accounting loop end-to-end: PROFILE's per-operator
 row counts must reconcile exactly with the statement's CostReport and
@@ -14,21 +16,19 @@ through a Spark read.
 """
 
 import os
-import time
-
-import pytest
 
 from repro import telemetry
+from repro.bench.grid import AREAS, DONE, SCAN_QUERIES, load_scan_table, run_area
 from repro.connector import SimVerticaCluster
 from repro.sim import Environment
 from repro.spark import SparkSession
 from repro.telemetry import MetricsRegistry
-from repro.vertica import VerticaDatabase
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-ROWS = 20_000
-NUM_NODES = 4
+AREA = AREAS["scan_throughput"]
+ROWS = AREA.config["rows"]
+NUM_NODES = AREA.config["num_nodes"]
 
 #: rows/sec of the pre-pipeline interpreter on this exact workload
 #: (measured at the commit that removed it; see docs/ENGINE.md)
@@ -38,71 +38,32 @@ LEGACY_ROWS_PER_SEC = {
     "grouped_agg": 221_990,
 }
 
-QUERIES = {
-    "full_scan": "SELECT id, grp, v, name FROM big",
-    "filtered_scan": "SELECT id, v FROM big WHERE v > 50.0",
-    "grouped_agg": (
-        "SELECT grp, COUNT(*), SUM(v), MIN(v), MAX(v) FROM big GROUP BY grp"
-    ),
-}
-
 #: CI smoke floor: the pipeline must stay within an order of magnitude of
 #: the legacy interpreter (machine-dependent, so deliberately loose)
-MIN_ROWS_PER_SEC = 20_000
+MIN_ROWS_PER_SEC = AREA.gate["floors"]["rows_per_sec"]
 
 
-def load_big_table(session):
-    session.execute(
-        "CREATE TABLE big (id INTEGER, grp INTEGER, v FLOAT, "
-        "name VARCHAR(20)) SEGMENTED BY HASH(id) ALL NODES"
-    )
-    chunk = 2_000
-    for start in range(0, ROWS, chunk):
-        values = ", ".join(
-            f"({i}, {i % 37}, {float(i % 101)}, 'n{i % 50}')"
-            for i in range(start, start + chunk)
-        )
-        session.execute(f"INSERT INTO big VALUES {values}")
-
-
-@pytest.fixture(scope="module")
-def session():
-    db = VerticaDatabase(num_nodes=NUM_NODES)
-    session = db.connect()
-    load_big_table(session)
-    return session
-
-
-def measure(session, sql, repeats=3):
-    """Best-of-N wall time and the last result."""
-    best = float("inf")
-    result = None
-    for __ in range(repeats):
-        started = time.perf_counter()
-        result = session.execute(sql)
-        best = min(best, time.perf_counter() - started)
-    return best, result
-
-
-def test_scan_throughput_report(session):
+def test_scan_throughput_report():
+    store, report = run_area(AREA, RESULTS_DIR, log=lambda _msg: None)
+    assert report.all_checks_pass, report.failed_checks()
+    measured = {
+        cell["params"]["workload"]: cell["metrics"]["rows_per_sec"]
+        for cell in store.records()
+        if cell["status"] == DONE
+    }
+    assert set(measured) == set(SCAN_QUERIES)
     lines = [
         "scan throughput: plan pipeline vs legacy interpreter",
         f"table: big ({ROWS} rows, {NUM_NODES} nodes)",
         "",
         f"{'workload':<16} {'rows/sec':>12} {'legacy':>12} {'ratio':>7}",
     ]
-    measured = {}
-    for name, sql in QUERIES.items():
-        elapsed, result = measure(session, sql)
-        assert result.cost.rows_scanned == ROWS
-        rows_per_sec = ROWS / elapsed
-        measured[name] = rows_per_sec
+    for name, rows_per_sec in measured.items():
         legacy = LEGACY_ROWS_PER_SEC[name]
         lines.append(
             f"{name:<16} {rows_per_sec:>12,.0f} {legacy:>12,} "
             f"{rows_per_sec / legacy:>6.2f}x"
         )
-    os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, "scan_throughput.txt")
     with open(path, "w") as handle:
         handle.write("\n".join(lines) + "\n")
@@ -120,12 +81,12 @@ def test_profile_reconciles_with_cost_and_v2s_telemetry():
     vc = SimVerticaCluster(env=env, num_nodes=NUM_NODES)
     spark = SparkSession(env=env, cluster=vc.sim_cluster, num_workers=4)
     session = vc.db.connect()
-    load_big_table(session)
+    load_scan_table(session, ROWS)
 
     telemetry.install(MetricsRegistry(enabled=True))
     try:
         # PROFILE the grouped aggregation: operator stats vs CostReport.
-        report = session.execute("PROFILE " + QUERIES["grouped_agg"])
+        report = session.execute("PROFILE " + SCAN_QUERIES["grouped_agg"])
         stats = {
             kind: (rows_in, rows_out)
             for kind, rows_in, rows_out in report.profile.operator_rows()

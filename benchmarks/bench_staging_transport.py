@@ -7,153 +7,57 @@ HDFS instead: S2V tasks stage attempt files and the driver bulk-loads
 them with one ``COPY ... FORMAT COLUMNAR`` per node; V2S exports
 segment-local columnar files and scan tasks read them block-locally.
 
-This bench sweeps partition counts for both directions and both
-transports over the same dataset, writes the machine-readable
-``BENCH_staging.json`` artifact, and asserts the headline claim: at 8+
-partitions the staged transport beats direct JDBC in *both* directions.
+The sweep itself is the ``staging`` area of the grid harness
+(:mod:`repro.bench.grid`): direction × transport × partition count over
+the same dataset, journaled for resume, emitted as the schema-versioned
+``BENCH_staging.json`` artifact and gated in CI against the committed
+baseline.  This bench drives that area through pytest and asserts the
+headline claim: at 8+ partitions the staged transport beats direct JDBC
+in *both* directions.
 
-Run standalone (full size, writes the artifact)::
+Run the area standalone (resumable, writes the artifact)::
 
-    PYTHONPATH=src python benchmarks/bench_staging_transport.py
+    PYTHONPATH=src python -m repro.bench.grid staging
 
 or through pytest (the CI smoke job does this)::
 
     PYTHONPATH=src python -m pytest -q benchmarks/bench_staging_transport.py
 """
 
-import json
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.bench.fabric import Fabric  # noqa: E402
-from repro.workloads.datasets import make_d1  # noqa: E402
+from repro.bench.grid import AREAS, DONE, run_area  # noqa: E402
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_staging.json")
 
-#: the dataset every cell moves: 400 real rows scaled to the virtual size
-REAL_ROWS = 400
-NUM_COLS = 10
-SEED = 7
-VIRTUAL_ROWS = 16_000_000
-
-PARTITION_COUNTS = (2, 4, 8, 16)
+AREA = AREAS["staging"]
 #: the acceptance gate: staged must win at and above this partition count
-GATE_PARTITIONS = 8
-
-TABLE = "staging_bench"
-STAGING = {"transport": "staging", "staging_root": "/staging"}
-
-
-def _fabric() -> Fabric:
-    return Fabric(with_hdfs=True)
-
-
-def _dataset():
-    return make_d1(REAL_ROWS, VIRTUAL_ROWS, NUM_COLS, SEED)
-
-
-def measure_s2v(partitions: int, staged: bool) -> float:
-    """Seconds for one S2V save of the dataset at ``partitions`` tasks."""
-    fabric = _fabric()
-    dataset = _dataset()
-    options = dict(STAGING, staging_fs=fabric.hdfs) if staged else {}
-    return fabric.s2v_save(dataset, TABLE, partitions, **options)
-
-
-def measure_v2s(partitions: int, staged: bool) -> float:
-    """Seconds for one V2S load of the dataset at ``partitions`` tasks."""
-    fabric = _fabric()
-    dataset = _dataset()
-    fabric.populate(dataset, TABLE)
-    options = dict(STAGING, staging_fs=fabric.hdfs) if staged else {}
-    elapsed, rows = fabric.v2s_load(
-        TABLE, partitions, dataset.scale, **options
-    )
-    assert rows == REAL_ROWS, f"V2S returned {rows} rows, wanted {REAL_ROWS}"
-    return elapsed
-
-
-def run_bench(virtual_rows: int = VIRTUAL_ROWS) -> dict:
-    """Sweep both directions × transports × partition counts."""
-    global VIRTUAL_ROWS
-    VIRTUAL_ROWS = virtual_rows
-    results = {
-        "dataset": {
-            "real_rows": REAL_ROWS,
-            "virtual_rows": virtual_rows,
-            "num_cols": NUM_COLS,
-            "seed": SEED,
-        },
-        "gate_partitions": GATE_PARTITIONS,
-        "cells": [],
-    }
-    for direction, measure in (("s2v", measure_s2v), ("v2s", measure_v2s)):
-        for partitions in PARTITION_COUNTS:
-            direct = measure(partitions, staged=False)
-            staged = measure(partitions, staged=True)
-            cell = {
-                "direction": direction,
-                "partitions": partitions,
-                "direct_seconds": round(direct, 3),
-                "staged_seconds": round(staged, 3),
-                "speedup": round(direct / staged, 3) if staged else None,
-            }
-            results["cells"].append(cell)
-            print(
-                f"{direction} p={partitions:3d}  "
-                f"direct {direct:8.2f}s  staged {staged:8.2f}s  "
-                f"speedup {cell['speedup']:.2f}x"
-            )
-    return results
-
-
-def gate_failures(results: dict) -> list:
-    """Cells at/above the gate where staged did not beat direct."""
-    return [
-        cell for cell in results["cells"]
-        if cell["partitions"] >= results["gate_partitions"]
-        and cell["staged_seconds"] >= cell["direct_seconds"]
-    ]
-
-
-def write_artifact(results: dict, path: str = ARTIFACT) -> None:
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(results, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {path}")
+GATE_PARTITIONS = AREA.config["gate_partitions"]
 
 
 def test_staging_transport_beats_direct_at_scale():
     """CI gate: staged wins both directions at >= GATE_PARTITIONS."""
-    results = run_bench()
-    write_artifact(results)
-    failures = gate_failures(results)
-    assert not failures, (
+    store, report = run_area(AREA, RESULTS_DIR, log=lambda _msg: None)
+    assert os.path.exists(ARTIFACT)
+    times = {
+        (c["params"]["direction"], c["params"]["transport"],
+         c["params"]["partitions"]): c["sim_seconds"]
+        for c in store.records() if c["status"] == DONE
+    }
+    for (direction, transport, partitions), staged in sorted(
+            times.items(), key=lambda item: str(item[0])):
+        if transport != "staged" or partitions < GATE_PARTITIONS:
+            continue
+        direct = times[(direction, "direct", partitions)]
+        print(
+            f"{direction} p={partitions:3d}  direct {direct:8.2f}s  "
+            f"staged {staged:8.2f}s  speedup {direct / staged:.2f}x"
+        )
+    assert report.all_checks_pass, (
         f"staged transport lost to direct JDBC at >= {GATE_PARTITIONS} "
-        f"partitions: {failures}"
+        f"partitions: {report.failed_checks()}"
     )
-
-
-def main() -> int:
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--virtual-rows", type=int, default=VIRTUAL_ROWS)
-    parser.add_argument("--output", default=ARTIFACT)
-    args = parser.parse_args()
-    results = run_bench(args.virtual_rows)
-    write_artifact(results, args.output)
-    failures = gate_failures(results)
-    if failures:
-        print(f"GATE FAILED: staged lost at >= {GATE_PARTITIONS} partitions "
-              f"in {len(failures)} cell(s)", file=sys.stderr)
-        return 1
-    return 0
-
-
-if __name__ == "__main__":
-    sys.exit(main())

@@ -3,4 +3,28 @@
 from repro.bench.fabric import Fabric
 from repro.bench.report import ExperimentReport
 
-__all__ = ["ExperimentReport", "Fabric"]
+__all__ = [
+    "AREAS",
+    "BenchArea",
+    "ExperimentReport",
+    "Fabric",
+    "GridRunner",
+    "ParameterGrid",
+    "ResultsStore",
+    "compare_artifacts",
+]
+
+_GRID_EXPORTS = (
+    "AREAS", "BenchArea", "GridRunner", "ParameterGrid",
+    "ResultsStore", "compare_artifacts",
+)
+
+
+def __getattr__(name):
+    # Lazy so that `python -m repro.bench.grid` does not import the grid
+    # module twice (runpy would warn about the stale sys.modules entry).
+    if name in _GRID_EXPORTS:
+        from repro.bench import grid
+
+        return getattr(grid, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -7,16 +7,24 @@ Run every experiment (or a selection) without pytest::
     python -m repro.bench --list         # show what exists
 
 Each experiment prints its paper-vs-measured table and shape checks, and
-saves the report under ``benchmarks/results/``.
+saves the report (plus its machine-readable ``.json`` sidecar) under
+``benchmarks/results/``.  Every run also appends one record per
+experiment — wall seconds, simulated seconds, config fingerprint, check
+outcomes — to ``benchmarks/results/trajectory.jsonl``, so repeated runs
+accumulate a perf history instead of overwriting it.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro.bench import experiments
+from repro.bench.report import append_jsonl, config_fingerprint
+
+TRAJECTORY_FILE = "trajectory.jsonl"
 
 
 def _registry():
@@ -65,12 +73,27 @@ def main(argv=None) -> int:
     else:
         selected = registry
 
+    trajectory = os.path.join(args.results_dir, TRAJECTORY_FILE)
     failed = []
     for name in sorted(selected):
         start = time.time()
         report = selected[name]()
+        wall = time.time() - start
+        report.timing(wall_seconds=wall)
         report.show(args.results_dir)
-        print(f"({time.time() - start:.1f}s wall)")
+        sim = "-" if report.sim_seconds is None else f"{report.sim_seconds:.1f}"
+        print(f"({wall:.1f}s wall, {sim}s sim)")
+        append_jsonl(trajectory, {
+            "kind": "experiment",
+            "exp_id": report.exp_id,
+            "experiment": name,
+            "wall_seconds": round(wall, 3),
+            "sim_seconds": report.sim_seconds,
+            "config_fingerprint": config_fingerprint(report.config),
+            "checks_passed": report.all_checks_pass,
+            "failed_checks": report.failed_checks(),
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        })
         if not report.all_checks_pass:
             failed.append((name, report.failed_checks()))
     if failed:

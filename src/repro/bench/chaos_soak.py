@@ -24,6 +24,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro import telemetry
 from repro.bench.fabric import Fabric
 from repro.chaos import (
     ALL_FAMILIES,
@@ -71,7 +72,7 @@ class TrialResult:
 
     def __init__(self, workload: str, seed: int, mode: str, speculation: bool,
                  raised: Optional[BaseException], report: InvariantReport,
-                 injections: int):
+                 injections: int, cleanup_failures: int = 0):
         self.workload = workload
         self.seed = seed
         self.mode = mode
@@ -79,6 +80,8 @@ class TrialResult:
         self.raised = raised
         self.report = report
         self.injections = injections
+        #: teardown errors _safe_cleanup swallowed during this trial
+        self.cleanup_failures = cleanup_failures
 
     @property
     def ok(self) -> bool:
@@ -106,6 +109,8 @@ class TrialResult:
             f"speculation={self.speculation} injections={self.injections} "
             f"workload {outcome}"
         )
+        if self.cleanup_failures:
+            head += f" cleanup_failures={self.cleanup_failures}"
         if self.ok:
             return head
         return head + "\n" + self.report.describe() + \
@@ -126,6 +131,11 @@ def _fabric(speculation: bool, wlm: bool = False,
         with_hdfs=with_hdfs,
         hdfs_nodes=3,
     )
+
+
+def _cleanup_failures() -> int:
+    """How many teardown errors S2V swallowed during the current fabric."""
+    return int(telemetry.counter("s2v.cleanup_failures").value)
 
 
 def _drain(fabric: Fabric, report: InvariantReport) -> None:
@@ -180,13 +190,14 @@ def run_s2v_trial(seed: int, mode: str = "overwrite",
         writer.job_name, TARGET, ROWS,
         mode=mode, prior_rows=prior, raised=raised,
     ))
+    report.merge(checker.check_cleanup_failures())
     if verbose:
         for record in controller.injections:
             print(record)
         print(report.describe())
     return TrialResult(
         "s2v", seed, mode, speculation, raised, report,
-        len(controller.injections),
+        len(controller.injections), cleanup_failures=_cleanup_failures(),
     )
 
 
@@ -302,13 +313,14 @@ def run_staged_s2v_trial(seed: int, mode: str = "overwrite",
         mode=mode, prior_rows=prior, raised=raised,
     ))
     report.merge(checker.check_no_orphaned_staging(fabric.hdfs))
+    report.merge(checker.check_cleanup_failures())
     if verbose:
         for record in controller.injections:
             print(record)
         print(report.describe())
     return TrialResult(
         "staged-s2v", seed, mode, speculation, raised, report,
-        len(controller.injections),
+        len(controller.injections), cleanup_failures=_cleanup_failures(),
     )
 
 
@@ -524,13 +536,14 @@ def run_wlm_trial(seed: int, speculation: bool = False,
     report.merge(checker.check_s2v_save(
         writer.job_name, TARGET, ROWS, mode="overwrite", raised=raised,
     ))
+    report.merge(checker.check_cleanup_failures())
     if verbose:
         for record in controller.injections:
             print(record)
         print(report.describe())
     return TrialResult(
         "wlm", seed, "overwrite", speculation, raised, report,
-        len(controller.injections),
+        len(controller.injections), cleanup_failures=_cleanup_failures(),
     )
 
 
@@ -702,12 +715,22 @@ def summarize(trials: Sequence[TrialResult]) -> str:
     failures = [t for t in trials if not t.ok]
     succeeded = sum(1 for t in trials if t.succeeded)
     injections = sum(t.injections for t in trials)
+    cleanup_failures = sum(t.cleanup_failures for t in trials)
     lines = [
         f"chaos soak: {len(trials)} trials, {len(failures)} invariant "
         f"violations, {succeeded} workloads succeeded, "
         f"{len(trials) - succeeded} failed cleanly, "
-        f"{injections} faults injected",
+        f"{injections} faults injected, "
+        f"{cleanup_failures} cleanup errors swallowed",
     ]
+    for trial in sorted(
+            (t for t in trials if t.cleanup_failures),
+            key=lambda t: -t.cleanup_failures):
+        lines.append(
+            f"  cleanup_failures={trial.cleanup_failures}: "
+            f"{trial.workload} seed={trial.seed} "
+            f"(replay: {trial.replay_command()})"
+        )
     for trial in failures:
         lines.append(trial.describe())
     return "\n".join(lines)

@@ -43,6 +43,8 @@ class FabricFactory:
         self.telemetry = TELEMETRY_ENABLED if telemetry is None else telemetry
         self._last: Optional[Fabric] = None
         self.snapshots: List = []
+        #: simulated seconds summed over every fabric this factory built
+        self.sim_seconds = 0.0
 
     def __call__(self, **kwargs) -> Fabric:
         self.collect()
@@ -54,12 +56,14 @@ class FabricFactory:
         if self._last is not None:
             if self.telemetry:
                 self.snapshots.append(self._last.metrics_snapshot())
+            self.sim_seconds += self._last.env.now
             self._last = None
 
     def attach(self, report: ExperimentReport) -> None:
         self.collect()
         for snapshot in self.snapshots:
             report.attach_telemetry(snapshot)
+        report.timing(sim_seconds=self.sim_seconds)
 
 FIG6_PARTITIONS = (4, 8, 16, 32, 64, 128, 256)
 

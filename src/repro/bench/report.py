@@ -6,12 +6,43 @@ reproduction's measured values.  Absolute numbers are not expected to
 match (the substrate is a calibrated simulator); the *shape* — who wins,
 by roughly what factor, where crossovers fall — is the reproduction
 target, so each report may carry explicit shape checks.
+
+Saving a report emits two artifacts under ``benchmarks/results/``:
+
+- ``<exp_id>.txt`` — the human table, exactly as printed;
+- ``<exp_id>.json`` — a machine-readable sidecar carrying the raw rows,
+  every check outcome, the experiment's config fingerprint and its wall/
+  sim timings.  The grid harness (:mod:`repro.bench.grid`) routes its
+  ``BENCH_<area>.json`` artifacts through this same sidecar path, so all
+  persisted perf history shares one schema.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
-from typing import Any, List, Optional, Sequence, Tuple
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: version of the JSON sidecar / BENCH artifact schema; bump on any
+#: backwards-incompatible change so the CI gate refuses stale baselines
+REPORT_SCHEMA_VERSION = 1
+
+
+def config_fingerprint(config: Dict[str, Any]) -> str:
+    """Short stable digest of an experiment's configuration dict."""
+    blob = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+def append_jsonl(path: str, record: Dict[str, Any]) -> None:
+    """Append one JSON record to a line-oriented journal file."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
 
 
 class ExperimentReport:
@@ -26,6 +57,15 @@ class ExperimentReport:
         self.checks: List[Tuple[str, bool]] = []
         #: optional telemetry attached via :meth:`attach_telemetry`
         self.telemetry: Optional["MetricsSnapshot"] = None  # noqa: F821
+        #: the inputs that produced these numbers (fingerprinted on save)
+        self.config: Dict[str, Any] = {}
+        #: real seconds the harness spent producing the report
+        self.wall_seconds: Optional[float] = None
+        #: simulated seconds elapsed across the experiment's fabrics
+        self.sim_seconds: Optional[float] = None
+        #: extra machine-readable payload merged into the JSON sidecar
+        #: (the grid harness stores its per-cell records here)
+        self.payload: Dict[str, Any] = {}
 
     def attach_telemetry(self, snapshot) -> None:
         """Attach a :class:`~repro.telemetry.MetricsSnapshot` to render
@@ -56,6 +96,14 @@ class ExperimentReport:
     def check(self, description: str, passed: bool) -> None:
         """Record a shape assertion (who-wins / monotonicity / factor)."""
         self.checks.append((description, bool(passed)))
+
+    def timing(self, wall_seconds: Optional[float] = None,
+               sim_seconds: Optional[float] = None) -> None:
+        """Record how long the experiment took, in real and sim seconds."""
+        if wall_seconds is not None:
+            self.wall_seconds = wall_seconds
+        if sim_seconds is not None:
+            self.sim_seconds = sim_seconds
 
     @property
     def all_checks_pass(self) -> bool:
@@ -89,16 +137,68 @@ class ExperimentReport:
             out.append(f"note: {note}")
         for description, ok in self.checks:
             out.append(f"[{'PASS' if ok else 'FAIL'}] {description}")
+        if self.wall_seconds is not None or self.sim_seconds is not None:
+            wall = "-" if self.wall_seconds is None else f"{self.wall_seconds:.2f}"
+            sim = "-" if self.sim_seconds is None else f"{self.sim_seconds:.1f}"
+            out.append(f"timing: wall {wall} s, sim {sim} s")
         if self.telemetry is not None:
             out.append("")
             out.append(self.telemetry.render())
         return "\n".join(out)
 
+    # -- persistence -------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """The machine-readable sidecar: raw rows, checks, config, timing.
+
+        ``payload`` keys are merged at the top level (they may not shadow
+        the report's own keys), so harnesses like the benchmark grid can
+        extend the schema without a second file format.
+        """
+        doc: Dict[str, Any] = {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+            "checks": [
+                {"description": desc, "passed": ok} for desc, ok in self.checks
+            ],
+            "config": dict(self.config),
+            "config_fingerprint": config_fingerprint(self.config),
+            "wall_seconds": self.wall_seconds,
+            "sim_seconds": self.sim_seconds,
+        }
+        for key, value in self.payload.items():
+            if key in doc:
+                raise ValueError(f"payload key {key!r} shadows a report field")
+            doc[key] = value
+        return doc
+
     def save(self, directory: str = "benchmarks/results") -> str:
+        """Write the ``.txt`` table plus its ``.json`` sidecar.
+
+        Returns the text path.  The sidecar keeps everything the table
+        loses to formatting — raw row values, check booleans, the config
+        fingerprint — so a later run can be compared mechanically against
+        this one instead of diffing prose.
+        """
         os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, f"{self.exp_id}.txt")
         with open(path, "w") as handle:
             handle.write(self.render() + "\n")
+        self.save_json(os.path.join(directory, f"{self.exp_id}.json"))
+        return path
+
+    def save_json(self, path: str) -> str:
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        doc = self.to_json()
+        doc["saved_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
         return path
 
     def show(self, directory: Optional[str] = "benchmarks/results") -> None:

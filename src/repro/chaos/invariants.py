@@ -48,6 +48,9 @@ class InvariantReport:
         self.title = title
         self.checks: List[str] = []
         self.violations: List[InvariantViolation] = []
+        #: observations worth surfacing that do not break an invariant
+        #: (e.g. swallowed S2V cleanup errors) — reported, never fatal
+        self.warnings: List[InvariantViolation] = []
 
     @property
     def ok(self) -> bool:
@@ -60,16 +63,25 @@ class InvariantReport:
         self.checks.append(name)
         self.violations.append(InvariantViolation(name, detail))
 
+    def warn(self, name: str, detail: str) -> None:
+        self.checks.append(name)
+        self.warnings.append(InvariantViolation(name, detail))
+
     def merge(self, other: "InvariantReport") -> "InvariantReport":
         self.checks.extend(other.checks)
         self.violations.extend(other.violations)
+        self.warnings.extend(other.warnings)
         return self
 
     def describe(self) -> str:
         lines = [f"{self.title}: {'OK' if self.ok else 'VIOLATED'} "
-                 f"({len(self.checks)} checks)"]
+                 f"({len(self.checks)} checks"
+                 + (f", {len(self.warnings)} warnings" if self.warnings else "")
+                 + ")"]
         for violation in self.violations:
             lines.append(f"  FAIL {violation}")
+        for warning in self.warnings:
+            lines.append(f"  WARN {warning}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -289,6 +301,31 @@ class InvariantChecker:
             )
         else:
             report.passed("no-orphaned-staging-files")
+        return report
+
+    # -- swallowed teardown errors ------------------------------------------------
+    def check_cleanup_failures(self) -> InvariantReport:
+        """Surface S2V cleanup errors the connector deliberately swallowed.
+
+        ``_safe_cleanup`` never lets a teardown error mask the save's real
+        outcome — it increments ``s2v.cleanup_failures`` and moves on.  A
+        nonzero counter is not an invariant violation (the leak checks
+        above catch any state it stranded), but it must be *visible*, so
+        it surfaces as a warning in every audit instead of rotting in an
+        unread counter.
+        """
+        from repro import telemetry
+
+        report = InvariantReport("cleanup")
+        count = int(telemetry.counter("s2v.cleanup_failures").value)
+        if count:
+            report.warn(
+                "cleanup-failures-surfaced",
+                f"{count} S2V cleanup error(s) were swallowed during "
+                f"teardown (s2v.cleanup_failures counter)",
+            )
+        else:
+            report.passed("cleanup-failures-surfaced")
         return report
 
     # -- global hygiene ---------------------------------------------------------

@@ -106,6 +106,8 @@ class S2VWriter:
         self.nodes: List[str] = []
         self.avro_schema = dataframe.schema.to_avro("s2v_row")
         self._skipped = False
+        #: the last teardown error _safe_cleanup swallowed (None if clean)
+        self.cleanup_failure: Optional[BaseException] = None
         #: plan used when prehash_partitioning is on: task -> node
         self._prehash_ring = None
         #: staging transport: tasks write columnar attempt files to a
@@ -172,8 +174,12 @@ class S2VWriter:
         """
         try:
             yield from self._cleanup(job)
-        except Exception:
+        except Exception as exc:
+            # Swallowed, but never invisible: the counter feeds the
+            # chaos-soak summaries and InvariantChecker warnings, and the
+            # last error is kept on the writer for post-mortems.
             telemetry.counter("s2v.cleanup_failures").inc()
+            self.cleanup_failure = exc
 
     def _cleanup(self, job) -> Generator:
         # Quiesce zombie attempts first so the reconciliation below never

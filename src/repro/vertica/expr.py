@@ -147,7 +147,13 @@ class BinaryOp(Expression):
         left = self.left.evaluate(row)
         right = self.right.evaluate(row)
         if op in _ARITHMETIC:
-            return _ARITHMETIC[op](left, right)
+            try:
+                return _ARITHMETIC[op](left, right)
+            except TypeError:
+                raise SqlError(
+                    f"invalid operands to {op!r}: {type(left).__name__} "
+                    f"and {type(right).__name__}"
+                ) from None
         if op in _COMPARISON:
             if left is None or right is None:
                 return None

@@ -32,6 +32,7 @@ from dataclasses import replace as dc_replace
 from typing import List, Optional, Set, Tuple
 
 from repro.vertica.engine import extract_hash_range
+from repro.vertica.errors import VerticaError
 from repro.vertica.expr import (
     Between,
     BinaryOp,
@@ -121,9 +122,13 @@ def _try_fold(
     if all(isinstance(c, Literal) for c in children):
         try:
             return Literal(node.evaluate({})), True
-        except Exception:
-            # Leave unfolded: the error (if the row count makes it
-            # reachable at all) must surface at execution time.
+        except VerticaError:
+            # Leave unfolded: the *user's* error (if the row count makes
+            # it reachable at all) must surface at execution time.  Only
+            # the engine's own evaluation errors qualify — anything else
+            # (a TypeError from a malformed evaluate, an AttributeError)
+            # is a programming bug and must propagate, not silently
+            # disable folding.
             pass
     return node, changed
 

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.bench.chaos_soak import SOAK_COST_MODEL
+from repro import telemetry
+from repro.bench.chaos_soak import SOAK_COST_MODEL, TrialResult
 from repro.bench.fabric import Fabric
 from repro.chaos import (
     ChaosError,
@@ -472,3 +473,45 @@ class TestExecutorLostCause:
         cause = ExecutorLost("spark3", "chaos")
         assert cause.node_name == "spark3"
         assert "spark3" in repr(cause)
+
+
+class TestCleanupFailureSurfacing:
+    """Swallowed S2V teardown errors must be visible, never fatal."""
+
+    def test_warn_is_visible_but_does_not_flip_ok(self):
+        from repro.chaos.invariants import InvariantReport
+
+        report = InvariantReport("cleanup")
+        report.warn("cleanup-failures-surfaced", "2 errors swallowed")
+        assert report.ok
+        text = report.describe()
+        assert "1 warnings" in text
+        assert "WARN cleanup-failures-surfaced" in text
+
+    def test_checker_warns_when_cleanup_errors_were_swallowed(self):
+        # A fresh telemetry-enabled fabric zeroes the global counter.
+        fabric = chaos_fabric()
+        checker = InvariantChecker(fabric.vertica)
+        clean = checker.check_cleanup_failures()
+        assert clean.ok and not clean.warnings
+
+        telemetry.counter("s2v.cleanup_failures").inc()
+        dirty = checker.check_cleanup_failures()
+        assert dirty.ok, dirty.describe()  # a warning, not a violation
+        assert [w.name for w in dirty.warnings] == ["cleanup-failures-surfaced"]
+        assert "1 S2V cleanup error(s)" in dirty.describe()
+
+    def test_trial_result_describe_shows_cleanup_failures(self):
+        from repro.chaos.invariants import InvariantReport
+
+        ok_report = InvariantReport("cleanup")
+        trial = TrialResult(
+            "s2v", seed=7, mode="overwrite", speculation=False,
+            raised=None, report=ok_report, injections=3, cleanup_failures=2,
+        )
+        assert "cleanup_failures=2" in trial.describe()
+        silent = TrialResult(
+            "s2v", seed=7, mode="overwrite", speculation=False,
+            raised=None, report=ok_report, injections=3,
+        )
+        assert "cleanup_failures" not in silent.describe()

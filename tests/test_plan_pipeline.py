@@ -129,6 +129,32 @@ class TestOptimizerRules:
         with pytest.raises(SqlError):
             session.execute("SELECT 1 / 0 FROM t")
 
+    def test_constant_folding_surfaces_programming_bugs(self, db):
+        # "Evaluation raised, leave unfolded" applies only to the
+        # engine's own SqlErrors (1/0, type-mismatched operands).  A bug
+        # in an Expression — a malformed evaluate raising TypeError —
+        # must propagate out of the fold, not be masked as "unfoldable".
+        from repro.vertica.expr import BinaryOp, Literal
+
+        class BrokenLiteral(Literal):
+            def evaluate(self, row):
+                raise TypeError("malformed evaluate")
+
+        with pytest.raises(TypeError, match="malformed evaluate"):
+            fold_expression(BinaryOp("+", Literal(1), BrokenLiteral(2)))
+
+    def test_mixed_type_arithmetic_is_a_sql_error(self, db):
+        # Adding an integer to a string is the *user's* error: it folds
+        # to "leave unfolded" at plan time and raises SqlError (never a
+        # raw TypeError) when a row actually evaluates it.
+        folded, changed = fold_expression(
+            parse_statement("SELECT 1 + 'x' FROM t").items[0].expression
+        )
+        assert not changed
+        session = db.connect()
+        with pytest.raises(SqlError, match="invalid operands"):
+            session.execute("SELECT 1 + 'x' FROM t")
+
     def test_filter_stays_above_view(self, db):
         session = db.connect()
         session.execute("CREATE VIEW v AS SELECT a, b FROM t")
