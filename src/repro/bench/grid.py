@@ -550,6 +550,99 @@ def _staging_checks(cells: List[Dict[str, Any]]) -> List[Tuple[str, bool]]:
     return checks
 
 
+# -- join strategies: hash/merge vs the nested-loop floor ------------------------
+def load_join_tables(session, probe_rows: int, build_rows: int,
+                     colocated: bool, chunk: int = 2_000) -> None:
+    """Create and populate the join bench's ``probe``/``build`` pair.
+
+    Every probe key hits exactly one build row.  The co-located variant
+    segments both tables on the join key; the other segments ``build`` on
+    its payload column, so the same ring places matching rows on
+    different nodes and the join must move build rows.
+    """
+    session.execute(
+        "CREATE TABLE probe (k INTEGER, pv FLOAT) "
+        "SEGMENTED BY HASH(k) ALL NODES"
+    )
+    seg = "k2" if colocated else "pay"
+    session.execute(
+        f"CREATE TABLE build (k2 INTEGER, pay INTEGER) "
+        f"SEGMENTED BY HASH({seg}) ALL NODES"
+    )
+    for start in range(0, probe_rows, chunk):
+        values = ", ".join(
+            f"({i % build_rows}, {float(i % 97)})"
+            for i in range(start, min(start + chunk, probe_rows))
+        )
+        session.execute(f"INSERT INTO probe VALUES {values}")
+    for start in range(0, build_rows, chunk):
+        values = ", ".join(
+            f"({i}, {i + 7})"
+            for i in range(start, min(start + chunk, build_rows))
+        )
+        session.execute(f"INSERT INTO build VALUES {values}")
+
+
+def _run_join_cell(params: Dict[str, Any],
+                   config: Dict[str, Any]) -> Dict[str, Any]:
+    db = VerticaDatabase(num_nodes=config["num_nodes"])
+    session = db.connect()
+    load_join_tables(session, params["probe_rows"], params["build_rows"],
+                     params["colocated"])
+    session.execute("ANALYZE probe")
+    session.execute("ANALYZE build")
+    session.execute(f"SET JOIN_STRATEGY = '{params['strategy']}'")
+    sql = "SELECT COUNT(*) FROM probe JOIN build ON k = k2"
+    repeats = 1 if params["strategy"] == "nested-loop" else config["repeats"]
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        rows_out = session.execute(sql).scalar()
+        best = min(best, time.perf_counter() - started)
+    if rows_out != params["probe_rows"]:
+        raise GridCellError(
+            f"join returned {rows_out} rows, wanted {params['probe_rows']}"
+        )
+    profile = session.execute("PROFILE " + sql).profile
+    shuffled = sum(op.stats.rows_shuffled for __, op in profile.operators())
+    return {"sim_seconds": None,
+            "join_seconds": round(best, 4),
+            "rows_shuffled": shuffled,
+            "rows_out": rows_out}
+
+
+def _join_checks(cells: List[Dict[str, Any]]) -> List[Tuple[str, bool]]:
+    done = [c for c in cells if c["status"] == DONE]
+    checks: List[Tuple[str, bool]] = [
+        ("all cells DONE", len(done) == len(cells)),
+    ]
+    times = {(c["params"]["strategy"], c["params"]["colocated"]):
+             c["metrics"].get("join_seconds") for c in done}
+    shuffles = {(c["params"]["strategy"], c["params"]["colocated"]):
+                c["metrics"].get("rows_shuffled") for c in done}
+    for colocated in (True, False):
+        loop = times.get(("nested-loop", colocated))
+        hashed = times.get(("hash", colocated))
+        if loop is not None and hashed is not None:
+            checks.append((
+                f"hash join >=5x faster than nested loop "
+                f"(colocated={colocated})",
+                hashed * 5.0 <= loop,
+            ))
+    for strategy in ("hash", "merge"):
+        if (strategy, True) in shuffles:
+            checks.append((
+                f"co-located {strategy} join moves 0 cross-node rows",
+                shuffles[(strategy, True)] == 0,
+            ))
+        if (strategy, False) in shuffles:
+            checks.append((
+                f"non-co-located {strategy} join moves build rows",
+                (shuffles[(strategy, False)] or 0) > 0,
+            ))
+    return checks
+
+
 AREAS: Dict[str, BenchArea] = {
     "fig06": BenchArea(
         "fig06",
@@ -573,6 +666,23 @@ AREAS: Dict[str, BenchArea] = {
         checks=_scan_checks,
         # wall-clock metrics are machine-dependent: gate on floors only
         gate={"floors": {"rows_per_sec": 20_000}},
+    ),
+    "join": BenchArea(
+        "join",
+        "Join strategies: hash/merge vs nested loop, co-located vs shuffled",
+        axes={"strategy": ("nested-loop", "hash", "merge"),
+              "colocated": (True, False),
+              "probe_rows": (100_000,),
+              "build_rows": (1_000,)},
+        smoke_axes={"strategy": ("nested-loop", "hash", "merge"),
+                    "colocated": (True, False),
+                    "probe_rows": (4_000,),
+                    "build_rows": (200,)},
+        runner=_run_join_cell,
+        config={"num_nodes": 4, "repeats": 3},
+        checks=_join_checks,
+        # wall-clock ratios are checked per run; no sim time to band
+        gate={},
     ),
     "staging": BenchArea(
         "staging",

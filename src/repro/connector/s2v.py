@@ -139,7 +139,12 @@ class S2VWriter:
         """
         try:
             yield from self._setup()
-        except Exception:
+        except (VerticaError, SparkError):
+            # Narrowed to the errors setup can legitimately raise (catalog
+            # conflicts, lock contention, admission timeouts, fabric
+            # faults).  A programming error — e.g. a TypeError in option
+            # validation — must propagate with its original traceback, not
+            # run teardown paths that mask it in chaos logs.
             yield from self._safe_cleanup(None)
             raise
         if self._skipped:

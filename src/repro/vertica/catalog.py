@@ -12,6 +12,8 @@ information is stored in the Vertica system catalog and can be queried",
 - ``v_catalog.epochs`` — current_epoch
 - ``v_catalog.resource_pools`` — WLM pool definitions (memory,
   planned/max concurrency, priority, queue timeout, cascade)
+- ``v_catalog.column_statistics`` — optimizer statistics collected by
+  ``ANALYZE`` (row/null counts, NDV, min/max, histogram buckets)
 """
 
 from __future__ import annotations
@@ -107,6 +109,7 @@ class Catalog:
     """Tables and views, plus virtual system-table generation."""
 
     def __init__(self, node_names: Sequence[str]):
+        from repro.vertica.stats import TableStats
         from repro.wlm.pools import ResourcePool, general_pool
 
         self.node_names = list(node_names)
@@ -116,6 +119,8 @@ class Catalog:
         self.resource_pools: Dict[str, "ResourcePool"] = {
             "GENERAL": general_pool()
         }
+        #: optimizer statistics, keyed by upper-cased table name (ANALYZE)
+        self.statistics: Dict[str, "TableStats"] = {}
 
     # -- tables ----------------------------------------------------------------
     def create_table(
@@ -148,6 +153,7 @@ class Catalog:
                 return False
             raise CatalogError(f"table {name!r} does not exist")
         del self.tables[key]
+        self.statistics.pop(key, None)
         return True
 
     def rename_table(self, name: str, new_name: str) -> None:
@@ -160,6 +166,10 @@ class Catalog:
         table = self.tables.pop(key)
         table.name = new_key
         self.tables[new_key] = table
+        stats = self.statistics.pop(key, None)
+        if stats is not None:
+            stats.table = new_key
+            self.statistics[new_key] = stats
 
     def table(self, name: str) -> TableDef:
         try:
@@ -306,6 +316,10 @@ class Catalog:
             return columns, rows
         if key == "V_CATALOG.EPOCHS":
             return ["CURRENT_EPOCH"], [{"CURRENT_EPOCH": current_epoch}]
+        if key == "V_CATALOG.COLUMN_STATISTICS":
+            from repro.vertica import stats as stats_module
+
+            return stats_module.system_table_rows(self.statistics)
         if key == "V_CATALOG.RESOURCE_POOLS":
             columns = [
                 "POOL_NAME",

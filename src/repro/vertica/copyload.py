@@ -188,6 +188,11 @@ def run_copy(
     cost = CostReport()
     loaded = engine.insert_rows(table.name, good, txn, cost)
     telemetry.counter("vertica.copy.rows_loaded").inc(loaded)
+    # Keep optimizer statistics roughly current as loads stream in; only
+    # tables that have been ANALYZEd carry stats worth maintaining.
+    from repro.vertica.stats import update_stats_for_load
+
+    update_stats_for_load(engine.database, table.name, good)
     result = ResultSet(
         columns=["ROWS_LOADED"], rows=[(loaded,)], rowcount=loaded, cost=cost
     )

@@ -58,6 +58,9 @@ class VerticaDatabase:
         self.dfs = DistributedFileSystem(self.node_names)
         self.node_states: Dict[str, str] = {name: "UP" for name in self.node_names}
         self._session_counts: Dict[str, int] = {name: 0 for name in self.node_names}
+        #: join-strategy override (SET JOIN_STRATEGY): 'auto' lets the cost
+        #: model pick; 'hash'/'merge'/'nested-loop' force one for debugging
+        self.join_strategy = "auto"
         from repro.vertica.tuplemover import TupleMover
 
         self.tuple_mover = TupleMover(self)

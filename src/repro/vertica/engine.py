@@ -303,6 +303,8 @@ class Engine:
             result = self.update(statement, txn, initiator)
         elif isinstance(statement, ast.Delete):
             result = self.delete(statement, txn, initiator)
+        elif isinstance(statement, ast.Analyze):
+            result = self.analyze(statement)
         elif isinstance(statement, ast.CopyStatement):
             from repro.vertica.copyload import run_copy
 
@@ -465,6 +467,28 @@ class Engine:
         report.profile = prof
         report.query_result = result
         return report
+
+    def analyze(self, statement: ast.Analyze) -> ResultSet:
+        """Collect optimizer statistics for one table (``ANALYZE <table>``).
+
+        Scans the committed data at the current epoch, rebuilds row/NDV/
+        min-max/histogram statistics, and persists them in the catalog
+        (visible through ``V_CATALOG.COLUMN_STATISTICS``).
+        """
+        from repro.vertica.stats import DEFAULT_BUCKETS, collect_table_stats
+
+        db = self.database
+        table = db.catalog.table(statement.table)
+        buckets = statement.buckets if statement.buckets is not None else DEFAULT_BUCKETS
+        if buckets <= 0:
+            raise SqlError(f"ANALYZE bucket count must be positive, got {buckets}")
+        stats = collect_table_stats(db, table.name, buckets)
+        db.catalog.statistics[table.name] = stats
+        telemetry.counter("vertica.queries.analyze").inc()
+        return ResultSet(
+            ["TABLE_NAME", "ROW_COUNT", "COLUMNS_ANALYZED"],
+            [(table.name, stats.row_count, len(stats.columns))],
+        )
 
     # ------------------------------------------------------------------- DML
     def insert_rows(

@@ -27,6 +27,10 @@ from repro.vertica.sql import ast_nodes as ast
 class LogicalNode:
     """Base class; ``children`` drive generic tree walks."""
 
+    #: cost-model output-row estimate (None until the estimation pass runs,
+    #: or when no estimate is possible — e.g. below a view expansion)
+    estimated_rows: Optional[int] = None
+
     def children(self) -> List["LogicalNode"]:
         return []
 
@@ -103,19 +107,38 @@ class ViewScan(RelationNode):
 
 
 class Join(LogicalNode):
-    """Nested-loop inner join; right side is always a bare relation."""
+    """Inner join; right side is always a bare relation.
+
+    The optimizer's join-strategy rule annotates the physical choice:
+    ``strategy`` (one of ``nested-loop``, ``hash``, ``merge``),
+    ``build_side`` (hash build / outer merge input), the equi-join key
+    pairs it extracted from the condition, and whether the two sides are
+    identically segmented on those keys (``colocated`` — the paper's
+    shuffle-free co-located join).
+    """
 
     def __init__(self, left: LogicalNode, right: RelationNode, condition: Expression):
         self.left = left
         self.right = right
         self.condition = condition
+        self.strategy: str = "nested-loop"
+        self.build_side: str = "right"
+        #: equi-join key pairs as (left expr name, right expr name)
+        self.equi_keys: List[Any] = []
+        self.colocated: bool = False
 
     def children(self) -> List[LogicalNode]:
         return [self.left, self.right]
 
     def label(self) -> str:
         name = getattr(self.right, "key", "?")
-        return f"JOIN {name} ON {self.condition.sql()}"
+        base = f"JOIN {name} ON {self.condition.sql()}"
+        notes = [f"{self.strategy} join"]
+        if self.strategy in ("hash", "merge"):
+            notes.append(f"build: {self.build_side}")
+        if self.colocated:
+            notes.append("co-located")
+        return f"{base} [{', '.join(notes)}]"
 
 
 class Filter(LogicalNode):

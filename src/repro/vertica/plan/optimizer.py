@@ -29,9 +29,9 @@ would change its CostReport.
 from __future__ import annotations
 
 from dataclasses import replace as dc_replace
-from typing import List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.vertica.engine import extract_hash_range
+from repro.vertica.engine import HASH_SPACE, extract_hash_range
 from repro.vertica.errors import VerticaError
 from repro.vertica.expr import (
     Between,
@@ -54,6 +54,10 @@ RULE_CONSTANT_FOLDING = "constant folding"
 RULE_HASH_RANGE = "hash-range tightening"
 RULE_PREDICATE_PUSHDOWN = "predicate pushdown"
 RULE_PROJECTION_PRUNING = "projection pruning"
+RULE_JOIN_STRATEGY = "join-strategy selection"
+
+#: an estimated hash build side larger than this spills; prefer merge join
+JOIN_BUILD_MEMORY_ROWS = 65_536
 
 
 def optimize(plan: LogicalPlan, database) -> LogicalPlan:
@@ -66,6 +70,9 @@ def optimize(plan: LogicalPlan, database) -> LogicalPlan:
         plan.rules_applied.append(RULE_PREDICATE_PUSHDOWN)
     if _prune_columns(plan):
         plan.rules_applied.append(RULE_PROJECTION_PRUNING)
+    _estimate_node(plan.root, database)
+    if _plan_joins(plan, database):
+        plan.rules_applied.append(RULE_JOIN_STRATEGY)
     return plan
 
 
@@ -219,6 +226,7 @@ def _tighten_hash_range(plan: LogicalPlan) -> bool:
 
 # ------------------------------------------------------------- pushdown
 def _push_predicate(plan: LogicalPlan) -> bool:
+    changed = False
     for node in plan.nodes():
         if not isinstance(node, logical.Filter):
             continue
@@ -226,8 +234,216 @@ def _push_predicate(plan: LogicalPlan) -> bool:
         if isinstance(child, TableScan) and not child.for_update:
             child.predicate = node.predicate
             _splice_out(plan, node, child)
-            return True
+            changed = True
+        elif isinstance(child, logical.Join):
+            changed |= _push_below_join(plan, node, child)
+    return changed
+
+
+def _split_and(expr: Expression) -> List[Expression]:
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _split_and(expr.left) + _split_and(expr.right)
+    return [expr]
+
+
+def _rebuild_and(parts: List[Expression]) -> Expression:
+    out = parts[0]
+    for part in parts[1:]:
+        out = BinaryOp("AND", out, part)
+    return out
+
+
+def _join_scans(node: logical.LogicalNode) -> Optional[List[TableScan]]:
+    """All leaves of a join subtree, or None if any is not a base table."""
+    if isinstance(node, logical.Join):
+        left = _join_scans(node.left)
+        right = _join_scans(node.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(node, TableScan):
+        return [node]
+    return None
+
+
+def _scan_type_classes(scans: List[TableScan]) -> Dict[str, str]:
+    """Column name -> 'num'/'str' for every resolvable name in the subtree.
+
+    Plain names resolve left-first, matching the left-wins merge the join
+    applies to ambiguous columns; alias-qualified names are unambiguous.
+    """
+    types: Dict[str, str] = {}
+    for scan in scans:
+        for column_def in scan.table.columns:
+            type_name = column_def.sql_type.name
+            klass = "str" if type_name.startswith("VARCHAR") else "num"
+            types.setdefault(column_def.name, klass)
+            types[f"{scan.alias}.{column_def.name}"] = klass
+    return types
+
+
+def _subtree_names(node: logical.LogicalNode) -> Set[str]:
+    if isinstance(node, TableScan):
+        names = set(node.table.column_names())
+        names.update(f"{node.alias}.{c}" for c in node.table.column_names())
+        return names
+    if isinstance(node, logical.Join):
+        return _subtree_names(node.left) | _subtree_names(node.right)
+    return set()
+
+
+_EQUALITY_OPS = ("=", "<>", "!=")
+_RANGE_OPS = ("<", "<=", ">", ">=")
+
+
+def _operand_class(expr: Expression, types: Dict[str, str]) -> Optional[str]:
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return "null"
+        if isinstance(expr.value, str):
+            return "str"
+        if isinstance(expr.value, (bool, int, float)):
+            return "num"
+        return None
+    if isinstance(expr, ColumnRef):
+        return types.get(expr.name)
+    return None
+
+
+def _is_simple(expr: Expression) -> bool:
+    return isinstance(expr, (Literal, ColumnRef))
+
+
+def _never_raises(expr: Expression, types: Dict[str, str]) -> bool:
+    """Conservatively true when evaluating ``expr`` can never raise.
+
+    The legacy interpreter's AND/OR are *eager*: every WHERE conjunct and
+    every join condition is evaluated on every joined row.  Pushing a
+    conjunct below a join skips those evaluations for the rows it
+    excludes, which is only indistinguishable from the legacy order when
+    none of the skipped evaluations could have raised.  Operands are
+    restricted to bare columns/literals; ranged comparisons additionally
+    need both type classes known and equal (mixed-type comparison raises
+    ``SqlError``), and ``BETWEEN``/arithmetic are excluded outright.
+    """
+    if isinstance(expr, (Literal, ColumnRef)):
+        return True  # ref presence is guaranteed by the side-name check
+    if isinstance(expr, BinaryOp):
+        if expr.op in ("AND", "OR"):
+            return _never_raises(expr.left, types) and _never_raises(
+                expr.right, types
+            )
+        if expr.op in _EQUALITY_OPS:
+            return _is_simple(expr.left) and _is_simple(expr.right)
+        if expr.op in _RANGE_OPS:
+            if not (_is_simple(expr.left) and _is_simple(expr.right)):
+                return False
+            left = _operand_class(expr.left, types)
+            right = _operand_class(expr.right, types)
+            if left == "null" or right == "null":
+                return True  # NULL comparison short-circuits to NULL
+            return left is not None and left == right
+        return False
+    if isinstance(expr, UnaryOp):
+        return expr.op == "NOT" and _never_raises(expr.operand, types)
+    if isinstance(expr, (IsNull, Like)):
+        return _is_simple(expr.operand)
+    if isinstance(expr, InList):
+        return _is_simple(expr.operand) and all(
+            isinstance(o, Literal) for o in expr.options
+        )
     return False
+
+
+def _merge_side(
+    name: str, left_names: Set[str], right_names: Set[str]
+) -> Optional[str]:
+    """Which side's value ``name`` resolves to under the join merge.
+
+    The merge is right ∪ left (left wins) with the right side's
+    *qualified* names re-applied last — so qualified names resolve right
+    first, plain names left first.
+    """
+    if "." in name:
+        if name in right_names:
+            return "right"
+        if name in left_names:
+            return "left"
+    else:
+        if name in left_names:
+            return "left"
+        if name in right_names:
+            return "right"
+    return None
+
+
+def _push_target(
+    join: logical.Join, conjunct: Expression
+) -> Optional[TableScan]:
+    """The scan a one-sided conjunct can move into, descending the chain."""
+    refs = set(conjunct.columns())
+    node: logical.LogicalNode = join
+    while isinstance(node, logical.Join):
+        left_names = _subtree_names(node.left)
+        right_names = _subtree_names(node.right)
+        sides = {_merge_side(r, left_names, right_names) for r in refs}
+        if sides == {"left"}:
+            node = node.left
+            continue
+        if sides == {"right"}:
+            node = node.right
+            continue
+        return None
+    if isinstance(node, TableScan) and not node.for_update:
+        return node
+    return None
+
+
+def _push_below_join(
+    plan: LogicalPlan, filter_node: logical.Filter, join: logical.Join
+) -> bool:
+    """Split a WHERE above a join and push one-sided conjuncts into scans.
+
+    Fires only when *every* WHERE conjunct and *every* join condition in
+    the subtree is provably never-raising: the legacy oracle evaluates all
+    of them on all joined rows, so an error anywhere must keep surfacing
+    even for rows a pushed conjunct would have excluded.
+    """
+    scans = _join_scans(join)
+    if scans is None:
+        return False  # a view/system-table side: schema unknown, keep Filter
+    types = _scan_type_classes(scans)
+    conditions: List[Expression] = []
+    stack: List[logical.LogicalNode] = [join]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, logical.Join):
+            conditions.append(node.condition)
+            stack.extend(node.children())
+    if not all(_never_raises(c, types) for c in conditions):
+        return False
+    conjuncts = _split_and(filter_node.predicate)
+    if not all(_never_raises(c, types) for c in conjuncts):
+        return False
+    residual: List[Expression] = []
+    pushed = False
+    for conjunct in conjuncts:
+        scan = _push_target(join, conjunct)
+        if scan is None:
+            residual.append(conjunct)
+            continue
+        if scan.predicate is None:
+            scan.predicate = conjunct
+        else:
+            scan.predicate = BinaryOp("AND", scan.predicate, conjunct)
+        pushed = True
+    if not pushed:
+        return False
+    if residual:
+        filter_node.predicate = _rebuild_and(residual)
+    else:
+        _splice_out(plan, filter_node, join)
+    return True
 
 
 def _splice_out(plan: LogicalPlan, node, replacement) -> None:
@@ -295,6 +511,355 @@ def _all_expressions(plan: LogicalPlan) -> List[Expression]:
         elif isinstance(node, logical.Sort):
             out.extend(o.expression for o in node.order_by)
     return out
+
+
+# ---------------------------------------------------------- cost model
+def _table_base_rows(database, table) -> int:
+    """Cheap physical row count (container metadata, not visibility)."""
+    nodes = (
+        [database.node_names[0]] if table.unsegmented else database.node_names
+    )
+    total = 0
+    for node in nodes:
+        for container in database.storage[node].table_containers(table.name):
+            total += container.nrows
+    return total
+
+
+def _stats_for_scan(database, scan: TableScan):
+    return database.catalog.statistics.get(scan.table.name)
+
+
+def _scan_column_stats(database, scan: TableScan, name: str):
+    stats = _stats_for_scan(database, scan)
+    if stats is None:
+        return None
+    return stats.column(name.split(".")[-1])
+
+
+def _subtree_column_stats(database, node: logical.LogicalNode, name: str):
+    """Resolve a column ref to its scan's stats, left-first on plain names."""
+    if isinstance(node, TableScan):
+        if name in _subtree_names(node):
+            return _scan_column_stats(database, node, name)
+        return None
+    if isinstance(node, logical.Join):
+        found = _subtree_column_stats(database, node.left, name)
+        if found is not None or name in _subtree_names(node.left):
+            return found
+        return _subtree_column_stats(database, node.right, name)
+    if isinstance(node, logical.Filter):
+        return _subtree_column_stats(database, node.child, name)
+    return None
+
+
+def _col_and_literal(
+    expr: BinaryOp,
+) -> Tuple[Optional[str], Optional[Any], str]:
+    """(column name, literal value, effective op) for col-vs-literal compares."""
+    if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
+        return expr.left.name, expr.right.value, expr.op
+    if isinstance(expr.left, Literal) and isinstance(expr.right, ColumnRef):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        return (
+            expr.right.name,
+            expr.left.value,
+            flipped.get(expr.op, expr.op),
+        )
+    return None, None, expr.op
+
+
+def _selectivity(database, relation, expr: Expression) -> float:
+    """Estimated fraction of rows satisfying ``expr`` (textbook formulas)."""
+
+    def column_stats(name: str):
+        return _subtree_column_stats(database, relation, name)
+
+    if isinstance(expr, Literal):
+        return 1.0 if expr.value is True else 0.0
+    if isinstance(expr, BinaryOp):
+        if expr.op == "AND":
+            return _selectivity(database, relation, expr.left) * _selectivity(
+                database, relation, expr.right
+            )
+        if expr.op == "OR":
+            s1 = _selectivity(database, relation, expr.left)
+            s2 = _selectivity(database, relation, expr.right)
+            return min(1.0, s1 + s2 - s1 * s2)
+        name, value, op = _col_and_literal(expr)
+        if expr.op == "=":
+            if name is not None:
+                cs = column_stats(name)
+                if cs is not None:
+                    return cs.equality_selectivity()
+            return 0.1
+        if expr.op in ("<>", "!="):
+            if name is not None:
+                cs = column_stats(name)
+                if cs is not None:
+                    return max(0.0, 1.0 - cs.equality_selectivity())
+            return 0.9
+        if expr.op in _RANGE_OPS:
+            if name is not None:
+                cs = column_stats(name)
+                if cs is not None:
+                    return cs.range_selectivity(op, value)
+            return 1.0 / 3.0
+        return 1.0 / 3.0
+    if isinstance(expr, UnaryOp) and expr.op == "NOT":
+        return max(0.0, 1.0 - _selectivity(database, relation, expr.operand))
+    if isinstance(expr, IsNull):
+        fraction = 0.1
+        if isinstance(expr.operand, ColumnRef):
+            cs = column_stats(expr.operand.name)
+            if cs is not None:
+                fraction = cs.null_fraction
+        return max(0.0, 1.0 - fraction) if expr.negated else fraction
+    if isinstance(expr, Like):
+        return 0.25
+    if isinstance(expr, InList):
+        eq = 0.1
+        if isinstance(expr.operand, ColumnRef):
+            cs = column_stats(expr.operand.name)
+            if cs is not None:
+                eq = cs.equality_selectivity()
+        fraction = min(1.0, eq * max(1, len(expr.options)))
+        return max(0.0, 1.0 - fraction) if expr.negated else fraction
+    if isinstance(expr, Between):
+        if isinstance(expr.operand, ColumnRef):
+            cs = column_stats(expr.operand.name)
+            if (
+                cs is not None
+                and isinstance(expr.low, Literal)
+                and isinstance(expr.high, Literal)
+            ):
+                below_high = cs.range_selectivity("<=", expr.high.value)
+                below_low = cs.range_selectivity("<", expr.low.value)
+                return max(0.0, below_high - below_low)
+        return 1.0 / 3.0
+    return 1.0 / 3.0
+
+
+def _equi_key_pairs(join: logical.Join) -> List[Tuple[str, str]]:
+    """(left ref, right ref) pairs from ``a = b`` conjuncts of the condition.
+
+    A ref resolves the way the join merge does: plain names present on the
+    left belong to the left side (left wins on ambiguity).
+    """
+    left_names = _subtree_names(join.left)
+    right_names = _subtree_names(join.right)
+
+    def side_of(name: str) -> Optional[str]:
+        return _merge_side(name, left_names, right_names)
+
+    pairs: List[Tuple[str, str]] = []
+    for conjunct in _split_and(join.condition):
+        if not (
+            isinstance(conjunct, BinaryOp)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, ColumnRef)
+        ):
+            continue
+        a, b = conjunct.left.name, conjunct.right.name
+        if side_of(a) == "left" and side_of(b) == "right":
+            pairs.append((a, b))
+        elif side_of(a) == "right" and side_of(b) == "left":
+            pairs.append((b, a))
+    return pairs
+
+
+def _estimate_node(node: logical.LogicalNode, database) -> Optional[int]:
+    """Annotate ``estimated_rows`` bottom-up; None where no estimate exists."""
+    for child in node.children():
+        _estimate_node(child, database)
+    estimate = _estimate_rows(node, database)
+    node.estimated_rows = estimate
+    return estimate
+
+
+def _estimate_rows(node: logical.LogicalNode, database) -> Optional[int]:
+    if isinstance(node, TableScan):
+        stats = _stats_for_scan(database, node)
+        base = float(
+            stats.row_count
+            if stats is not None
+            else _table_base_rows(database, node.table)
+        )
+        if (
+            node.hash_range is not None
+            and not node.hash_range.is_full
+            and not node.table.unsegmented
+        ):
+            span = max(0, node.hash_range.hi - node.hash_range.lo)
+            base *= span / HASH_SPACE
+        if node.predicate is not None:
+            base *= _selectivity(database, node, node.predicate)
+        return max(0, round(base))
+    if isinstance(node, logical.ConstantRelation):
+        return 1
+    if isinstance(node, logical.Join):
+        left = node.left.estimated_rows
+        right = node.right.estimated_rows
+        if left is None or right is None:
+            return None
+        pairs = _equi_key_pairs(node)
+        cross = float(left * right)
+        if not pairs:
+            return max(0, round(cross / 3.0))
+        denominator = 1.0
+        for left_ref, right_ref in pairs:
+            left_cs = _subtree_column_stats(database, node.left, left_ref)
+            right_cs = _subtree_column_stats(database, node.right, right_ref)
+            default = max(1, min(left, right))  # FK-ish fallback guess
+            left_ndv = (
+                left_cs.ndv if left_cs is not None and left_cs.ndv > 0 else default
+            )
+            right_ndv = (
+                right_cs.ndv if right_cs is not None and right_cs.ndv > 0 else default
+            )
+            denominator *= max(left_ndv, right_ndv, 1)
+        return max(0, round(cross / denominator))
+    if isinstance(node, logical.Filter):
+        child = node.child.estimated_rows
+        if child is None:
+            return None
+        return max(
+            0, round(child * _selectivity(database, node.child, node.predicate))
+        )
+    if isinstance(node, logical.Project):
+        return node.child.estimated_rows
+    if isinstance(node, logical.Aggregate):
+        child = node.child.estimated_rows
+        if child is None:
+            return None
+        if not node.group_by:
+            return 1
+        groups = 1.0
+        for key in node.group_by:
+            if isinstance(key, ColumnRef):
+                cs = _subtree_column_stats(database, node.child, key.name)
+                groups *= cs.ndv if cs is not None and cs.ndv > 0 else 10
+            else:
+                groups *= 10
+        return max(0, min(child, round(groups)))
+    if isinstance(node, logical.Sort):
+        return node.child.estimated_rows
+    if isinstance(node, logical.Limit):
+        child = node.child.estimated_rows
+        if child is None:
+            return node.count
+        return min(child, node.count)
+    return None  # system tables / views: computed rows, no estimate
+
+
+# ----------------------------------------------------- join strategies
+def _same_ring(left_ring, right_ring) -> bool:
+    left_segments = [(s.node, s.lo, s.hi) for s in left_ring.segments]
+    right_segments = [(s.node, s.lo, s.hi) for s in right_ring.segments]
+    return left_segments == right_segments
+
+
+def _is_colocated(join: logical.Join, pairs: List[Tuple[str, str]]) -> bool:
+    """Both sides base-table scans, same ring, equi keys = segmentation keys."""
+    left, right = join.left, join.right
+    if not (isinstance(left, TableScan) and isinstance(right, TableScan)):
+        return False
+    left_table, right_table = left.table, right.table
+    if left_table.unsegmented or right_table.unsegmented:
+        return False
+    if left_table.ring is None or right_table.ring is None:
+        return False
+    if not _same_ring(left_table.ring, right_table.ring):
+        return False
+    left_seg = left_table.segmentation_columns
+    right_seg = right_table.segmentation_columns
+    if len(left_seg) != len(right_seg):
+        return False
+    pair_map = {
+        left_ref.split(".")[-1]: right_ref.split(".")[-1]
+        for left_ref, right_ref in pairs
+    }
+    return all(
+        pair_map.get(left_col) == right_col
+        for left_col, right_col in zip(left_seg, right_seg)
+    )
+
+
+def _keys_sortable(join: logical.Join, pairs: List[Tuple[str, str]]) -> bool:
+    """True when every key pair has one known, shared type class.
+
+    Merge join sorts both key arrays; Python refuses mixed-type ordering,
+    so the planner only offers merge when the classes provably line up.
+    """
+    scans = _join_scans(join)
+    if scans is None:
+        return False
+    types = _scan_type_classes(scans)
+    for left_ref, right_ref in pairs:
+        left_class = types.get(left_ref)
+        if left_class is None or left_class != types.get(right_ref):
+            return False
+    return True
+
+
+def _condition_safe(join: logical.Join) -> bool:
+    """True when the join condition provably cannot raise mid-evaluation.
+
+    Hash and merge joins evaluate the condition only on key-matching
+    candidate pairs; the legacy nested loop evaluates it eagerly on
+    *every* pair.  When a residual conjunct could raise — say a
+    mixed-type range comparison — skipping pairs would also skip the
+    error, so the planner keeps the nested loop even under a forced
+    ``JOIN_STRATEGY`` override.
+    """
+    scans = _join_scans(join)
+    if scans is None:
+        return False
+    return _never_raises(join.condition, _scan_type_classes(scans))
+
+
+def _plan_joins(plan: LogicalPlan, database) -> bool:
+    """Annotate every Join with strategy, build side, keys, co-location."""
+    override = getattr(database, "join_strategy", "auto")
+    changed = False
+    for node in plan.nodes():
+        if not isinstance(node, logical.Join):
+            continue
+        changed = True
+        pairs = _equi_key_pairs(node)
+        node.equi_keys = pairs
+        node.colocated = bool(pairs) and _is_colocated(node, pairs)
+        if override == "nested-loop" or not pairs or not _condition_safe(node):
+            node.strategy, node.build_side = "nested-loop", "right"
+            continue
+        left = node.left.estimated_rows
+        right = node.right.estimated_rows
+        build = (
+            "left"
+            if (left is not None and right is not None and left < right)
+            else "right"
+        )
+        if override == "hash":
+            node.strategy, node.build_side = "hash", build
+            continue
+        sortable = _keys_sortable(node, pairs)
+        if override == "merge":
+            if sortable:
+                node.strategy, node.build_side = "merge", build
+            else:
+                node.strategy, node.build_side = "nested-loop", "right"
+            continue
+        build_rows = right if build == "right" else left
+        if (
+            sortable
+            and build_rows is not None
+            and build_rows > JOIN_BUILD_MEMORY_ROWS
+        ):
+            node.strategy, node.build_side = "merge", build
+        else:
+            node.strategy, node.build_side = "hash", build
+    return changed
 
 
 def _prune_columns(plan: LogicalPlan) -> bool:

@@ -98,7 +98,7 @@ class OperatorStats:
     """Per-operator execution counters, feeding PROFILE and telemetry."""
 
     __slots__ = ("rows_in", "rows_out", "rows_scanned", "batches", "bytes_out",
-                 "elapsed_s")
+                 "elapsed_s", "rows_shuffled")
 
     def __init__(self) -> None:
         self.rows_in = 0
@@ -110,6 +110,9 @@ class OperatorStats:
         self.bytes_out = 0.0
         #: inclusive wall time (this operator plus everything below it)
         self.elapsed_s = 0.0
+        #: build-side rows a distributed join would copy across nodes
+        #: (0 for co-located joins — both sides identically segmented)
+        self.rows_shuffled = 0
 
 
 class PhysicalOperator:
@@ -420,11 +423,15 @@ class JoinOp(PhysicalOperator):
         condition = self.logical.condition
         right_rows: List[Dict[str, Any]] = []
         right_names: List[str] = []
+        right_nodes: List[str] = []
         for batch in self.right.batches():
             right_names = batch.names
+            self.stats.rows_in += batch.num_rows
             for i in range(batch.num_rows):
                 right_rows.append(dict(RowView(batch, i)))
+                right_nodes.append(batch.nodes[i])
         names: Optional[List[str]] = None
+        left_node_set: set = set()
         pending: List[Tuple[str, Dict[str, Any]]] = []
         for batch in self.left.batches():
             if names is None:
@@ -435,6 +442,7 @@ class JoinOp(PhysicalOperator):
             for i in range(batch.num_rows):
                 left_row = dict(RowView(batch, i))
                 node = batch.nodes[i]
+                left_node_set.add(node)
                 for right_row in right_rows:
                     merged = dict(right_row)
                     merged.update(left_row)  # left wins on ambiguity
@@ -448,12 +456,213 @@ class JoinOp(PhysicalOperator):
                             pending = []
         if pending and names is not None:
             yield self._build(names, pending)
+        # The nested loop broadcasts the (materialized) right side to every
+        # node holding probe rows; co-located joins move nothing.
+        if not self.logical.colocated:
+            for node in right_nodes:
+                self.stats.rows_shuffled += len(left_node_set - {node})
 
     def _build(
         self, names: List[str], rows: List[Tuple[str, Dict[str, Any]]]
     ) -> ColumnBatch:
         columns = [[row[name] for __, row in rows] for name in names]
         return ColumnBatch(names, columns, [node for node, __ in rows])
+
+
+class _EquiJoinOp(PhysicalOperator):
+    """Shared machinery for hash and merge equi-joins.
+
+    Both materialize the two inputs, find matching ``(left, right)`` index
+    pairs on the equi keys (NULL keys never match), validate the *full*
+    original condition on the merged row — the key match is only a
+    prefilter, so semantics stay bit-for-bit with the nested loop — and
+    emit in left-major order (left stream order, right materialization
+    order), exactly the order the legacy nested loop produced.
+    """
+
+    def __init__(
+        self,
+        node: logical.Join,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+    ):
+        super().__init__()
+        self.logical = node
+        self.left = left
+        self.right = right
+        self.children = [left, right]
+
+    def label(self) -> str:
+        return self.logical.label()
+
+    def _materialize(
+        self, operator: PhysicalOperator
+    ) -> Tuple[List[str], List[Dict[str, Any]], List[str]]:
+        names: List[str] = []
+        rows: List[Dict[str, Any]] = []
+        nodes: List[str] = []
+        for batch in operator.batches():
+            names = batch.names
+            self.stats.rows_in += batch.num_rows
+            for i in range(batch.num_rows):
+                rows.append(dict(RowView(batch, i)))
+                nodes.append(batch.nodes[i])
+        return names, rows, nodes
+
+    @staticmethod
+    def _key_of(
+        row: Dict[str, Any], refs: List[str]
+    ) -> Optional[Tuple[Any, ...]]:
+        key = tuple(row[ref] for ref in refs)
+        if any(value is None for value in key):
+            return None  # NULL never equi-matches
+        return key
+
+    def _charge_shuffle(
+        self, build_nodes: List[str], probe_nodes: List[str]
+    ) -> None:
+        """Broadcast-build cost: each build row is copied to every other
+        node holding probe rows; a co-located join moves nothing."""
+        if self.logical.colocated:
+            return
+        probe_set = set(probe_nodes)
+        for node in build_nodes:
+            self.stats.rows_shuffled += len(probe_set - {node})
+
+    def _emit(
+        self,
+        pairs: List[Tuple[int, int]],
+        names: List[str],
+        left_rows: List[Dict[str, Any]],
+        right_rows: List[Dict[str, Any]],
+        left_nodes: List[str],
+    ) -> Iterator[ColumnBatch]:
+        condition = self.logical.condition
+        pending: List[Tuple[str, Dict[str, Any]]] = []
+        for left_index, right_index in pairs:
+            right_row = right_rows[right_index]
+            merged = dict(right_row)
+            merged.update(left_rows[left_index])  # left wins on ambiguity
+            merged.update({k: v for k, v in right_row.items() if "." in k})
+            if predicate_holds(condition, merged):
+                pending.append((left_nodes[left_index], merged))
+                if len(pending) >= BATCH_ROWS:
+                    yield self._build(names, pending)
+                    pending = []
+        if pending:
+            yield self._build(names, pending)
+
+    def _build(
+        self, names: List[str], rows: List[Tuple[str, Dict[str, Any]]]
+    ) -> ColumnBatch:
+        columns = [[row[name] for __, row in rows] for name in names]
+        return ColumnBatch(names, columns, [node for node, __ in rows])
+
+
+class HashJoinOp(_EquiJoinOp):
+    """Equi-join via a hash table on the (estimated) smaller build side."""
+
+    kind = "join-hash"
+
+    def _run(self) -> Iterator[ColumnBatch]:
+        keys = self.logical.equi_keys
+        left_names, left_rows, left_nodes = self._materialize(self.left)
+        right_names, right_rows, right_nodes = self._materialize(self.right)
+        names = list(right_names) + [
+            n for n in left_names if n not in right_names
+        ]
+        left_refs = [left_ref for left_ref, __ in keys]
+        right_refs = [right_ref for __, right_ref in keys]
+        build_right = self.logical.build_side != "left"
+        if build_right:
+            build_rows, build_refs = right_rows, right_refs
+            probe_rows, probe_refs = left_rows, left_refs
+            self._charge_shuffle(right_nodes, left_nodes)
+        else:
+            build_rows, build_refs = left_rows, left_refs
+            probe_rows, probe_refs = right_rows, right_refs
+            self._charge_shuffle(left_nodes, right_nodes)
+        table: Dict[Tuple[Any, ...], List[int]] = {}
+        for index, row in enumerate(build_rows):
+            key = self._key_of(row, build_refs)
+            if key is None:
+                continue
+            table.setdefault(key, []).append(index)
+        pairs: List[Tuple[int, int]] = []
+        for probe_index, row in enumerate(probe_rows):
+            key = self._key_of(row, probe_refs)
+            if key is None:
+                continue
+            for build_index in table.get(key, ()):
+                pairs.append(
+                    (probe_index, build_index)
+                    if build_right
+                    else (build_index, probe_index)
+                )
+        pairs.sort()  # restore the nested loop's left-major output order
+        yield from self._emit(pairs, names, left_rows, right_rows, left_nodes)
+
+
+class MergeJoinOp(_EquiJoinOp):
+    """Equi-join by sorting both key arrays and merging equal-key groups.
+
+    Chosen when the build side would overflow the hash-table memory
+    budget; the planner guarantees both key columns share one type class,
+    so the sorts cannot hit Python's mixed-type ordering ``TypeError``.
+    """
+
+    kind = "join-merge"
+
+    def _run(self) -> Iterator[ColumnBatch]:
+        keys = self.logical.equi_keys
+        left_names, left_rows, left_nodes = self._materialize(self.left)
+        right_names, right_rows, right_nodes = self._materialize(self.right)
+        names = list(right_names) + [
+            n for n in left_names if n not in right_names
+        ]
+        left_refs = [left_ref for left_ref, __ in keys]
+        right_refs = [right_ref for __, right_ref in keys]
+        if self.logical.build_side == "left":
+            self._charge_shuffle(left_nodes, right_nodes)
+        else:
+            self._charge_shuffle(right_nodes, left_nodes)
+        left_keyed = self._sorted_keys(left_rows, left_refs)
+        right_keyed = self._sorted_keys(right_rows, right_refs)
+        pairs: List[Tuple[int, int]] = []
+        i = j = 0
+        while i < len(left_keyed) and j < len(right_keyed):
+            left_key = left_keyed[i][0]
+            right_key = right_keyed[j][0]
+            if left_key < right_key:
+                i += 1
+            elif right_key < left_key:
+                j += 1
+            else:
+                group_end = j
+                while (
+                    group_end < len(right_keyed)
+                    and right_keyed[group_end][0] == left_key
+                ):
+                    group_end += 1
+                while i < len(left_keyed) and left_keyed[i][0] == left_key:
+                    left_index = left_keyed[i][1]
+                    for jj in range(j, group_end):
+                        pairs.append((left_index, right_keyed[jj][1]))
+                    i += 1
+                j = group_end
+        pairs.sort()  # restore the nested loop's left-major output order
+        yield from self._emit(pairs, names, left_rows, right_rows, left_nodes)
+
+    def _sorted_keys(
+        self, rows: List[Dict[str, Any]], refs: List[str]
+    ) -> List[Tuple[Tuple[Any, ...], int]]:
+        keyed = []
+        for index, row in enumerate(rows):
+            key = self._key_of(row, refs)
+            if key is not None:
+                keyed.append((key, index))
+        keyed.sort(key=lambda item: item[0])
+        return keyed
 
 
 class FilterOp(PhysicalOperator):

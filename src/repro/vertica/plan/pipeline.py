@@ -50,7 +50,12 @@ def build_operator(
     if isinstance(node, logical.ViewScan):
         return physical.ViewScanOp(engine, node, txn, initiator, snapshot, cost)
     if isinstance(node, logical.Join):
-        return physical.JoinOp(node, build(node.left), build(node.right))
+        left, right = build(node.left), build(node.right)
+        if node.strategy == "hash":
+            return physical.HashJoinOp(node, left, right)
+        if node.strategy == "merge":
+            return physical.MergeJoinOp(node, left, right)
+        return physical.JoinOp(node, left, right)
     if isinstance(node, logical.Filter):
         return physical.FilterOp(node, build(node.child))
     if isinstance(node, logical.Project):
@@ -103,6 +108,10 @@ def execute_select(
             telemetry.counter(f"vertica.plan.{op.kind}.rows_out").inc(
                 op.stats.rows_out
             )
+        if op.stats.rows_shuffled:
+            telemetry.counter("vertica.plan.join.rows_shuffled").inc(
+                op.stats.rows_shuffled
+            )
     return ResultSet(plan.output_columns, rows, cost=cost), execution
 
 
@@ -146,7 +155,10 @@ def explain_lines(engine, query: ast.Select, initiator: str) -> List[str]:
                 db, node, query, initiator, snapshot
             ))
         else:
-            lines.append(pad + node.label())
+            label = node.label()
+            if node.estimated_rows is not None:
+                label += f" (estimated rows: {node.estimated_rows})"
+            lines.append(pad + label)
             if isinstance(node, logical.Aggregate) and node.group_by:
                 keys = ", ".join(e.sql() for e in node.group_by)
                 lines.append(pad + f"  group by: {keys}")
@@ -222,8 +234,15 @@ class PlanProfile:
             parts = [f"rows out: {stats.rows_out}"]
             if stats.rows_in:
                 parts.insert(0, f"rows in: {stats.rows_in}")
+            estimated = getattr(
+                getattr(op, "logical", None), "estimated_rows", None
+            )
+            if estimated is not None:
+                parts.append(f"est rows: {estimated}")
             if stats.rows_scanned:
                 parts.append(f"rows scanned: {stats.rows_scanned}")
+            if stats.rows_shuffled:
+                parts.append(f"rows shuffled: {stats.rows_shuffled}")
             if stats.bytes_out:
                 parts.append(f"bytes out: {int(stats.bytes_out)}")
             parts.append(f"batches: {stats.batches}")

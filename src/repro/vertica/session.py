@@ -158,6 +158,15 @@ class Session:
         if name == "RESOURCE_POOL":
             self.set_resource_pool(str(statement.value))
             return
+        if name == "JOIN_STRATEGY":
+            value = str(statement.value).lower()
+            if value not in ("auto", "hash", "merge", "nested-loop"):
+                raise SqlError(
+                    f"invalid JOIN_STRATEGY {statement.value!r} "
+                    "(expected auto, hash, merge, or nested-loop)"
+                )
+            self.database.join_strategy = value
+            return
         raise SqlError(f"unknown session option {statement.name!r}")
 
     def _finish(self, commit: bool) -> None:

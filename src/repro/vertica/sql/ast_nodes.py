@@ -163,6 +163,14 @@ class Profile:
 
 
 @dataclass
+class Analyze:
+    """``ANALYZE <table> [WITH <n> BUCKETS]``: collect optimizer statistics."""
+
+    table: str
+    buckets: Optional[int] = None
+
+
+@dataclass
 class BeginTransaction:
     pass
 

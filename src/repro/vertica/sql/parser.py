@@ -112,6 +112,7 @@ class _Parser:
             "AT": self._at_epoch_select,
             "EXPLAIN": self._explain,
             "PROFILE": self._profile,
+            "ANALYZE": self._analyze,
             "COPY": self._copy,
             "BEGIN": self._begin,
             "START": self._begin,
@@ -277,6 +278,24 @@ class _Parser:
     def _profile(self):
         self.expect("PROFILE")
         return ast.Profile(self._select())
+
+    def _analyze(self):
+        # ANALYZE <table> [WITH <n> BUCKETS]
+        self.expect("ANALYZE")
+        self.accept("STATISTICS")
+        table = self.qualified_name()
+        buckets: Optional[int] = None
+        if self.accept("WITH"):
+            token = self.peek()
+            if token.kind != "NUMBER":
+                raise SqlError(
+                    f"expected a bucket count after WITH, found {token.raw!r} "
+                    f"at offset {token.pos}"
+                )
+            self.advance()
+            buckets = int(float(token.text))
+            self.expect("BUCKETS")
+        return ast.Analyze(table, buckets)
 
     def _select_statement(self):
         return self._select()

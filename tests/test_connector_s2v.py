@@ -359,3 +359,72 @@ class TestPrehashPartitioning:
         # give the payload real weight so redistribution is visible
         save(vc, spark, table="plain")
         assert vc.internal_bytes() > 0.0
+
+
+class TestSetupErrorNarrowing:
+    """Regression: save_process wrapped _setup in a bare ``except
+    Exception`` — a programming error (TypeError in option plumbing) ran
+    the teardown path and re-raised with cleanup noise in between.  The
+    handler is narrowed to the fabric's own error types."""
+
+    def _writer(self):
+        vc, spark = make_fabric()
+        from repro.connector.s2v import S2VWriter
+
+        df = spark.create_dataframe([(1, 1.0)], SCHEMA, num_partitions=2)
+        writer = S2VWriter(
+            spark, "overwrite",
+            {"db": vc, "table": "dest", "numpartitions": 2}, df,
+        )
+        return vc, writer
+
+    def _recording_cleanup(self, writer, monkeypatch, calls):
+        def fake_cleanup(job):
+            calls.append(job)
+            return
+            yield  # pragma: no cover - keeps this a generator function
+
+        monkeypatch.setattr(writer, "_safe_cleanup", fake_cleanup)
+
+    def test_programming_error_in_setup_skips_cleanup(self, monkeypatch):
+        vc, writer = self._writer()
+        calls = []
+        self._recording_cleanup(writer, monkeypatch, calls)
+
+        def broken_setup():
+            raise TypeError("bad option plumbing")
+
+        monkeypatch.setattr(writer, "_setup", broken_setup)
+        with pytest.raises(TypeError, match="bad option plumbing"):
+            next(writer.save_process())
+        assert calls == []  # teardown must not run (and must not mask)
+
+    def test_vertica_error_in_setup_still_cleans_up(self, monkeypatch):
+        from repro.vertica.errors import CatalogError
+
+        vc, writer = self._writer()
+        calls = []
+        self._recording_cleanup(writer, monkeypatch, calls)
+
+        def conflicted_setup():
+            raise CatalogError("simulated catalog conflict")
+
+        monkeypatch.setattr(writer, "_setup", conflicted_setup)
+        with pytest.raises(CatalogError, match="catalog conflict"):
+            next(writer.save_process())
+        assert calls == [None]  # cleanup ran before the re-raise
+
+    def test_spark_error_in_setup_still_cleans_up(self, monkeypatch):
+        from repro.spark.errors import SparkError
+
+        vc, writer = self._writer()
+        calls = []
+        self._recording_cleanup(writer, monkeypatch, calls)
+
+        def faulted_setup():
+            raise SparkError("simulated fabric fault")
+
+        monkeypatch.setattr(writer, "_setup", faulted_setup)
+        with pytest.raises(SparkError, match="fabric fault"):
+            next(writer.save_process())
+        assert calls == [None]

@@ -19,6 +19,7 @@ from repro.vertica.plan import logical
 from repro.vertica.plan.optimizer import (
     RULE_CONSTANT_FOLDING,
     RULE_HASH_RANGE,
+    RULE_JOIN_STRATEGY,
     RULE_PREDICATE_PUSHDOWN,
     RULE_PROJECTION_PRUNING,
     fold_expression,
@@ -271,3 +272,110 @@ class TestScalarContract:
     def test_scalar_happy_path(self, db):
         session = db.connect()
         assert session.execute("SELECT COUNT(*) FROM t").scalar() == 40
+
+
+class TestJoinStrategies:
+    @pytest.fixture
+    def join_db(self, db):
+        session = db.connect()
+        session.execute(
+            "CREATE TABLE s (a2 INTEGER, d VARCHAR(10)) "
+            "SEGMENTED BY HASH(a2) ALL NODES"
+        )
+        session.execute(
+            "INSERT INTO s VALUES "
+            + ", ".join(f"({i}, 'm{i}')" for i in range(10))
+        )
+        return db
+
+    def _join_stats(self, report):
+        rows = {
+            kind: (rows_in, rows_out)
+            for kind, rows_in, rows_out in report.profile.operator_rows()
+        }
+        kind = next(k for k in rows if k.startswith("join"))
+        return kind, rows[kind]
+
+    def test_profile_join_counts_both_inputs(self, join_db):
+        # Regression: the join operator used to charge only left-side
+        # rows into rows_in; PROFILE must show left + right.
+        session = join_db.connect()
+        report = session.execute("PROFILE SELECT a, d FROM t JOIN s ON a = a2")
+        __, (rows_in, rows_out) = self._join_stats(report)
+        assert rows_in == 40 + 10
+        assert rows_out == 10
+
+    def test_profile_nested_loop_join_counts_both_inputs(self, join_db):
+        join_db.join_strategy = "nested-loop"
+        try:
+            session = join_db.connect()
+            report = session.execute(
+                "PROFILE SELECT a, d FROM t JOIN s ON a = a2"
+            )
+        finally:
+            join_db.join_strategy = "auto"
+        kind, (rows_in, __) = self._join_stats(report)
+        assert kind == "join"
+        assert rows_in == 40 + 10
+
+    def test_forced_merge_join_runs_merge_operator(self, join_db):
+        join_db.join_strategy = "merge"
+        try:
+            session = join_db.connect()
+            report = session.execute(
+                "PROFILE SELECT a, d FROM t JOIN s ON a = a2"
+            )
+        finally:
+            join_db.join_strategy = "auto"
+        kind, (rows_in, rows_out) = self._join_stats(report)
+        assert kind == "join-merge"
+        assert rows_in == 50
+        assert rows_out == 10
+
+    def test_explain_colocated_hash_join_with_estimates(self, join_db):
+        # Acceptance: identically segmented equi-join plans a co-located
+        # hash join with estimated rows printed per operator.
+        session = join_db.connect()
+        session.execute("ANALYZE t")
+        session.execute("ANALYZE s")
+        plan = plan_text(session, "EXPLAIN SELECT a, d FROM t JOIN s ON a = a2")
+        assert "[hash join, build: right, co-located]" in plan
+        assert "(estimated rows:" in plan
+        assert RULE_JOIN_STRATEGY in plan
+
+    def test_profile_estimates_and_zero_shuffle_when_colocated(self, join_db):
+        session = join_db.connect()
+        session.execute("ANALYZE t")
+        session.execute("ANALYZE s")
+        report = session.execute("PROFILE SELECT a, d FROM t JOIN s ON a = a2")
+        text = "\n".join(r[0] for r in report.rows)
+        assert "est rows:" in text
+        # Co-located join moves no build rows across nodes.
+        assert "rows shuffled" not in text
+
+    def test_profile_shuffle_nonzero_when_not_colocated(self, join_db):
+        # Same ring but segmented on a non-key column: every build row
+        # must reach the probe nodes it does not already live on.
+        session = join_db.connect()
+        session.execute(
+            "CREATE TABLE s2 (a3 INTEGER, z INTEGER) "
+            "SEGMENTED BY HASH(z) ALL NODES"
+        )
+        session.execute(
+            "INSERT INTO s2 VALUES "
+            + ", ".join(f"({i}, {100 - i})" for i in range(10))
+        )
+        report = session.execute("PROFILE SELECT a, z FROM t JOIN s2 ON a = a3")
+        text = "\n".join(r[0] for r in report.rows)
+        assert "hash join" in text
+        assert "co-located" not in text
+        assert "rows shuffled: " in text
+
+    def test_join_strategy_option_validation(self, db):
+        session = db.connect()
+        session.execute("SET JOIN_STRATEGY = 'merge'")
+        assert db.join_strategy == "merge"
+        with pytest.raises(SqlError, match="JOIN_STRATEGY"):
+            session.execute("SET JOIN_STRATEGY = 'bogus'")
+        session.execute("SET JOIN_STRATEGY = 'auto'")
+        assert db.join_strategy == "auto"
