@@ -21,6 +21,7 @@ Run the full soak (the CI chaos job does this with ``--seeds 25``)::
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 from typing import List, Optional, Sequence
 
@@ -35,6 +36,7 @@ from repro.chaos import (
 from repro.connector.costmodel import VerticaCostModel
 from repro.connector.s2v import FINAL_STATUS_TABLE, S2VWriter
 from repro.spark.row import StructField, StructType
+from repro.vertica.errors import VerticaError
 
 #: small-but-nonzero latencies: enough clock movement for rich fault
 #: interleavings (crashes mid-COPY, storms overlapping phase 5) while a
@@ -663,6 +665,114 @@ def run_profile_trial(seed: int, speculation: bool = False,
     )
 
 
+#: the cache-coherence trial's serving table and mix
+CACHE_SOURCE = "chaos_cache_src"
+CACHE_GROUPS = 8
+CACHE_READERS = 3
+CACHE_READS = 12
+CACHE_WRITES = 12
+
+
+def run_cache_trial(seed: int, speculation: bool = False,
+                    verbose: bool = False) -> TrialResult:
+    """One seeded result-cache coherence trial under chaos, audited.
+
+    Readers hammer point queries over a result-cached table while a
+    writer advances the epoch with INSERTs and faults sever connections
+    and restart nodes.  Every answer a reader accepted — hit or miss —
+    is recorded with its pinned snapshot epoch, and the audit replays
+    each one ``AT EPOCH`` with the cache forced off: a single divergent
+    row is a stale read, the violation the (digest, epoch, catalog
+    version) key exists to prevent.
+    """
+    fabric = _fabric(speculation)
+    db = fabric.vertica.db
+    session = db.connect()
+    session.execute(
+        f"CREATE TABLE {CACHE_SOURCE} (id INTEGER, grp INTEGER, v FLOAT) "
+        f"SEGMENTED BY HASH(id)"
+    )
+    values = ", ".join(
+        f"({i}, {i % CACHE_GROUPS}, {float((i * 7) % 31)})"
+        for i in range(200)
+    )
+    session.execute(f"INSERT INTO {CACHE_SOURCE} VALUES {values}")
+    session.close()
+    db.result_cache_default = True
+    checker = InvariantChecker(fabric.vertica)
+    schedule = ChaosSchedule.random(
+        seed,
+        spark_nodes=[worker.name for worker in fabric.spark.workers],
+        vertica_nodes=fabric.vertica.node_names,
+        link_names=sorted(fabric.all_links()),
+        horizon=HORIZON,
+        events=4,
+        families=("link_degrade", "vertica_restart", "connection_sever"),
+        sever_keywords=("SELECT", "INSERT"),
+    )
+    controller = fabric.attach_chaos(schedule)
+    if verbose:
+        print("\n".join(schedule.describe()))
+    observations: List[tuple] = []
+    hits = [0]
+
+    def reader(reader_id: int):
+        rng = random.Random(seed * 7919 + reader_id)
+        node_names = fabric.vertica.node_names
+        for __ in range(CACHE_READS):
+            yield fabric.env.timeout(0.05 + 0.25 * rng.random())
+            grp = rng.randrange(CACHE_GROUPS)
+            sql = (f"SELECT COUNT(*), SUM(v) FROM {CACHE_SOURCE} "
+                   f"WHERE grp = {grp}")
+            try:
+                with fabric.vertica.connect(
+                    node_names[reader_id % len(node_names)]
+                ) as conn:
+                    result = yield from conn.execute(sql, weight=SCALE)
+            except VerticaError:
+                continue  # severed / node down: the read never answered
+            observations.append(
+                (sql, result.snapshot_epoch, list(result.rows))
+            )
+            if getattr(result.cost, "cache_hit", False):
+                hits[0] += 1
+
+    def writer():
+        rng = random.Random(seed * 104729 + 1)
+        for index in range(CACHE_WRITES):
+            yield fabric.env.timeout(0.1 + 0.2 * rng.random())
+            try:
+                with fabric.vertica.connect() as conn:
+                    yield from conn.execute(
+                        f"INSERT INTO {CACHE_SOURCE} VALUES "
+                        f"({10_000 + index}, {rng.randrange(CACHE_GROUPS)}, "
+                        f"{float(index)})"
+                    )
+            except VerticaError:
+                continue  # a failed write is fine; staleness is not
+
+    for reader_id in range(CACHE_READERS):
+        fabric.env.process(reader(reader_id), name=f"cache_reader{reader_id}")
+    fabric.env.process(writer(), name="cache_writer")
+    report = InvariantReport(f"cache seed={seed}")
+    _drain(fabric, report)
+    if observations:
+        report.passed("progress")
+    else:
+        report.violated("progress", "no reader recorded a single answer")
+    report.merge(checker.check_no_stale_reads(observations))
+    report.merge(checker.check_no_leaks())
+    if verbose:
+        for record in controller.injections:
+            print(record)
+        print(f"observations={len(observations)} cache_hits={hits[0]}")
+        print(report.describe())
+    return TrialResult(
+        "cache", seed, "-", speculation, None, report,
+        len(controller.injections),
+    )
+
+
 #: the S2V configuration rotation: both commit paths × speculation
 S2V_CONFIGS = (
     ("overwrite", False),
@@ -675,8 +785,9 @@ S2V_CONFIGS = (
 def run_soak(num_seeds: int = 25, base_seed: int = 0,
              verbose: bool = False) -> List[TrialResult]:
     """Run ``num_seeds`` S2V trials (rotating configs) plus V2S scan,
-    pushed-aggregate, WLM-admission, EXPLAIN/PROFILE and staging-transport
-    (S2V and V2S over the distributed FS) trials."""
+    pushed-aggregate, WLM-admission, EXPLAIN/PROFILE, staging-transport
+    (S2V and V2S over the distributed FS) and result-cache-coherence
+    trials."""
     trials: List[TrialResult] = []
     for index in range(num_seeds):
         seed = base_seed + index
@@ -705,6 +816,11 @@ def run_soak(num_seeds: int = 25, base_seed: int = 0,
             print(trials[-1].describe())
         trials.append(
             run_staged_v2s_trial(seed + 49979687, speculation=speculation)
+        )
+        if verbose:
+            print(trials[-1].describe())
+        trials.append(
+            run_cache_trial(seed + 86028121, speculation=speculation)
         )
         if verbose:
             print(trials[-1].describe())
@@ -739,13 +855,13 @@ def summarize(trials: Sequence[TrialResult]) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", type=int, default=25,
-                        help="number of soak seeds (7 trials per seed)")
+                        help="number of soak seeds (8 trials per seed)")
     parser.add_argument("--base-seed", type=int, default=0)
     parser.add_argument("--replay-seed", type=int, default=None,
                         help="replay one trial with full fault/audit output")
     parser.add_argument("--workload",
                         choices=("s2v", "v2s", "agg", "wlm", "profile",
-                                 "staged-s2v", "staged-v2s"),
+                                 "staged-s2v", "staged-v2s", "cache"),
                         default="s2v")
     parser.add_argument("--mode", choices=("overwrite", "append"),
                         default="overwrite")
@@ -772,6 +888,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.workload == "staged-v2s":
             trial = run_staged_v2s_trial(args.replay_seed, args.speculation,
                                          verbose=True)
+        elif args.workload == "cache":
+            trial = run_cache_trial(args.replay_seed, args.speculation,
+                                    verbose=True)
         else:
             trial = run_v2s_trial(args.replay_seed, args.speculation,
                                   verbose=True)

@@ -16,11 +16,24 @@ Tenant 0's p95 must drop — that is workload management doing its job::
     PYTHONPATH=src python -m repro.bench.concurrent_serve
     PYTHONPATH=src python -m repro.bench.concurrent_serve \\
         --tenants 6 --ops 8 --mode pools
+
+The second experiment is the caching tiers (:mod:`repro.cache`): a
+Zipf-skewed, read-mostly point-query workload (``--mode zipf``) runs the
+same client mix twice, result cache off then on, and reports per-tier
+hit rates next to read p50/p95.  Writes advance the epoch and therefore
+invalidate every cached answer, so the hit rate is earned against real
+churn, not a static table::
+
+    PYTHONPATH=src python -m repro.bench.concurrent_serve --mode zipf \\
+        --skew 1.2 --read-fraction 0.9
 """
 
 from __future__ import annotations
 
 import argparse
+import bisect
+import itertools
+import random
 import sys
 from typing import Dict, Generator, List, Optional, Sequence
 
@@ -298,6 +311,216 @@ def run_serve(tenants: int = 4, ops: int = 6, premium: bool = False,
     return ServeReport(mode, stats, elapsed, report, fabric.metrics_snapshot())
 
 
+# ---------------------------------------------------- Zipf serving (caching)
+ZIPF_TABLE = "zipf_src"
+ZIPF_GROUPS = 40
+ZIPF_ROWS = 600
+#: stretches each point read so a cold scan costs ~0.25 s simulated —
+#: the gap the result cache is supposed to close on the hot keys
+ZIPF_READ_WEIGHT = 200.0
+
+
+def zipf_cdf(groups: int, skew: float) -> List[float]:
+    """Cumulative Zipf(``skew``) distribution over group ranks 0..G-1."""
+    weights = [(rank + 1) ** -skew for rank in range(groups)]
+    total = sum(weights)
+    cdf: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cdf.append(acc)
+    return cdf
+
+
+class ZipfClientStats:
+    """One serving client's outcomes, reads and writes kept apart."""
+
+    def __init__(self, client: int):
+        self.client = client
+        self.read_latencies: List[float] = []
+        self.write_latencies: List[float] = []
+        self.rejections = 0
+        self.failures = 0
+
+
+class ZipfServeReport:
+    """One Zipf serving run: latency percentiles plus per-tier hit rates."""
+
+    def __init__(self, skew: float, read_fraction: float, result_cache: bool,
+                 clients: List[ZipfClientStats], elapsed: float,
+                 report: InvariantReport, snapshot):
+        self.skew = skew
+        self.read_fraction = read_fraction
+        self.result_cache = result_cache
+        self.clients = clients
+        self.elapsed = elapsed
+        self.report = report
+        self.snapshot = snapshot
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    @property
+    def read_latencies(self) -> List[float]:
+        return [lat for stats in self.clients for lat in stats.read_latencies]
+
+    @property
+    def read_p50(self) -> float:
+        return _percentile(self.read_latencies, 0.50)
+
+    @property
+    def read_p95(self) -> float:
+        return _percentile(self.read_latencies, 0.95)
+
+    @property
+    def write_p50(self) -> float:
+        writes = [w for s in self.clients for w in s.write_latencies]
+        return _percentile(writes, 0.50)
+
+    def _hit_rate(self, prefix: str, hit: str, miss: str) -> float:
+        counters = self.snapshot.counters
+        hits = counters.get(f"{prefix}.{hit}", 0.0)
+        misses = counters.get(f"{prefix}.{miss}", 0.0)
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    @property
+    def result_hit_rate(self) -> float:
+        return self._hit_rate("vertica.cache.result", "hits", "misses")
+
+    @property
+    def plan_hit_rate(self) -> float:
+        return self._hit_rate("vertica.cache.plan", "hits", "misses")
+
+    @property
+    def parse_hit_rate(self) -> float:
+        return self._hit_rate("vertica.cache.plan", "parse_hits",
+                              "parse_misses")
+
+    def describe(self) -> str:
+        counters = self.snapshot.counters
+        reads = len(self.read_latencies)
+        writes = sum(len(s.write_latencies) for s in self.clients)
+        rejected = sum(s.rejections for s in self.clients)
+        failed = sum(s.failures for s in self.clients)
+        lines = [
+            f"zipf serve [{'warm' if self.result_cache else 'cold'}]: "
+            f"{len(self.clients)} clients, skew={self.skew:g} "
+            f"read_fraction={self.read_fraction:g}, "
+            f"{self.elapsed:.3f}s simulated",
+            f"  reads: {reads} p50={self.read_p50:.4f}s "
+            f"p95={self.read_p95:.4f}s; writes: {writes} "
+            f"p50={self.write_p50:.4f}s rejected={rejected} failed={failed}",
+            f"  result cache: hit_rate={self.result_hit_rate:.2f} "
+            f"stores={counters.get('vertica.cache.result.stores', 0):.0f} "
+            f"evictions={counters.get('vertica.cache.result.evictions', 0):.0f}",
+            f"  plan cache: hit_rate={self.plan_hit_rate:.2f} "
+            f"parse_hit_rate={self.parse_hit_rate:.2f}",
+            "  " + self.report.describe().replace("\n", "\n  "),
+        ]
+        return "\n".join(lines)
+
+
+def _zipf_client(fabric: Fabric, stats: ZipfClientStats, ops: int,
+                 cdf: List[float], read_fraction: float,
+                 rng: random.Random, id_counter) -> Generator:
+    """One serving client: Zipf-ranked point reads, occasional inserts."""
+    cluster = fabric.vertica
+    node = cluster.node_names[stats.client % len(cluster.node_names)]
+    with cluster.connect(node) as conn:
+        for __ in range(ops):
+            start = fabric.env.now
+            try:
+                if rng.random() < read_fraction:
+                    grp = bisect.bisect_left(cdf, rng.random())
+                    yield from conn.execute(
+                        f"SELECT COUNT(*), SUM(v) FROM {ZIPF_TABLE} "
+                        f"WHERE grp = {grp}",
+                        weight=ZIPF_READ_WEIGHT, output_weight=1.0,
+                    )
+                    stats.read_latencies.append(fabric.env.now - start)
+                else:
+                    row_id = next(id_counter)
+                    grp = bisect.bisect_left(cdf, rng.random())
+                    yield from conn.execute(
+                        f"INSERT INTO {ZIPF_TABLE} VALUES "
+                        f"({row_id}, {grp}, {float(row_id % 23)})"
+                    )
+                    stats.write_latencies.append(fabric.env.now - start)
+            except AdmissionTimeout:
+                stats.rejections += 1
+            except (VerticaError, SparkError):
+                stats.failures += 1
+
+
+def run_zipf_serve(clients: int = 6, ops: int = 60, skew: float = 1.2,
+                   read_fraction: float = 0.95, result_cache: bool = True,
+                   seed: int = 11) -> ZipfServeReport:
+    """Run one Zipf-skewed read-mostly serving round; audited.
+
+    ``skew`` is the Zipf exponent over :data:`ZIPF_GROUPS` group ranks
+    (0 = uniform); ``read_fraction`` is each op's probability of being a
+    point read rather than an epoch-advancing INSERT.  With
+    ``result_cache`` the database enables ``SET RESULT_CACHE`` for every
+    session, and cached bytes are charged into the GENERAL pool's WLM
+    memory ledger.
+    """
+    fabric = Fabric(num_vertica=3, num_spark=2, cost_model=SERVE_COST_MODEL,
+                    telemetry=True, wlm=True)
+    db = fabric.vertica.db
+    with db.connect() as session:
+        session.execute(
+            f"CREATE TABLE {ZIPF_TABLE} (id INTEGER, grp INTEGER, v FLOAT) "
+            f"SEGMENTED BY HASH(id) ALL NODES"
+        )
+        values = ", ".join(
+            f"({i}, {i % ZIPF_GROUPS}, {float((i * 7) % 23)})"
+            for i in range(ZIPF_ROWS)
+        )
+        session.execute(f"INSERT INTO {ZIPF_TABLE} VALUES {values}")
+        session.execute(f"ANALYZE {ZIPF_TABLE}")
+    db.result_cache_default = result_cache
+    checker = InvariantChecker(fabric.vertica)
+    cdf = zipf_cdf(ZIPF_GROUPS, skew)
+    id_counter = itertools.count(ZIPF_ROWS)
+    stats = [ZipfClientStats(c) for c in range(clients)]
+    for client_stats in stats:
+        rng = random.Random(seed * 10_007 + client_stats.client)
+        fabric.env.process(
+            _zipf_client(fabric, client_stats, ops, cdf, read_fraction,
+                         rng, id_counter),
+            name=f"client{client_stats.client}",
+        )
+    report = InvariantReport(
+        f"serve:zipf:{'warm' if result_cache else 'cold'}"
+    )
+    try:
+        fabric.env.run()
+        report.passed("clean-drain")
+    except BaseException as exc:  # noqa: BLE001 - audited, not swallowed
+        report.violated("clean-drain", f"zipf serving run raised {exc!r}")
+    elapsed = fabric.env.now
+    report.merge(checker.check_no_leaks())
+    if sum(len(s.read_latencies) for s in stats) == 0:
+        report.violated("progress", "no client completed a single read")
+    else:
+        report.passed("progress")
+    return ZipfServeReport(skew, read_fraction, result_cache, stats,
+                           elapsed, report, fabric.metrics_snapshot())
+
+
+def run_zipf_comparison(clients: int = 6, ops: int = 60, skew: float = 1.2,
+                        read_fraction: float = 0.95,
+                        seed: int = 11) -> Dict[str, ZipfServeReport]:
+    """The caching experiment: same Zipf mix, result cache off vs on."""
+    return {
+        "cold": run_zipf_serve(clients, ops, skew, read_fraction,
+                               result_cache=False, seed=seed),
+        "warm": run_zipf_serve(clients, ops, skew, read_fraction,
+                               result_cache=True, seed=seed),
+    }
+
+
 def run_comparison(tenants: int = 4, ops: int = 6,
                    session_pool_size: int = 4) -> Dict[str, ServeReport]:
     """The isolation experiment: same mix, shared GENERAL vs PREMIUM."""
@@ -316,9 +539,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="operations per tenant")
     parser.add_argument("--session-pool", type=int, default=4,
                         help="max idle pooled sessions per node (0 disables)")
-    parser.add_argument("--mode", choices=("shared", "pools", "compare"),
+    parser.add_argument("--mode",
+                        choices=("shared", "pools", "compare", "zipf"),
                         default="compare")
+    parser.add_argument("--clients", type=int, default=6,
+                        help="concurrent clients (zipf mode)")
+    parser.add_argument("--skew", type=float, default=1.2,
+                        help="Zipf exponent over group ranks (zipf mode)")
+    parser.add_argument("--read-fraction", type=float, default=0.95,
+                        help="probability an op is a read (zipf mode)")
+    parser.add_argument("--seed", type=int, default=11)
     args = parser.parse_args(argv)
+
+    if args.mode == "zipf":
+        ops = args.ops if args.ops != 6 else 60  # zipf default is longer
+        reports = run_zipf_comparison(args.clients, ops, args.skew,
+                                      args.read_fraction, args.seed)
+        failed = False
+        for report in reports.values():
+            print(report.describe())
+            failed = failed or not report.ok
+        cold_p50 = reports["cold"].read_p50
+        warm_p50 = reports["warm"].read_p50
+        speedup = cold_p50 / warm_p50 if warm_p50 > 0 else float("inf")
+        print(f"read p50: cold={cold_p50:.4f}s warm={warm_p50:.4f}s "
+              f"({speedup:.1f}x)")
+        if args.skew >= 1.0 and warm_p50 * 5.0 > cold_p50:
+            print("warm p50 did not beat cold by >=5x at this skew",
+                  file=sys.stderr)
+            failed = True
+        return 1 if failed else 0
 
     if args.mode != "compare":
         report = run_serve(args.tenants, args.ops,

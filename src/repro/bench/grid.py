@@ -643,6 +643,59 @@ def _join_checks(cells: List[Dict[str, Any]]) -> List[Tuple[str, bool]]:
     return checks
 
 
+# -- serving: caching tiers under a Zipf read-mostly mix -------------------------
+def _run_serving_cell(params: Dict[str, Any],
+                      config: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.bench.concurrent_serve import run_zipf_serve
+
+    report = run_zipf_serve(
+        clients=config["clients"],
+        ops=config["ops"],
+        skew=params["skew"],
+        read_fraction=config["read_fraction"],
+        result_cache=params["result_cache"],
+        seed=config["seed"],
+    )
+    if not report.ok:
+        raise GridCellError(
+            f"serving invariants failed:\n{report.report.describe()}"
+        )
+    return {
+        "sim_seconds": round(report.elapsed, 3),
+        "read_p50": round(report.read_p50, 4),
+        "read_p95": round(report.read_p95, 4),
+        "result_hit_rate": round(report.result_hit_rate, 3),
+        "plan_hit_rate": round(report.plan_hit_rate, 3),
+    }
+
+
+def _serving_checks(cells: List[Dict[str, Any]]) -> List[Tuple[str, bool]]:
+    done = [c for c in cells if c["status"] == DONE]
+    checks: List[Tuple[str, bool]] = [
+        ("all cells DONE", len(done) == len(cells)),
+    ]
+    p50 = {(c["params"]["skew"], c["params"]["result_cache"]):
+           c["metrics"].get("read_p50") for c in done}
+    hits = {(c["params"]["skew"], c["params"]["result_cache"]):
+            c["metrics"].get("result_hit_rate") for c in done}
+    for skew in sorted({s for s, __ in p50}):
+        if skew < 1.0:
+            continue
+        cold = p50.get((skew, False))
+        warm = p50.get((skew, True))
+        if cold is None or warm is None:
+            continue
+        checks.append((
+            f"warm read p50 >=5x lower than cold at skew={skew:g}",
+            warm * 5.0 <= cold,
+        ))
+        checks.append((
+            f"warm result-cache hit rate > 0.5 at skew={skew:g}",
+            (hits.get((skew, True)) or 0.0) > 0.5,
+        ))
+    return checks
+
+
 AREAS: Dict[str, BenchArea] = {
     "fig06": BenchArea(
         "fig06",
@@ -683,6 +736,18 @@ AREAS: Dict[str, BenchArea] = {
         checks=_join_checks,
         # wall-clock ratios are checked per run; no sim time to band
         gate={},
+    ),
+    "serving": BenchArea(
+        "serving",
+        "Zipf read-mostly serving: caching tiers' hit rate vs read latency",
+        axes={"skew": (0.0, 0.6, 1.2, 1.4),
+              "result_cache": (False, True)},
+        smoke_axes={"skew": (1.2,),
+                    "result_cache": (False, True)},
+        runner=_run_serving_cell,
+        config={"clients": 6, "ops": 60, "read_fraction": 0.95, "seed": 11},
+        checks=_serving_checks,
+        gate={"sim_tolerance": 0.15},
     ),
     "staging": BenchArea(
         "staging",

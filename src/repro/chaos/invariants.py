@@ -277,6 +277,62 @@ class InvariantChecker:
             report.merge(self.check_no_leaks())
         return report
 
+    # -- result cache -----------------------------------------------------------
+    def check_no_stale_reads(
+        self,
+        observations: Sequence[Tuple[str, int, Sequence[Sequence[Any]]]],
+    ) -> InvariantReport:
+        """Every (possibly cached) answer must equal its uncached replay.
+
+        ``observations`` is one ``(sql, snapshot_epoch, rows)`` triple per
+        read the workload recorded.  Each is replayed ``AT EPOCH`` on a
+        fresh session with ``SET RESULT_CACHE = 'off'``; an answer that
+        differs from its cold replay is a **stale read** — the one thing
+        the (digest, epoch, catalog version) cache key is meant to make
+        structurally impossible.  Reads whose epoch has since been merged
+        out below the Ancient History Mark can no longer be replayed and
+        surface as warnings, never violations.
+        """
+        from repro.vertica.errors import TransactionError
+
+        report = InvariantReport("cache-coherence")
+        stale = 0
+        unreplayable = 0
+        for index, (sql, epoch, rows) in enumerate(observations):
+            session = self._session()
+            try:
+                session.execute("SET RESULT_CACHE = 'off'")
+                replay = session.execute(f"AT EPOCH {epoch} {sql}")
+            except TransactionError:
+                unreplayable += 1
+                continue
+            finally:
+                session.close()
+            if _multiset(rows) != _multiset(replay.rows):
+                stale += 1
+                if stale <= 3:  # cap the detail, never the count
+                    report.violated(
+                        "no-stale-reads",
+                        f"observation {index} at epoch {epoch} returned "
+                        f"{len(rows)} row(s) differing from its uncached "
+                        f"replay ({len(replay.rows)} row(s)): {sql!r}",
+                    )
+        if stale > 3:
+            report.violated(
+                "no-stale-reads",
+                f"{stale} of {len(observations)} observations were stale "
+                f"(first 3 detailed above)",
+            )
+        if not stale:
+            report.passed("no-stale-reads")
+        if unreplayable:
+            report.warn(
+                "stale-read-replays-skipped",
+                f"{unreplayable} observation(s) pinned epochs now below "
+                f"the AHM and could not be replayed",
+            )
+        return report
+
     # -- staging transport ------------------------------------------------------
     def check_no_orphaned_staging(self, hdfs,
                                   prefix: str = "/staging") -> InvariantReport:

@@ -90,6 +90,13 @@ class SimVerticaCluster:
             from repro.wlm import AdmissionController
 
             self.wlm = AdmissionController(self.env, self.db.catalog)
+            # Charge result-cache residency into the GENERAL pool's memory
+            # ledger: cached bytes hold real grants and compete with query
+            # admission (released on eviction), but are excluded from leak
+            # detection — they legitimately outlive any single statement.
+            self.db.result_cache.attach_account(
+                self.wlm.cache_account("GENERAL")
+            )
         # Client-side session pooling (opt-in): connections check their
         # sessions back into a bounded per-node free list on close.
         self.session_pool = None

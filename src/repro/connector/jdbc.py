@@ -232,21 +232,28 @@ class SimVerticaConnection:
         cost = result.cost
 
         pending = []
-        # CPU: scanning on every node that read rows.
-        for node_name, rows in cost.node_rows_scanned.items():
-            seconds = rows * w * model.scan_cpu_per_row
-            if seconds > 0:
-                node = cluster.sim_nodes[node_name]
-                pending.append(env.process(node.compute(seconds)))
+        # A result-cache hit replays the memoised cost *attribution* (so
+        # the report matches its cold replay byte for byte) but the rows
+        # were never re-scanned or re-aggregated: serving from memory
+        # skips that CPU entirely.  The wire/marshal side below is still
+        # charged — the client receives the same bytes either way.
+        if not getattr(cost, "cache_hit", False):
+            # CPU: scanning on every node that read rows.
+            for node_name, rows in cost.node_rows_scanned.items():
+                seconds = rows * w * model.scan_cpu_per_row
+                if seconds > 0:
+                    node = cluster.sim_nodes[node_name]
+                    pending.append(env.process(node.compute(seconds)))
 
-        # CPU: aggregation (group hashing + accumulator updates) on every
-        # node whose rows fed a GROUP BY — the compute a pushed-down
-        # aggregate spends server-side instead of shipping raw rows.
-        for node_name, rows in cost.node_rows_aggregated.items():
-            seconds = rows * w * model.agg_cpu_per_row
-            if seconds > 0:
-                node = cluster.sim_nodes[node_name]
-                pending.append(env.process(node.compute(seconds)))
+            # CPU: aggregation (group hashing + accumulator updates) on
+            # every node whose rows fed a GROUP BY — the compute a
+            # pushed-down aggregate spends server-side instead of
+            # shipping raw rows.
+            for node_name, rows in cost.node_rows_aggregated.items():
+                seconds = rows * w * model.agg_cpu_per_row
+                if seconds > 0:
+                    node = cluster.sim_nodes[node_name]
+                    pending.append(env.process(node.compute(seconds)))
 
         # Wire bytes: textual JDBC encoding of the actual result rows,
         # attributed to producing nodes proportionally.

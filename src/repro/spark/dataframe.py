@@ -129,6 +129,24 @@ class DataFrame:
             self.session, self.schema, rdd=self.rdd().coalesce(num_partitions)
         )
 
+    def cache(self) -> "DataFrame":
+        """Persist computed partitions in executor block managers.
+
+        Materialises the physical plan (including any relation pushdown)
+        and wraps it in a :class:`~repro.spark.rdd.CachedRDD`: the first
+        job stores each partition as a columnar block on the executor
+        that computed it; later jobs reuse the blocks instead of re-reading
+        the source.  Shark-style — byte-accounted, LRU-evicted, recomputed
+        from lineage after an executor crash.
+        """
+        return DataFrame(self.session, self.schema, rdd=self.rdd().cache())
+
+    def unpersist(self) -> "DataFrame":
+        """Drop this frame's cached blocks (no-op if never cached)."""
+        if self._rdd is not None and hasattr(self._rdd, "unpersist"):
+            self._rdd.unpersist()
+        return self
+
     # -- physical plan ------------------------------------------------------------
     def rdd(self) -> RDD:
         """The underlying RDD (materialising relation pushdowns)."""

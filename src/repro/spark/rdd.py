@@ -12,19 +12,25 @@ pure in-memory transformations yield nothing and are free.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional, Sequence
 
+from repro import telemetry
 from repro.spark.errors import SparkError
 
 
 class RDD:
     """Base class; subclasses define partitioning and compute."""
 
+    _rdd_ids = itertools.count(1)
+
     def __init__(self, context: "SparkContext", num_partitions: int):  # noqa: F821
         if num_partitions <= 0:
             raise SparkError(f"an RDD needs >= 1 partition: {num_partitions}")
         self.context = context
         self.num_partitions = num_partitions
+        #: unique lineage id; cached blocks key on (rdd_id, partition)
+        self.rdd_id = next(RDD._rdd_ids)
 
     # -- lineage node ---------------------------------------------------------
     def compute(self, split: int, ctx) -> Generator:
@@ -111,33 +117,86 @@ class RDD:
     def cache(self) -> "RDD":
         """Persist computed partitions (like ``RDD.cache()``).
 
-        The first computation of each partition stores its rows; later
-        jobs (and retried tasks) reuse the stored copy instead of
-        recomputing the lineage — including any data-source reads.
+        The first computation of each partition stores its rows in the
+        computing executor's block manager; later jobs (and retried
+        tasks) reuse the stored block — fetching it from a peer executor
+        when placement lands elsewhere — instead of recomputing the
+        lineage, including any data-source reads.
         """
         return CachedRDD(self)
 
 
 class CachedRDD(RDD):
-    """Memoises a parent RDD's partitions after first computation."""
+    """Caches a parent RDD's partitions in executor block managers.
+
+    Shark-style: each materialized partition lives as a columnar
+    :class:`~repro.cache.blocks.ColumnBlock` in the block manager of the
+    executor that computed it, byte-accounted with LRU eviction — no
+    unbounded driver-side state.  A task placed on an executor without
+    the block fetches it from any live peer holding one; if no replica
+    survives (crash, eviction, ``unpersist``), lineage recompute rebuilds
+    it and re-stores the result locally.
+    """
 
     def __init__(self, parent: RDD):
         super().__init__(parent.context, parent.num_partitions)
         self.parent = parent
-        self._cached: dict = {}
+
+    def _block_managers(self) -> List[Any]:
+        return [
+            executor.block_manager
+            for executor in getattr(self.context, "executors", [])
+            if hasattr(executor, "block_manager")
+        ]
 
     @property
     def cached_partitions(self) -> int:
-        return len(self._cached)
+        """Distinct partitions resident somewhere in the cluster."""
+        seen = set()
+        for manager in self._block_managers():
+            seen.update(manager.partitions_of(self.rdd_id))
+        return len(seen)
+
+    @property
+    def cached_bytes(self) -> int:
+        """Total resident bytes of this RDD's blocks (replicas included)."""
+        total = 0
+        for manager in self._block_managers():
+            for split in manager.partitions_of(self.rdd_id):
+                block = manager.get((self.rdd_id, split))
+                if block is not None:
+                    total += block.nbytes
+        return total
 
     def unpersist(self) -> None:
-        self._cached.clear()
+        """Drop every block on every executor, releasing accounted bytes."""
+        for manager in self._block_managers():
+            manager.drop_rdd(self.rdd_id)
 
     def compute(self, split: int, ctx) -> Generator:
-        if split not in self._cached:
-            rows = yield from _materialize(self.parent, split, ctx)
-            self._cached[split] = rows
-        return list(self._cached[split])
+        key = (self.rdd_id, split)
+        local = getattr(getattr(ctx, "executor", None), "block_manager", None)
+        if local is not None:
+            block = local.get(key)
+            if block is not None:
+                telemetry.counter("spark.cache.hits").inc()
+                return block.rows()
+            # Remote fetch: any live peer holding the block serves it.
+            for executor in getattr(self.context, "executors", []):
+                if getattr(executor, "down", False):
+                    continue
+                manager = getattr(executor, "block_manager", None)
+                if manager is local or manager is None:
+                    continue
+                block = manager.get(key)
+                if block is not None:
+                    telemetry.counter("spark.cache.remote_hits").inc()
+                    return block.rows()
+        telemetry.counter("spark.cache.misses").inc()
+        rows = yield from _materialize(self.parent, split, ctx)
+        if local is not None:
+            local.put(key, rows)
+        return list(rows)
 
 
 class ParallelCollectionRDD(RDD):

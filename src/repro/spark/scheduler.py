@@ -55,14 +55,32 @@ class ExecutorLost:
 
 
 class Executor:
-    """One executor: a node and a pool of task slots."""
+    """One executor: a node, a pool of task slots, and a block store."""
 
-    def __init__(self, env: Environment, node: SimNode, cores: int):
+    def __init__(
+        self,
+        env: Environment,
+        node: SimNode,
+        cores: int,
+        cache_budget_bytes: Optional[int] = None,
+    ):
+        from repro.cache.blocks import DEFAULT_EXECUTOR_CACHE_BYTES, BlockManager
+
         self.env = env
         self.node = node
         self.slots = Resource(env, cores, name=f"{node.name}.slots")
         #: set while crashed; a down executor receives no new attempts
         self.down = False
+        #: cached RDD partition blocks (columnar, byte-accounted LRU);
+        #: soft state — emptied when the executor crashes
+        self.block_manager = BlockManager(
+            f"{node.name}.blocks",
+            budget_bytes=(
+                cache_budget_bytes
+                if cache_budget_bytes is not None
+                else DEFAULT_EXECUTOR_CACHE_BYTES
+            ),
+        )
 
     def __repr__(self) -> str:
         return f"Executor({self.node.name}, {self.slots.capacity} slots)"
@@ -215,6 +233,9 @@ class TaskScheduler:
         :meth:`restart_executor`.
         """
         executor.down = True
+        # Cached blocks are soft state in executor memory: a crash loses
+        # them all, and lineage recompute rebuilds partitions on demand.
+        executor.block_manager.drop_all()
         lost = ExecutorLost(executor.node.name, reason)
         killed = 0
         for job in self.jobs:

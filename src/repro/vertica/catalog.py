@@ -121,6 +121,16 @@ class Catalog:
         }
         #: optimizer statistics, keyed by upper-cased table name (ANALYZE)
         self.statistics: Dict[str, "TableStats"] = {}
+        #: monotonically increasing catalog version: bumped by every DDL
+        #: change and by ANALYZE, because those mutate query-visible state
+        #: *without* advancing an epoch.  The plan and result caches fold
+        #: this into their keys, so epoch keying alone stays exact.
+        self.version = 0
+
+    def bump_version(self) -> int:
+        """Invalidate version-keyed caches (DDL/ANALYZE happened)."""
+        self.version += 1
+        return self.version
 
     # -- tables ----------------------------------------------------------------
     def create_table(
@@ -144,6 +154,7 @@ class Catalog:
             unsegmented=unsegmented,
         )
         self.tables[key] = table
+        self.bump_version()
         return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> bool:
@@ -154,6 +165,7 @@ class Catalog:
             raise CatalogError(f"table {name!r} does not exist")
         del self.tables[key]
         self.statistics.pop(key, None)
+        self.bump_version()
         return True
 
     def rename_table(self, name: str, new_name: str) -> None:
@@ -170,6 +182,7 @@ class Catalog:
         if stats is not None:
             stats.table = new_key
             self.statistics[new_key] = stats
+        self.bump_version()
 
     def table(self, name: str) -> TableDef:
         try:
@@ -190,6 +203,7 @@ class Catalog:
             raise CatalogError(f"view {name!r} already exists")
         view = ViewDef(key, query, sql_text)
         self.views[key] = view
+        self.bump_version()
         return view
 
     def drop_view(self, name: str, if_exists: bool = False) -> bool:
@@ -199,6 +213,7 @@ class Catalog:
                 return False
             raise CatalogError(f"view {name!r} does not exist")
         del self.views[key]
+        self.bump_version()
         return True
 
     def has_view(self, name: str) -> bool:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.cache import PlanCache, ResultCache
 from repro.vertica.catalog import Catalog
 from repro.vertica.dfs import DistributedFileSystem
 from repro.vertica.engine import Engine
@@ -61,6 +62,14 @@ class VerticaDatabase:
         #: join-strategy override (SET JOIN_STRATEGY): 'auto' lets the cost
         #: model pick; 'hash'/'merge'/'nested-loop' force one for debugging
         self.join_strategy = "auto"
+        #: prepared-statement / optimized-plan cache (always on: keyed by
+        #: canonical text + catalog version, so reuse is always exact)
+        self.plan_cache = PlanCache()
+        #: server-side result cache, keyed by (digest, epoch, catalog version)
+        self.result_cache = ResultCache()
+        #: default RESULT_CACHE setting new sessions start with; individual
+        #: sessions override it via ``SET RESULT_CACHE = 'on'|'off'``
+        self.result_cache_default = False
         from repro.vertica.tuplemover import TupleMover
 
         self.tuple_mover = TupleMover(self)
@@ -193,6 +202,9 @@ class VerticaDatabase:
             table = self.catalog.table(statement.table)
             for storage in self.storage.values():
                 storage.drop_table(table.name)
+            # TRUNCATE discards rows without advancing an epoch, so the
+            # epoch-keyed caches only stay exact through a version bump.
+            self.catalog.bump_version()
             return 1
         if isinstance(statement, ast.CreateView):
             self.catalog.create_view(

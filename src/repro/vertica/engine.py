@@ -58,6 +58,11 @@ class CostReport:
         #: name of the resource pool the statement executed in (None when
         #: the cluster runs without WLM admission)
         self.resource_pool: Optional[str] = None
+        #: True when the result cache served this statement.  The other
+        #: fields are replayed from the memoised execution, so a hit's
+        #: report is byte-identical to its cold replay modulo this flag —
+        #: the JDBC bridge uses it to skip scan/aggregate CPU charges.
+        self.cache_hit = False
 
     def scanned(self, node: str, rows: int = 1) -> None:
         self.rows_scanned += rows
@@ -81,6 +86,7 @@ class CostReport:
         self.node_rows_written[node] = self.node_rows_written.get(node, 0) + rows
 
     def merge(self, other: "CostReport") -> None:
+        self.cache_hit = self.cache_hit or other.cache_hit
         self.rows_scanned += other.rows_scanned
         self.rows_output += other.rows_output
         self.bytes_output += other.bytes_output
@@ -112,6 +118,9 @@ class ResultSet:
     profile = None
     #: set by ``PROFILE <query>``: the profiled query's own ResultSet
     query_result = None
+    #: set by SELECT execution: the snapshot epoch the rows were read at
+    #: (what the chaos stale-read checker replays against)
+    snapshot_epoch = None
 
     def __init__(
         self,
@@ -281,20 +290,24 @@ class Engine:
         initiator: str,
         copy_data=None,
         resource_pool: Optional[str] = None,
+        use_result_cache: bool = False,
     ) -> Tuple[ResultSet, Optional[Any]]:
         """Run one parsed DML/query statement; returns (result, copy_result).
 
         The single entry point the session layer dispatches through, so
         every statement's :class:`CostReport` is stamped with the resource
         pool it ran in (``copy_result`` is non-None only for COPY).
+        ``use_result_cache`` carries the session's RESULT_CACHE setting;
+        only top-level SELECT/EXPLAIN/PROFILE consult the cache (never the
+        inner query of INSERT ... SELECT, which must see staged writes).
         """
         copy_result = None
         if isinstance(statement, ast.Select):
-            result = self.select(statement, txn, initiator)
+            result = self.select(statement, txn, initiator, use_cache=use_result_cache)
         elif isinstance(statement, ast.Explain):
-            result = self.explain(statement, txn, initiator)
+            result = self.explain(statement, txn, initiator, use_cache=use_result_cache)
         elif isinstance(statement, ast.Profile):
-            result = self.profile(statement, txn, initiator)
+            result = self.profile(statement, txn, initiator, use_cache=use_result_cache)
         elif isinstance(statement, ast.InsertValues):
             result = self.insert_values(statement, txn, initiator)
         elif isinstance(statement, ast.InsertSelect):
@@ -399,9 +412,30 @@ class Engine:
         txn: Transaction,
         initiator: str,
         cost: Optional[CostReport] = None,
+        use_cache: bool = False,
     ) -> ResultSet:
         """Run one SELECT through the bind → optimize → execute pipeline."""
-        return self._run_select(statement, txn, initiator, cost)[0]
+        return self._run_select(statement, txn, initiator, cost, use_cache)[0]
+
+    def _cache_bypass_reason(
+        self, txn: Transaction, canonical: str
+    ) -> Optional[str]:
+        """Why this SELECT must not touch the result cache (None = cacheable).
+
+        Read-your-writes makes staged transaction state part of the
+        query's input but not of its epoch; system tables change without
+        epochs (node states, pool occupancy); UDx calls are opaque.
+        """
+        if txn.wos or txn.replica_wos or txn.deletes:
+            return "txn_writes"
+        if "V_CATALOG" in canonical or "V_MONITOR" in canonical:
+            return "system_table"
+        udx_names = self.database.udx.names()
+        if udx_names:
+            tokens = set(canonical.split(" "))
+            if any(name in tokens for name in udx_names):
+                return "udx"
+        return None
 
     def _run_select(
         self,
@@ -409,8 +443,15 @@ class Engine:
         txn: Transaction,
         initiator: str,
         cost: Optional[CostReport] = None,
+        use_cache: bool = False,
     ):
-        """Shared SELECT entry: returns (ResultSet, PipelineExecution)."""
+        """Shared SELECT entry: returns (ResultSet, PipelineExecution).
+
+        With ``use_cache`` the result cache is consulted under
+        (canonical statement, snapshot epoch, catalog version); a hit
+        replays the memoised rows and cost attribution without running
+        any operator (the returned execution is ``None``).
+        """
         cost = cost if cost is not None else CostReport()
         telemetry.counter("vertica.queries.select").inc()
         if statement.at_epoch is not None:
@@ -427,26 +468,87 @@ class Engine:
                 "has been merged out"
             )
         snapshot = txn.snapshot_epoch(statement.at_epoch)
+
+        db = self.database
+        cache = db.result_cache
+        canonical = getattr(statement, "cache_key", None)
+        cacheable = use_cache and canonical is not None
+        if cacheable:
+            reason = self._cache_bypass_reason(txn, canonical)
+            if reason is not None:
+                cache.bypass(reason)
+                cacheable = False
+        if cacheable:
+            from repro.cache.result import replay_cost
+
+            entry = cache.lookup(canonical, snapshot, db.catalog.version)
+            if entry is not None:
+                replay_cost(entry.cost_snapshot, cost)
+                cost.cache_hit = True
+                result = ResultSet(
+                    list(entry.columns), list(entry.rows), cost=cost
+                )
+                result.snapshot_epoch = snapshot
+                return result, None
+
         # Imported lazily: plan modules import this module at their top.
         from repro.vertica.plan import execute_select
 
-        return execute_select(self, statement, txn, initiator, snapshot, cost)
+        result, execution = execute_select(
+            self, statement, txn, initiator, snapshot, cost
+        )
+        result.snapshot_epoch = snapshot
+        if cacheable:
+            cache.store(
+                canonical,
+                snapshot,
+                db.catalog.version,
+                result.columns,
+                result.rows,
+                cost,
+            )
+        return result, execution
 
     def explain(
-        self, statement: ast.Explain, txn: Transaction, initiator: str
+        self,
+        statement: ast.Explain,
+        txn: Transaction,
+        initiator: str,
+        use_cache: bool = False,
     ) -> ResultSet:
         """Render the optimized plan: access path, pruning, pushdowns.
 
         Binds and optimizes through the real pipeline but executes
-        nothing (row estimates come from storage metadata only).
+        nothing (row estimates come from storage metadata only).  When
+        the session has RESULT_CACHE on, a trailing line reports whether
+        the query would be served from the result cache at the current
+        snapshot (the probe neither stores nor touches LRU order).
         """
         from repro.vertica.plan import explain_lines
 
         lines = explain_lines(self, statement.query, initiator)
+        canonical = getattr(statement.query, "cache_key", None)
+        if use_cache and canonical is not None:
+            from repro.cache.keys import statement_digest
+
+            db = self.database
+            query = statement.query
+            probe_epoch = (
+                query.at_epoch if query.at_epoch is not None else db.epochs.current
+            )
+            held = (canonical, probe_epoch, db.catalog.version) in db.result_cache
+            lines.append(
+                f"RESULT CACHE: {'hit' if held else 'miss'} "
+                f"(digest {statement_digest(canonical)}, epoch {probe_epoch})"
+            )
         return ResultSet(["QUERY_PLAN"], [(line,) for line in lines])
 
     def profile(
-        self, statement: ast.Profile, txn: Transaction, initiator: str
+        self,
+        statement: ast.Profile,
+        txn: Transaction,
+        initiator: str,
+        use_cache: bool = False,
     ) -> ResultSet:
         """Execute the query and report per-operator execution stats.
 
@@ -454,12 +556,29 @@ class Engine:
         own result hangs off ``query_result`` and the structured stats
         off ``profile``.  The report carries the real query's
         CostReport, so WLM accounting charges PROFILE like the query it
-        ran.
+        ran.  A result-cache hit has no operator tree: the report then
+        shows the hit and the replayed cost summary (``profile`` stays
+        ``None``).
         """
         from repro.vertica.plan.pipeline import PlanProfile
 
         telemetry.counter("vertica.queries.profile").inc()
-        result, execution = self._run_select(statement.query, txn, initiator)
+        result, execution = self._run_select(
+            statement.query, txn, initiator, use_cache=use_cache
+        )
+        if execution is None:
+            cost = result.cost
+            lines = [
+                f"RESULT CACHE: hit (epoch {result.snapshot_epoch})",
+                "COST: "
+                f"rows scanned: {cost.rows_scanned}, "
+                f"rows aggregated: {cost.rows_aggregated}, "
+                f"rows output: {cost.rows_output}, "
+                f"bytes output: {int(cost.bytes_output)}",
+            ]
+            report = ResultSet(["PROFILE"], [(line,) for line in lines], cost=cost)
+            report.query_result = result
+            return report
         prof = PlanProfile(execution, result)
         report = ResultSet(
             ["PROFILE"], [(line,) for line in prof.lines()], cost=result.cost
@@ -484,6 +603,9 @@ class Engine:
             raise SqlError(f"ANALYZE bucket count must be positive, got {buckets}")
         stats = collect_table_stats(db, table.name, buckets)
         db.catalog.statistics[table.name] = stats
+        # New statistics change plan choice without advancing an epoch:
+        # bump the catalog version so plan/result caches re-key.
+        db.catalog.bump_version()
         telemetry.counter("vertica.queries.analyze").inc()
         return ResultSet(
             ["TABLE_NAME", "ROW_COUNT", "COLUMNS_ANALYZED"],

@@ -28,6 +28,7 @@ from repro.vertica.plan.pipeline import (
     dml_matching_rows,
     execute_select,
     explain_lines,
+    optimized_plan,
 )
 
 __all__ = [
@@ -39,4 +40,5 @@ __all__ = [
     "execute_select",
     "explain_lines",
     "optimize",
+    "optimized_plan",
 ]

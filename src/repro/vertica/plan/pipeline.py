@@ -88,6 +88,31 @@ class PipelineExecution:
         return out
 
 
+def optimized_plan(engine, statement: ast.Select) -> LogicalPlan:
+    """Bind + optimize through the plan cache.
+
+    Cached plans are keyed by (canonical statement, catalog version,
+    join-strategy override).  Estimation reads only catalog statistics
+    and binding reads only the catalog, both covered by the version, so
+    a cached plan is identical to a fresh optimize at the same key — the
+    statement just skips bind → optimize.  Statements without a stamped
+    ``cache_key`` (built programmatically, not through a session parse)
+    take the cold path every time.
+    """
+    db = engine.database
+    cache = getattr(db, "plan_cache", None)
+    version = db.catalog.version
+    strategy = db.join_strategy
+    if cache is not None:
+        plan = cache.lookup_plan(statement, version, strategy)
+        if plan is not None:
+            return plan
+    plan = optimize(bind_select(db, statement), db)
+    if cache is not None:
+        cache.store_plan(statement, version, strategy, plan)
+    return plan
+
+
 def execute_select(
     engine,
     statement: ast.Select,
@@ -97,7 +122,7 @@ def execute_select(
     cost: CostReport,
 ) -> Tuple[ResultSet, PipelineExecution]:
     """Bind, optimize and run one SELECT through physical operators."""
-    plan = optimize(bind_select(engine.database, statement), engine.database)
+    plan = optimized_plan(engine, statement)
     root = build_operator(engine, plan.root, txn, initiator, snapshot, cost)
     rows: List[Tuple[Any, ...]] = []
     for batch in root.batches():
@@ -144,7 +169,7 @@ def dml_matching_rows(
 def explain_lines(engine, query: ast.Select, initiator: str) -> List[str]:
     """Render the optimized plan tree; binds but never executes."""
     db = engine.database
-    plan = optimize(bind_select(db, query), db)
+    plan = optimized_plan(engine, query)
     snapshot = query.at_epoch if query.at_epoch is not None else db.epochs.current
     lines: List[str] = []
 

@@ -42,6 +42,9 @@ class Session:
         self._closed = False
         #: the WLM pool this session's statements admit through
         self.resource_pool = "GENERAL"
+        #: whether SELECTs consult the server-side result cache
+        #: (``SET RESULT_CACHE = 'on'|'off'``; default from the database)
+        self.result_cache_enabled = database.result_cache_default
         self.last_result: Optional[ResultSet] = None
         self.last_copy_result: Optional[CopyResult] = None
 
@@ -68,6 +71,7 @@ class Session:
         self._txn = None
         self._explicit = False
         self.resource_pool = "GENERAL"
+        self.result_cache_enabled = self.database.result_cache_default
         self.last_result = None
         self.last_copy_result = None
 
@@ -101,7 +105,11 @@ class Session:
     ) -> ResultSet:
         """Parse and run one statement; returns its result set."""
         self._require_open()
-        statement = parse_statement(sql)
+        # The plan cache's parse level memoises the parsed AST under the
+        # canonical statement text (and stamps the normalization keys the
+        # plan/result tiers share), so a repeated statement skips the
+        # lexer and parser entirely.
+        statement = self.database.plan_cache.parse(sql, parse_statement)
 
         if isinstance(statement, ast.BeginTransaction):
             if self.in_transaction:
@@ -139,6 +147,7 @@ class Session:
                 self.node,
                 copy_data=copy_data,
                 resource_pool=self.resource_pool,
+                use_result_cache=self.result_cache_enabled,
             )
             if copy_result is not None:
                 self.last_copy_result = copy_result
@@ -166,6 +175,15 @@ class Session:
                     "(expected auto, hash, merge, or nested-loop)"
                 )
             self.database.join_strategy = value
+            return
+        if name == "RESULT_CACHE":
+            value = str(statement.value).lower()
+            if value not in ("on", "off"):
+                raise SqlError(
+                    f"invalid RESULT_CACHE {statement.value!r} "
+                    "(expected 'on' or 'off')"
+                )
+            self.result_cache_enabled = value == "on"
             return
         raise SqlError(f"unknown session option {statement.name!r}")
 

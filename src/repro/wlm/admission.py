@@ -18,9 +18,10 @@ chaos ``InvariantChecker`` audits for.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro import telemetry
+from repro.cache.result import MemoryAccount
 from repro.sim.kernel import Environment
 from repro.sim.resources import PriorityResource
 from repro.vertica.errors import AdmissionTimeout
@@ -72,11 +73,17 @@ class _PoolState:
         self.memory = PriorityResource(
             env, pool.memory_mb, name=f"wlm.{pool.name}.memory_mb"
         )
+        #: MB of the memory ledger held by result-cache residency rather
+        #: than by an in-flight statement (see :meth:`AdmissionController.
+        #: cache_account`) — excluded from leak detection because cached
+        #: bytes legitimately outlive every ticket.
+        self.cache_mb = 0
 
     def observe(self) -> None:
         base = f"wlm.pool.{self.pool.name}"
         telemetry.gauge(f"{base}.occupancy").set(self.slots.in_use)
         telemetry.gauge(f"{base}.memory_mb").set(self.memory.in_use)
+        telemetry.gauge(f"{base}.cache_mb").set(self.cache_mb)
         telemetry.gauge(f"{base}.queue_depth").set(self.queue_depth)
 
     @property
@@ -87,7 +94,7 @@ class _PoolState:
     def busy(self) -> bool:
         return (
             self.slots.in_use > 0
-            or self.memory.in_use > 0
+            or self.memory.in_use - self.cache_mb > 0
             or self.queue_depth > 0
         )
 
@@ -187,14 +194,75 @@ class AdmissionController:
     def _total_queue_depth(self) -> int:
         return sum(s.queue_depth for s in self._states.values())
 
+    def cache_account(self, pool_name: str) -> "PoolCacheAccount":
+        """A :class:`~repro.cache.result.MemoryAccount` charging a pool.
+
+        Attach it to a :class:`~repro.cache.result.ResultCache` and the
+        cache's resident bytes hold real memory grants in ``pool_name``'s
+        ledger — cached results genuinely compete with query admission.
+        Reservations never *queue*: if the pool cannot grant the MB right
+        now, ``grow`` fails and the cache evicts or refuses the store.
+        """
+        return PoolCacheAccount(self, pool_name)
+
     def leaked(self) -> Dict[str, Tuple[int, int, int]]:
         """Pools still holding grants: name -> (slots, memory_mb, queued).
 
         Empty when every ticket was released — the invariant the chaos
-        checker asserts after each trial.
+        checker asserts after each trial.  Result-cache residency
+        (``cache_mb``) is deliberately excluded: cached bytes outlive
+        tickets by design.
         """
         return {
-            name: (s.slots.in_use, s.memory.in_use, s.queue_depth)
+            name: (s.slots.in_use, s.memory.in_use - s.cache_mb, s.queue_depth)
             for name, s in sorted(self._states.items())
             if s.busy
         }
+
+
+class PoolCacheAccount(MemoryAccount):
+    """Charges result-cache bytes into one pool's memory ledger.
+
+    Grants are held as 1 MB grants so grow/shrink always align exactly
+    with the pool's :class:`~repro.sim.resources.PriorityResource`
+    accounting; a grant that cannot be satisfied *immediately* is
+    cancelled rather than queued (the cache must never block a query).
+    """
+
+    def __init__(self, controller: AdmissionController, pool_name: str):
+        self._controller = controller
+        self.pool_name = pool_name.upper()
+        #: (pool state, granted request) per resident MB, LIFO
+        self._grants: List[Tuple[_PoolState, object]] = []
+
+    @property
+    def reserved_mb(self) -> int:
+        return len(self._grants)
+
+    def grow(self, mb: int) -> bool:
+        state = self._controller.state(self.pool_name)
+        taken = []
+        for __ in range(mb):
+            request = state.memory.request(1, priority=state.pool.priority)
+            if not request.triggered:
+                # No headroom: cancel the queued claim and roll back.
+                state.memory.release(request)
+                for held in taken:
+                    state.memory.release(held)
+                state.observe()
+                telemetry.counter(
+                    f"wlm.pool.{state.pool.name}.cache_grow_denied"
+                ).inc()
+                return False
+            taken.append(request)
+        state.cache_mb += mb
+        self._grants.extend((state, request) for request in taken)
+        state.observe()
+        return True
+
+    def shrink(self, mb: int) -> None:
+        for __ in range(min(mb, len(self._grants))):
+            state, request = self._grants.pop()
+            state.memory.release(request)
+            state.cache_mb -= 1
+            state.observe()

@@ -1,0 +1,195 @@
+"""Tier-1 tests for the executor columnar cache (repro.cache.blocks).
+
+ColumnBlock stores a computed partition column-major when the rows are
+uniform tuples (Shark-style in-memory columnar storage); BlockManager
+bounds each executor's resident blocks with byte-accounted LRU.  The
+scheduler integration under test: cached partitions survive across
+jobs, an executor crash drops its blocks and lineage recomputes only
+what was lost, and DataFrame.cache()/unpersist() ride the same store.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.cache.blocks import (
+    BlockManager,
+    ColumnBlock,
+    cluster_partitions,
+    rows_nbytes,
+)
+from repro.spark import SparkSession, StructField, StructType
+from repro.telemetry import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = telemetry.install(MetricsRegistry(enabled=True))
+    yield reg
+    telemetry.reset()
+
+
+@pytest.fixture
+def spark():
+    return SparkSession(num_workers=2, cores_per_worker=2)
+
+
+class TestColumnBlock:
+    def test_uniform_tuples_stored_columnar(self):
+        rows = [(1, "a", 2.0), (2, "b", 3.0), (3, "c", 4.0)]
+        block = ColumnBlock(rows)
+        assert block.is_columnar
+        assert block.rows() == rows
+
+    def test_rows_returns_a_fresh_list(self):
+        rows = [(1,), (2,)]
+        block = ColumnBlock(rows)
+        out = block.rows()
+        out.append((99,))
+        assert block.rows() == rows
+
+    def test_ragged_rows_fall_back_to_row_store(self):
+        rows = [(1, 2), (3,), "scalar"]
+        block = ColumnBlock(rows)
+        assert not block.is_columnar
+        assert block.rows() == rows
+
+    def test_nbytes_tracks_payload(self):
+        small = ColumnBlock([(1,)])
+        large = ColumnBlock([(i, "x" * 50) for i in range(100)])
+        assert 0 < small.nbytes < large.nbytes
+        assert large.nbytes >= rows_nbytes([(i, "x" * 50) for i in range(100)])
+
+
+class TestBlockManager:
+    def test_put_get_roundtrip(self):
+        manager = BlockManager("exec-0", budget_bytes=1 << 20)
+        rows = [(i, float(i)) for i in range(10)]
+        assert manager.put((7, 0), rows) is True
+        block = manager.get((7, 0))
+        assert block is not None and block.rows() == rows
+        assert manager.get((7, 1)) is None
+
+    def test_lru_eviction_under_byte_budget(self):
+        rows = [(i, "x" * 20) for i in range(20)]
+        one = ColumnBlock(rows).nbytes
+        manager = BlockManager("exec-0", budget_bytes=int(one * 2.5))
+        for part in range(4):
+            assert manager.put((1, part), rows) is True
+        assert len(manager) == 2
+        assert manager.used_bytes <= manager.budget_bytes
+        # Oldest partitions were evicted, newest survive.
+        assert manager.get((1, 0)) is None
+        assert manager.get((1, 3)) is not None
+
+    def test_oversized_block_rejected(self):
+        manager = BlockManager("exec-0", budget_bytes=8)
+        assert manager.put((1, 0), [(i, "x" * 100) for i in range(50)]) is False
+        assert len(manager) == 0
+
+    def test_drop_rdd_releases_only_that_rdd(self):
+        manager = BlockManager("exec-0", budget_bytes=1 << 20)
+        manager.put((1, 0), [(1,)])
+        manager.put((1, 1), [(2,)])
+        manager.put((2, 0), [(3,)])
+        assert manager.drop_rdd(1) == 2
+        assert manager.partitions_of(1) == []
+        assert manager.partitions_of(2) == [0]
+        manager.drop_all()
+        assert manager.used_bytes == 0
+
+    def test_cluster_partitions_counts_replicas(self):
+        a = BlockManager("exec-0", budget_bytes=1 << 20)
+        b = BlockManager("exec-1", budget_bytes=1 << 20)
+        a.put((5, 0), [(1,)])
+        b.put((5, 0), [(1,)])
+        b.put((5, 1), [(2,)])
+        located = cluster_partitions([a, b], 5)
+        assert located == {0: 2, 1: 1}
+
+
+class TestSchedulerIntegration:
+    def test_blocks_live_in_executor_managers(self, spark):
+        rdd = spark.parallelize(range(8), 4).cache()
+        rdd.collect()
+        managers = [e.block_manager for e in spark.scheduler.executors]
+        held = sum(len(m.partitions_of(rdd.rdd_id)) for m in managers)
+        assert held == 4
+        assert rdd.cached_bytes > 0
+
+    def test_crash_drops_blocks_and_lineage_recomputes(self, spark):
+        calls = []
+
+        def traced(x):
+            calls.append(x)
+            return x * 2
+
+        rdd = spark.parallelize(range(10), 2).map(traced).cache()
+        expected = [x * 2 for x in range(10)]
+        assert rdd.collect() == expected
+        assert len(calls) == 10
+        victim = spark.scheduler.executors[0]
+        lost = len(victim.block_manager.partitions_of(rdd.rdd_id))
+        spark.scheduler.crash_executor(victim)
+        assert len(victim.block_manager) == 0
+        spark.scheduler.restart_executor(victim)
+        assert rdd.collect() == expected
+        # Only the lost partitions recompute; survivors serve from cache.
+        assert len(calls) == 10 + lost * 5
+
+    def test_unpersist_releases_bytes(self, spark):
+        rdd = spark.parallelize(range(16), 4).cache()
+        rdd.collect()
+        assert rdd.cached_partitions == 4
+        assert rdd.cached_bytes > 0
+        rdd.unpersist()
+        assert rdd.cached_partitions == 0
+        assert rdd.cached_bytes == 0
+        for executor in spark.scheduler.executors:
+            assert executor.block_manager.partitions_of(rdd.rdd_id) == []
+
+    def test_cache_telemetry_counters(self, spark, registry):
+        rdd = spark.parallelize(range(8), 4).cache()
+        rdd.collect()
+        rdd.collect()
+        counters = registry.snapshot().counters
+        assert counters.get("spark.cache.stores", 0) == 4
+        served = counters.get("spark.cache.hits", 0) + counters.get(
+            "spark.cache.remote_hits", 0
+        )
+        assert served == 4
+
+
+class TestDataFrameCache:
+    SCHEMA = StructType(
+        [StructField("id", "long"), StructField("score", "double")]
+    )
+    ROWS = [(i, float(i) / 2) for i in range(12)]
+
+    def test_dataframe_cache_roundtrip(self, spark):
+        df = spark.create_dataframe(self.ROWS, self.SCHEMA, num_partitions=3)
+        cached = df.cache()
+        assert cached.collect() == self.ROWS
+        assert cached.collect() == self.ROWS
+        assert cached.rdd().cached_partitions == 3
+
+    def test_dataframe_unpersist_releases(self, spark):
+        cached = spark.create_dataframe(
+            self.ROWS, self.SCHEMA, num_partitions=3
+        ).cache()
+        cached.collect()
+        rdd = cached.rdd()
+        assert rdd.cached_bytes > 0
+        cached.unpersist()
+        assert rdd.cached_bytes == 0
+
+    def test_unpersist_on_uncached_frame_is_a_noop(self, spark):
+        df = spark.create_dataframe(self.ROWS, self.SCHEMA, num_partitions=2)
+        assert df.unpersist().collect() == self.ROWS
+
+    def test_downstream_ops_read_the_cache(self, spark):
+        cached = spark.create_dataframe(
+            self.ROWS, self.SCHEMA, num_partitions=3
+        ).cache()
+        cached.collect()
+        total = cached.select("id").collect()
+        assert [row[0] for row in total] == [row[0] for row in self.ROWS]
