@@ -773,6 +773,162 @@ def run_cache_trial(seed: int, speculation: bool = False,
     )
 
 
+#: the adaptive-join trial's star schema: fact stats are deliberately
+#: stale (ANALYZEd at ADAPTIVE_ANALYZED rows, then grown 15x), so the
+#: reordered plan mis-builds and must replan mid-query
+ADAPTIVE_FACT = "chaos_adaptive_fact"
+ADAPTIVE_DIM_A = "chaos_adaptive_da"
+ADAPTIVE_DIM_B = "chaos_adaptive_db"
+ADAPTIVE_FACT_ROWS = 360
+ADAPTIVE_ANALYZED = 24
+#: sized above the stale intermediate estimate (~15 rows) but below its
+#: observed size (~225 rows): the planner builds the second join on the
+#: intermediate, which balloons, forcing a swap-build replan
+ADAPTIVE_A_KEYS = 60
+ADAPTIVE_B_KEYS = 8
+ADAPTIVE_B_CUTOFF = 10  # b_val < 10 keeps b_id 0..4 (5 of 8 keys)
+
+ADAPTIVE_SELECT = (
+    f"SELECT a_val, COUNT(*), SUM(fv) FROM {ADAPTIVE_FACT} "
+    f"JOIN {ADAPTIVE_DIM_A} ON fk1 = a_id "
+    f"JOIN {ADAPTIVE_DIM_B} ON fk2 = b_id "
+    f"WHERE b_val < {ADAPTIVE_B_CUTOFF} GROUP BY a_val ORDER BY a_val"
+)
+
+
+def _expected_adaptive_groups() -> List[tuple]:
+    groups: dict = {}
+    for i in range(ADAPTIVE_FACT_ROWS):
+        if (i % ADAPTIVE_B_KEYS) * 2 >= ADAPTIVE_B_CUTOFF:
+            continue
+        groups.setdefault((i % ADAPTIVE_A_KEYS) * 2, []).append(float(i))
+    return [(a_val, len(vals), sum(vals))
+            for a_val, vals in sorted(groups.items())]
+
+
+def run_adaptive_join_trial(seed: int, speculation: bool = False,
+                            verbose: bool = False) -> TrialResult:
+    """One seeded adaptive multi-way join under chaos, audited exactly.
+
+    A 3-way star join runs with ``JOIN_REORDER`` and
+    ``ADAPTIVE_EXECUTION`` on while restarts and link faults fire.  The
+    fact table's statistics are deliberately stale (ANALYZEd at 1/15th
+    of its final size), so the reordered plan builds on a side that
+    balloons at runtime and the join operators must replan mid-query.
+    If the query completes it must return exactly the aggregates of the
+    static rows — reordering, build-side swaps and the feedback loop may
+    never change an answer — EXPLAIN must show the reordered join order,
+    PROFILE must record at least one replan, and no session or lock may
+    leak either way.
+    """
+    fabric = _fabric(speculation)
+    session = fabric.vertica.db.connect()
+    session.execute(
+        f"CREATE TABLE {ADAPTIVE_FACT} (fk1 INTEGER, fk2 INTEGER, fv FLOAT) "
+        f"SEGMENTED BY HASH(fk1)"
+    )
+    session.execute(
+        f"CREATE TABLE {ADAPTIVE_DIM_A} (a_id INTEGER, a_val INTEGER) "
+        f"SEGMENTED BY HASH(a_id)"
+    )
+    session.execute(
+        f"CREATE TABLE {ADAPTIVE_DIM_B} (b_id INTEGER, b_val INTEGER) "
+        f"UNSEGMENTED ALL NODES"
+    )
+    session.execute(f"INSERT INTO {ADAPTIVE_DIM_A} VALUES " + ", ".join(
+        f"({i}, {i * 2})" for i in range(ADAPTIVE_A_KEYS)
+    ))
+    session.execute(f"INSERT INTO {ADAPTIVE_DIM_B} VALUES " + ", ".join(
+        f"({i}, {i * 2})" for i in range(ADAPTIVE_B_KEYS)
+    ))
+
+    def fact_values(start, stop):
+        return ", ".join(
+            f"({i % ADAPTIVE_A_KEYS}, {i % ADAPTIVE_B_KEYS}, {float(i)})"
+            for i in range(start, stop)
+        )
+
+    session.execute(f"INSERT INTO {ADAPTIVE_FACT} VALUES "
+                    + fact_values(0, ADAPTIVE_ANALYZED))
+    for table in (ADAPTIVE_FACT, ADAPTIVE_DIM_A, ADAPTIVE_DIM_B):
+        session.execute(f"ANALYZE {table}")
+    session.execute(f"INSERT INTO {ADAPTIVE_FACT} VALUES "
+                    + fact_values(ADAPTIVE_ANALYZED, ADAPTIVE_FACT_ROWS))
+    session.execute("SET JOIN_REORDER on")
+    session.execute("SET ADAPTIVE_EXECUTION on")
+    session.close()
+    checker = InvariantChecker(fabric.vertica)
+    schedule = ChaosSchedule.random(
+        seed,
+        spark_nodes=[worker.name for worker in fabric.spark.workers],
+        vertica_nodes=fabric.vertica.node_names,
+        link_names=sorted(fabric.all_links()),
+        horizon=HORIZON,
+        events=4,
+        families=("link_degrade", "vertica_restart", "connection_sever"),
+        sever_keywords=("PROFILE", "SELECT"),
+    )
+    controller = fabric.attach_chaos(schedule)
+    if verbose:
+        print("\n".join(schedule.describe()))
+    outcome: dict = {}
+
+    def workload():
+        with fabric.vertica.connect(
+            client_node=fabric.spark.workers[0]
+        ) as connection:
+            plan = yield from connection.execute(
+                "EXPLAIN " + ADAPTIVE_SELECT, weight=SCALE
+            )
+            outcome["plan"] = [row[0] for row in plan.rows]
+            outcome["profile"] = yield from connection.execute(
+                "PROFILE " + ADAPTIVE_SELECT, weight=SCALE
+            )
+
+    raised: Optional[BaseException] = None
+    try:
+        fabric.vertica.run(workload(), name=f"chaos_adaptive_{seed}")
+    except Exception as exc:  # noqa: BLE001 - the audit decides if this is fine
+        raised = exc
+    report = InvariantReport(f"adaptive seed={seed}")
+    _drain(fabric, report)
+    if raised is None:
+        profiled = outcome["profile"]
+        expected = _expected_adaptive_groups()
+        actual = list(profiled.query_result.rows)
+        if actual == expected:
+            report.passed("adaptive-exact-answer")
+        else:
+            report.violated(
+                "adaptive-exact-answer",
+                f"adaptive join produced {len(actual)} group rows that do "
+                f"not match the {len(expected)} expected groups",
+            )
+        if any("JOIN ORDER:" in line for line in outcome.get("plan", [])):
+            report.passed("explain-join-order")
+        else:
+            report.violated(
+                "explain-join-order",
+                "EXPLAIN did not render the reordered join order",
+            )
+        if profiled.profile.replans:
+            report.passed("replan-recorded")
+        else:
+            report.violated(
+                "replan-recorded",
+                "stale fact statistics produced no recorded replan",
+            )
+    report.merge(checker.check_no_leaks())
+    if verbose:
+        for record in controller.injections:
+            print(record)
+        print(report.describe())
+    return TrialResult(
+        "adaptive", seed, "-", speculation, raised, report,
+        len(controller.injections),
+    )
+
+
 #: the S2V configuration rotation: both commit paths × speculation
 S2V_CONFIGS = (
     ("overwrite", False),
@@ -786,8 +942,8 @@ def run_soak(num_seeds: int = 25, base_seed: int = 0,
              verbose: bool = False) -> List[TrialResult]:
     """Run ``num_seeds`` S2V trials (rotating configs) plus V2S scan,
     pushed-aggregate, WLM-admission, EXPLAIN/PROFILE, staging-transport
-    (S2V and V2S over the distributed FS) and result-cache-coherence
-    trials."""
+    (S2V and V2S over the distributed FS), result-cache-coherence and
+    adaptive-join trials."""
     trials: List[TrialResult] = []
     for index in range(num_seeds):
         seed = base_seed + index
@@ -824,6 +980,12 @@ def run_soak(num_seeds: int = 25, base_seed: int = 0,
         )
         if verbose:
             print(trials[-1].describe())
+        trials.append(
+            run_adaptive_join_trial(seed + 179424673,
+                                    speculation=speculation)
+        )
+        if verbose:
+            print(trials[-1].describe())
     return trials
 
 
@@ -855,13 +1017,14 @@ def summarize(trials: Sequence[TrialResult]) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", type=int, default=25,
-                        help="number of soak seeds (8 trials per seed)")
+                        help="number of soak seeds (9 trials per seed)")
     parser.add_argument("--base-seed", type=int, default=0)
     parser.add_argument("--replay-seed", type=int, default=None,
                         help="replay one trial with full fault/audit output")
     parser.add_argument("--workload",
                         choices=("s2v", "v2s", "agg", "wlm", "profile",
-                                 "staged-s2v", "staged-v2s", "cache"),
+                                 "staged-s2v", "staged-v2s", "cache",
+                                 "adaptive"),
                         default="s2v")
     parser.add_argument("--mode", choices=("overwrite", "append"),
                         default="overwrite")
@@ -891,6 +1054,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.workload == "cache":
             trial = run_cache_trial(args.replay_seed, args.speculation,
                                     verbose=True)
+        elif args.workload == "adaptive":
+            trial = run_adaptive_join_trial(args.replay_seed,
+                                            args.speculation, verbose=True)
         else:
             trial = run_v2s_trial(args.replay_seed, args.speculation,
                                   verbose=True)

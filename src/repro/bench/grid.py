@@ -29,6 +29,7 @@ Command line::
     python -m repro.bench.grid --full           # the full (large) grids
     python -m repro.bench.grid --gate           # compare vs baselines
     python -m repro.bench.grid --list           # show areas and axes
+    python -m repro.bench.grid --trajectory     # render the perf history
 
 Interrupt a sweep at any point and re-run the same command: completed
 cells are skipped, cells that were mid-flight are reconciled back to
@@ -44,6 +45,7 @@ import sys
 import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.bench.fabric import Fabric
 from repro.bench.report import (
     REPORT_SCHEMA_VERSION,
@@ -54,7 +56,7 @@ from repro.bench.report import (
 from repro.connector.costmodel import NULL_COST_MODEL, PAPER_COST_MODEL
 from repro.spark.row import StructField, StructType
 from repro.vertica import VerticaDatabase
-from repro.workloads.datasets import make_d1
+from repro.workloads.datasets import make_d1, make_d1_with_int_column
 
 # ------------------------------------------------------------------ statuses
 PENDING = "PENDING"
@@ -643,6 +645,225 @@ def _join_checks(cells: List[Dict[str, Any]]) -> List[Tuple[str, bool]]:
     return checks
 
 
+# -- agg: aggregate pushdown vs driver-side aggregation --------------------------
+AGG_AGGREGATES = [("*", "count"), ("c000", "sum"), ("c001", "avg"),
+                  ("c002", "min"), ("c003", "max")]
+
+
+def _run_agg_cell(params: Dict[str, Any],
+                  config: Dict[str, Any]) -> Dict[str, Any]:
+    # A fresh telemetry-enabled fabric installs a fresh global registry,
+    # so the wire-row counters below start at zero for this cell.
+    fabric = Fabric(telemetry=True)
+    dataset = make_d1_with_int_column(real_rows=config["real_rows"])
+    fabric.populate(dataset, "d1int")
+    pushdown = params["mode"] == "pushdown"
+    elapsed, groups = fabric.v2s_aggregate(
+        "d1int", config["partitions"], dataset.scale, ["ikey"],
+        AGG_AGGREGATES, agg_pushdown=pushdown,
+    )
+    wire_rows = telemetry.counter(
+        "v2s.agg_pushdown.partial_rows" if pushdown else "v2s.rows_fetched"
+    ).value
+    return {
+        "sim_seconds": round(elapsed, 3),
+        "groups": int(groups),
+        "wire_rows": int(wire_rows),
+        "external_gb": round(fabric.vertica.external_bytes() / 1e9, 6),
+    }
+
+
+def _agg_checks(cells: List[Dict[str, Any]]) -> List[Tuple[str, bool]]:
+    done = [c for c in cells if c["status"] == DONE]
+    checks: List[Tuple[str, bool]] = [
+        ("all cells DONE", len(done) == len(cells)),
+    ]
+    by_mode = {c["params"]["mode"]: c for c in done}
+    push = by_mode.get("pushdown")
+    base = by_mode.get("driver")
+    if push is None or base is None:
+        return checks
+    checks += [
+        ("both modes produce the same number of groups",
+         push["metrics"].get("groups") == base["metrics"].get("groups")),
+        ("pushdown ships fewer rows over the wire",
+         push["metrics"].get("wire_rows", 1 << 62)
+         < base["metrics"].get("wire_rows", 0)),
+        ("pushdown moves <1% of driver-side external bytes",
+         push["metrics"].get("external_gb", 1e9)
+         < 0.01 * base["metrics"].get("external_gb", 0.0)),
+        ("pushdown is >5x faster end-to-end (sim)",
+         push["sim_seconds"] * 5 < base["sim_seconds"]),
+    ]
+    return checks
+
+
+# -- join_reorder: adaptive star joins vs the frozen binder order ----------------
+STAR_WIDE_KEYS = ("ka", "kb", "kc")
+
+
+def star_sizes(fact_rows: int) -> Dict[str, int]:
+    """Derived star-schema sizes for one ``fact_rows`` scale.
+
+    The fact is ANALYZEd at 1% of its final size, so its estimate is two
+    orders of magnitude stale; the selective dim keeps 5% of fact rows;
+    the wide dims are sized inside the swap window — larger than the
+    (stale) intermediate estimate but smaller than its observed size —
+    so the binder-order plan builds on the wrong side and the adaptive
+    run records a swap.
+    """
+    return {
+        "analyzed_rows": max(fact_rows // 100, 10),
+        "wide_rows": max(fact_rows // 100, 10),
+        "sel_rows": max(fact_rows // 10, 20),
+        "sel_keep": max(fact_rows // 200, 1),
+    }
+
+
+def load_star_tables(session, fact_rows: int, relations: int,
+                     chunk: int = 2_000) -> Dict[str, int]:
+    """Create/populate the star bench's fact, wide dims and selective dim.
+
+    Every fact row matches exactly one row in each wide dim (joins there
+    never shrink the stream); the selective dim sits *last* in FROM
+    order and its pushed-down predicate keeps ``sel_keep`` of
+    ``sel_rows`` keys.  Only the fact's statistics are stale.
+    """
+    sizes = star_sizes(fact_rows)
+    session.execute(
+        "CREATE TABLE sfact (ka INTEGER, kb INTEGER, kc INTEGER, "
+        "kd INTEGER, fv FLOAT) SEGMENTED BY HASH(ka) ALL NODES"
+    )
+    wide = sizes["wide_rows"]
+    for idx in range(relations - 2):
+        session.execute(
+            f"CREATE TABLE dwide{idx} (w{idx}_id INTEGER, w{idx}_pay INTEGER) "
+            f"SEGMENTED BY HASH(w{idx}_id) ALL NODES"
+        )
+        for start in range(0, wide, chunk):
+            values = ", ".join(
+                f"({i}, {i + idx})" for i in range(start, min(start + chunk, wide))
+            )
+            session.execute(f"INSERT INTO dwide{idx} VALUES {values}")
+    sel = sizes["sel_rows"]
+    session.execute(
+        "CREATE TABLE dsel (sel_id INTEGER, sel_pay INTEGER) "
+        "SEGMENTED BY HASH(sel_id) ALL NODES"
+    )
+    for start in range(0, sel, chunk):
+        values = ", ".join(
+            f"({i}, {i})" for i in range(start, min(start + chunk, sel))
+        )
+        session.execute(f"INSERT INTO dsel VALUES {values}")
+
+    def fact_values(start, stop):
+        return ", ".join(
+            f"({i % wide}, {i % wide}, {i % wide}, {i % sel}, {float(i % 89)})"
+            for i in range(start, stop)
+        )
+
+    analyzed = sizes["analyzed_rows"]
+    for start in range(0, analyzed, chunk):
+        session.execute("INSERT INTO sfact VALUES "
+                        + fact_values(start, min(start + chunk, analyzed)))
+    for idx in range(relations - 2):
+        session.execute(f"ANALYZE dwide{idx}")
+    session.execute("ANALYZE dsel")
+    session.execute("ANALYZE sfact")  # deliberately before the bulk load
+    for start in range(analyzed, fact_rows, chunk):
+        session.execute("INSERT INTO sfact VALUES "
+                        + fact_values(start, min(start + chunk, fact_rows)))
+    return sizes
+
+
+def star_join_sql(relations: int, sizes: Dict[str, int]) -> Tuple[str, int]:
+    """The ``relations``-way star COUNT(*) and its expected value."""
+    joins = [
+        f"JOIN dwide{idx} ON {STAR_WIDE_KEYS[idx]} = w{idx}_id"
+        for idx in range(relations - 2)
+    ]
+    joins.append("JOIN dsel ON kd = sel_id")
+    sql = ("SELECT COUNT(*) FROM sfact " + " ".join(joins)
+           + f" WHERE sel_pay < {sizes['sel_keep']}")
+    return sql, sizes["expected_rows"]
+
+
+def _run_join_reorder_cell(params: Dict[str, Any],
+                           config: Dict[str, Any]) -> Dict[str, Any]:
+    db = VerticaDatabase(num_nodes=config["num_nodes"])
+    session = db.connect()
+    fact_rows = params["fact_rows"]
+    sizes = load_star_tables(session, fact_rows, params["relations"])
+    sizes["expected_rows"] = sum(
+        1 for i in range(fact_rows) if i % sizes["sel_rows"] < sizes["sel_keep"]
+    )
+    sql, expected = star_join_sql(params["relations"], sizes)
+    if params["mode"] == "adaptive":
+        session.execute("SET JOIN_REORDER on")
+        session.execute("SET ADAPTIVE_EXECUTION on")
+    # Cold PROFILE first: it captures the replans triggered by the stale
+    # estimates before the feedback loop corrects them for the timed runs.
+    report = session.execute("PROFILE " + sql)
+    replans = len(report.profile.replans)
+    shuffled = sum(
+        op.stats.rows_shuffled for __, op in report.profile.operators()
+    )
+    best = float("inf")
+    rows_out = None
+    for __ in range(config["repeats"]):
+        started = time.perf_counter()
+        rows_out = session.execute(sql).scalar()
+        best = min(best, time.perf_counter() - started)
+    if rows_out != expected:
+        raise GridCellError(
+            f"star join returned {rows_out} rows, wanted {expected}"
+        )
+    return {"sim_seconds": None,
+            "join_seconds": round(best, 4),
+            "replans": replans,
+            "rows_shuffled": shuffled,
+            "rows_out": rows_out}
+
+
+def _join_reorder_checks(cells: List[Dict[str, Any]]
+                         ) -> List[Tuple[str, bool]]:
+    done = [c for c in cells if c["status"] == DONE]
+    checks: List[Tuple[str, bool]] = [
+        ("all cells DONE", len(done) == len(cells)),
+    ]
+    times = {(c["params"]["relations"], c["params"]["mode"]):
+             c["metrics"].get("join_seconds") for c in done}
+    replans = {(c["params"]["relations"], c["params"]["mode"]):
+               c["metrics"].get("replans") for c in done}
+    for relations in sorted({r for r, __ in times}):
+        binder = times.get((relations, "binder"))
+        adaptive = times.get((relations, "adaptive"))
+        if binder is None or adaptive is None:
+            continue
+        if relations >= 5:
+            checks.append((
+                f"adaptive >=3x faster than binder order ({relations}-way)",
+                adaptive * 3.0 <= binder,
+            ))
+        else:
+            checks.append((
+                f"adaptive faster than binder order ({relations}-way)",
+                adaptive < binder,
+            ))
+    for (relations, mode), count in sorted(replans.items()):
+        if mode == "adaptive":
+            checks.append((
+                f"adaptive {relations}-way recorded >=1 replan",
+                (count or 0) >= 1,
+            ))
+        else:
+            checks.append((
+                f"binder {relations}-way recorded no replans",
+                (count or 0) == 0,
+            ))
+    return checks
+
+
 # -- serving: caching tiers under a Zipf read-mostly mix -------------------------
 def _run_serving_cell(params: Dict[str, Any],
                       config: Dict[str, Any]) -> Dict[str, Any]:
@@ -720,6 +941,16 @@ AREAS: Dict[str, BenchArea] = {
         # wall-clock metrics are machine-dependent: gate on floors only
         gate={"floors": {"rows_per_sec": 20_000}},
     ),
+    "agg": BenchArea(
+        "agg",
+        "Aggregate pushdown ablation: per-range partial GROUP BY vs driver",
+        axes={"mode": ("pushdown", "driver")},
+        smoke_axes={"mode": ("pushdown", "driver")},
+        runner=_run_agg_cell,
+        config={"real_rows": 2000, "partitions": 32},
+        checks=_agg_checks,
+        gate={"sim_tolerance": 0.15},
+    ),
     "join": BenchArea(
         "join",
         "Join strategies: hash/merge vs nested loop, co-located vs shuffled",
@@ -734,6 +965,21 @@ AREAS: Dict[str, BenchArea] = {
         runner=_run_join_cell,
         config={"num_nodes": 4, "repeats": 3},
         checks=_join_checks,
+        # wall-clock ratios are checked per run; no sim time to band
+        gate={},
+    ),
+    "join_reorder": BenchArea(
+        "join_reorder",
+        "Adaptive star joins: reorder + replanning vs the frozen binder order",
+        axes={"relations": (3, 5),
+              "mode": ("binder", "adaptive"),
+              "fact_rows": (100_000,)},
+        smoke_axes={"relations": (3, 5),
+                    "mode": ("binder", "adaptive"),
+                    "fact_rows": (4_000,)},
+        runner=_run_join_reorder_cell,
+        config={"num_nodes": 4, "repeats": 3},
+        checks=_join_reorder_checks,
         # wall-clock ratios are checked per run; no sim time to band
         gate={},
     ),
@@ -925,6 +1171,104 @@ def gate_areas(area_names: Sequence[str], results_dir: str,
     return failures
 
 
+# ------------------------------------------------------------ trajectory view
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+#: the perf-history journal ``python -m repro.bench`` appends to
+TRAJECTORY_BASENAME = "trajectory.jsonl"
+
+#: sparklines show at most this many trailing runs per experiment
+TRAJECTORY_WINDOW = 24
+
+
+def sparkline(values: Sequence[Optional[float]]) -> str:
+    """Render a series as unicode block glyphs (blank for missing points)."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return ""
+    low, high = min(present), max(present)
+    span = high - low
+    glyphs = []
+    for value in values:
+        if value is None:
+            glyphs.append(" ")
+        elif span == 0:
+            glyphs.append(SPARK_GLYPHS[0])
+        else:
+            index = int((value - low) / span * (len(SPARK_GLYPHS) - 1))
+            glyphs.append(SPARK_GLYPHS[index])
+    return "".join(glyphs)
+
+
+def trajectory_lines(records: Sequence[Mapping[str, Any]],
+                     source: str) -> List[str]:
+    """Fold trajectory records into a markdown table with sparklines."""
+    by_experiment: Dict[str, List[Mapping[str, Any]]] = {}
+    for record in records:
+        if record.get("kind") != "experiment":
+            continue
+        by_experiment.setdefault(str(record.get("experiment")), []).append(record)
+    lines = [
+        "# Performance trajectory",
+        "",
+        f"Rendered from `{source}`; one row per experiment, sparkline over "
+        f"the last {TRAJECTORY_WINDOW} recorded wall times (low → high).",
+        "",
+        "| experiment | runs | last wall (s) | best wall (s) | last sim (s) "
+        "| last checks | wall trend |",
+        "|---|---:|---:|---:|---:|---|---|",
+    ]
+    for name in sorted(by_experiment):
+        runs = by_experiment[name]
+        walls = [r.get("wall_seconds") for r in runs]
+        present = [w for w in walls if w is not None]
+        latest = runs[-1]
+        sim = latest.get("sim_seconds")
+        lines.append(
+            "| {name} | {count} | {last} | {best} | {sim} | {checks} "
+            "| `{trend}` |".format(
+                name=name,
+                count=len(runs),
+                last=f"{walls[-1]:.2f}" if walls[-1] is not None else "-",
+                best=f"{min(present):.2f}" if present else "-",
+                sim=f"{sim:.1f}" if sim is not None else "-",
+                checks="pass" if latest.get("checks_passed") else "FAIL",
+                trend=sparkline(walls[-TRAJECTORY_WINDOW:]),
+            )
+        )
+    if not by_experiment:
+        lines.append("| (no experiment records yet) | | | | | | |")
+    return lines
+
+
+def render_trajectory(results_dir: str,
+                      log: Callable[[str], None] = print) -> int:
+    """``--trajectory``: write and print ``TRAJECTORY.md`` from the journal."""
+    path = os.path.join(results_dir, TRAJECTORY_BASENAME)
+    if not os.path.exists(path):
+        log(f"no trajectory journal at {path}; run `python -m repro.bench` "
+            f"first to record one")
+        return 1
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                continue  # a torn write never blocks the report
+    lines = trajectory_lines(records, path)
+    out_path = os.path.join(results_dir, "TRAJECTORY.md")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    for line in lines:
+        log(line)
+    log(f"\nwrote {out_path}")
+    return 0
+
+
 # ------------------------------------------------------------------------ CLI
 def journal_path(results_dir: str, area_name: str, smoke: bool) -> str:
     flavor = "smoke" if smoke else "full"
@@ -973,7 +1317,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--no-publish", action="store_true",
                         help="skip publishing the trajectory into the "
                              "dogfood Vertica results table")
+    parser.add_argument("--trajectory", action="store_true",
+                        help="render the perf-history journal "
+                             "(trajectory.jsonl) into TRAJECTORY.md")
     args = parser.parse_args(argv)
+
+    if args.trajectory:
+        return render_trajectory(args.results_dir)
 
     if args.list:
         for name, area in sorted(AREAS.items()):

@@ -8,12 +8,13 @@ Two levels, both bounded LRU:
   canonical key (``cache_key``) and literal-normalized shape
   (``cache_shape``) so downstream tiers key off the same normalization.
 - **Plan cache** — (canonical text, catalog version, join-strategy
-  override) → optimized :class:`~repro.vertica.plan.logical.LogicalPlan`.
+  override, join-reorder flag, stats-corrections version) → optimized
+  :class:`~repro.vertica.plan.logical.LogicalPlan`.
   A repeated SELECT skips bind → optimize.  The catalog version is
   bumped by DDL, TRUNCATE, and ANALYZE, so schema or statistics changes
   can never serve a stale plan; estimation reads only catalog
-  statistics, which makes a cached plan bit-identical to a fresh
-  optimize at the same version.
+  statistics plus the feedback corrections named in the key, which makes
+  a cached plan bit-identical to a fresh optimize at the same versions.
 
 Literals stay in the plan key on purpose: constant folding, predicate
 pushdown, and hash-range segment pruning bake them into the plan, so a
@@ -33,7 +34,7 @@ from repro.cache.keys import canonical_sql, canonical_tokens, statement_shape
 #: default entry cap for each level (parsed statements, optimized plans)
 DEFAULT_PLAN_CACHE_ENTRIES = 256
 
-PlanKey = Tuple[str, int, str]
+PlanKey = Tuple[str, int, str, bool, int]
 
 
 class PlanCache:
@@ -93,13 +94,26 @@ class PlanCache:
 
     # -- plan level --------------------------------------------------------------
     def lookup_plan(
-        self, statement: Any, catalog_version: int, join_strategy: str
+        self,
+        statement: Any,
+        catalog_version: int,
+        join_strategy: str,
+        join_reorder: bool = False,
+        corrections_version: int = 0,
     ) -> Optional[Any]:
-        """The cached optimized plan for ``statement``, or None."""
+        """The cached optimized plan for ``statement``, or None.
+
+        ``join_reorder`` and ``corrections_version`` key the adaptive
+        feedback state: the plan optimized before any feedback landed
+        (version 0) stays cached and pristine, while plans optimized
+        against later correction factors get their own entries — replans
+        never poison an earlier key.
+        """
         canonical = getattr(statement, "cache_key", None)
         if canonical is None:
             return None
-        key = (canonical, catalog_version, join_strategy)
+        key = (canonical, catalog_version, join_strategy,
+               join_reorder, corrections_version)
         plan = self._plans.get(key)
         if plan is None:
             telemetry.counter(f"{self.name}.misses").inc()
@@ -114,11 +128,14 @@ class PlanCache:
         catalog_version: int,
         join_strategy: str,
         plan: Any,
+        join_reorder: bool = False,
+        corrections_version: int = 0,
     ) -> bool:
         canonical = getattr(statement, "cache_key", None)
         if canonical is None:
             return False
-        self._plans[(canonical, catalog_version, join_strategy)] = plan
+        self._plans[(canonical, catalog_version, join_strategy,
+                     join_reorder, corrections_version)] = plan
         while len(self._plans) > self.capacity:
             self._plans.popitem(last=False)
             telemetry.counter(f"{self.name}.evictions").inc()

@@ -53,7 +53,8 @@ class CopyResult:
 def avro_schema_for_table(table: TableDef) -> Schema:
     """The Avro record schema a COPY FORMAT AVRO payload must carry."""
     fields = [
-        (column.name.lower(), Schema.primitive(column.sql_type.avro_kind, nullable=True))
+        (column.name.lower(),
+         Schema.primitive(column.sql_type.avro_kind, nullable=True))
         for column in table.columns
     ]
     return Schema.record(table.name.lower(), fields)

@@ -70,6 +70,17 @@ class VerticaDatabase:
         #: default RESULT_CACHE setting new sessions start with; individual
         #: sessions override it via ``SET RESULT_CACHE = 'on'|'off'``
         self.result_cache_default = False
+        #: cost-based join reordering (SET JOIN_REORDER): replace the
+        #: binder's left-deep join order with a greedy cheapest-pair order
+        self.join_reorder = False
+        #: adaptive execution (SET ADAPTIVE_EXECUTION): join operators may
+        #: replan mid-query from observed row counts, and executed queries
+        #: feed estimated-vs-actual deltas back into ``stats_corrections``
+        self.adaptive_execution = False
+        #: per-table cardinality correction factors from the feedback loop
+        from repro.vertica.stats.feedback import CorrectionStore
+
+        self.stats_corrections = CorrectionStore()
         from repro.vertica.tuplemover import TupleMover
 
         self.tuple_mover = TupleMover(self)
@@ -212,7 +223,8 @@ class VerticaDatabase:
             )
             return 1
         if isinstance(statement, ast.DropView):
-            return 1 if self.catalog.drop_view(statement.view, statement.if_exists) else 0
+            dropped = self.catalog.drop_view(statement.view, statement.if_exists)
+            return 1 if dropped else 0
         raise SqlError(f"not a DDL statement: {type(statement).__name__}")
 
     def _check_unlocked(self, table: str) -> None:
@@ -228,7 +240,8 @@ class VerticaDatabase:
         table_def = self.catalog.table(table)
         epoch = self.epochs.current
         if table_def.unsegmented:
-            return self.storage[self.node_names[0]].live_row_count(table_def.name, epoch)
+            first = self.storage[self.node_names[0]]
+            return first.live_row_count(table_def.name, epoch)
         return sum(
             self.storage[node].live_row_count(table_def.name, epoch)
             for node in self.node_names

@@ -279,7 +279,8 @@ class ScanRow:
 class Engine:
     """Executes parsed statements against a database's storage."""
 
-    def __init__(self, database: "repro.vertica.database.VerticaDatabase"):  # noqa: F821
+    def __init__(self,
+                 database: "repro.vertica.database.VerticaDatabase"):  # noqa: F821
         self.database = database
 
     # ---------------------------------------------------------------- dispatch
@@ -369,7 +370,8 @@ class Engine:
                         hash_range.lo <= row_hash < hash_range.hi
                     ):
                         continue
-                    yield ScanRow(attributed, container.row(row_index), container, row_index)
+                    yield ScanRow(attributed, container.row(row_index),
+                                  container, row_index)
         # Read-your-writes: rows staged by this transaction.
         if txn is not None:
             pending_nodes = set(nodes)
@@ -598,11 +600,17 @@ class Engine:
 
         db = self.database
         table = db.catalog.table(statement.table)
-        buckets = statement.buckets if statement.buckets is not None else DEFAULT_BUCKETS
+        buckets = (statement.buckets if statement.buckets is not None
+                   else DEFAULT_BUCKETS)
         if buckets <= 0:
             raise SqlError(f"ANALYZE bucket count must be positive, got {buckets}")
         stats = collect_table_stats(db, table.name, buckets)
         db.catalog.statistics[table.name] = stats
+        # Fresh statistics supersede any feedback correction accumulated
+        # against the stale ones.
+        corrections = getattr(db, "stats_corrections", None)
+        if corrections is not None:
+            corrections.forget(table.name)
         # New statistics change plan choice without advancing an epoch:
         # bump the catalog version so plan/result caches re-key.
         db.catalog.bump_version()

@@ -107,9 +107,10 @@ def _div(a: Any, b: Any) -> Any:
 def _mod(a: Any, b: Any) -> Any:
     if b == 0:
         raise SqlError("modulo by zero")
-    return math.fmod(a, b) if isinstance(a, float) or isinstance(b, float) else a - b * (
-        abs(a) // abs(b) if (a >= 0) == (b >= 0) else -(abs(a) // abs(b))
-    )
+    if isinstance(a, float) or isinstance(b, float):
+        return math.fmod(a, b)
+    quotient = abs(a) // abs(b) if (a >= 0) == (b >= 0) else -(abs(a) // abs(b))
+    return a - b * quotient
 
 
 _ARITHMETIC = {
@@ -231,7 +232,8 @@ class IsNull(Expression):
 
 
 class InList(Expression):
-    def __init__(self, operand: Expression, options: Sequence[Expression], negated: bool = False):
+    def __init__(self, operand: Expression, options: Sequence[Expression],
+                 negated: bool = False):
         self.operand = operand
         self.options = list(options)
         self.negated = negated

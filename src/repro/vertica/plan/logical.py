@@ -126,6 +126,15 @@ class Join(LogicalNode):
         #: equi-join key pairs as (left expr name, right expr name)
         self.equi_keys: List[Any] = []
         self.colocated: bool = False
+        #: whether the equi keys sort cleanly (adaptive demotion needs this)
+        self.keys_sortable: bool = False
+        #: set on every join of a cost-reordered chain; the executor then
+        #: tracks row provenance so output order can be restored
+        self.reorder_chain: bool = False
+        #: on the chain root only: relation aliases in original binder
+        #: order — the executor sorts final pairs back into this order so
+        #: reordering never changes the emitted byte sequence
+        self.restore_order: Optional[List[str]] = None
 
     def children(self) -> List[LogicalNode]:
         return [self.left, self.right]
@@ -138,6 +147,8 @@ class Join(LogicalNode):
             notes.append(f"build: {self.build_side}")
         if self.colocated:
             notes.append("co-located")
+        if self.reorder_chain:
+            notes.append("reordered")
         return f"{base} [{', '.join(notes)}]"
 
 

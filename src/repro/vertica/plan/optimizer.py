@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import replace as dc_replace
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro import telemetry
 from repro.vertica.engine import HASH_SPACE, extract_hash_range
 from repro.vertica.errors import VerticaError
 from repro.vertica.expr import (
@@ -54,6 +55,7 @@ RULE_CONSTANT_FOLDING = "constant folding"
 RULE_HASH_RANGE = "hash-range tightening"
 RULE_PREDICATE_PUSHDOWN = "predicate pushdown"
 RULE_PROJECTION_PRUNING = "projection pruning"
+RULE_JOIN_REORDER = "join reordering"
 RULE_JOIN_STRATEGY = "join-strategy selection"
 
 #: an estimated hash build side larger than this spills; prefer merge join
@@ -71,6 +73,11 @@ def optimize(plan: LogicalPlan, database) -> LogicalPlan:
     if _prune_columns(plan):
         plan.rules_applied.append(RULE_PROJECTION_PRUNING)
     _estimate_node(plan.root, database)
+    if getattr(database, "join_reorder", False) and _reorder_joins(
+        plan, database
+    ):
+        plan.rules_applied.append(RULE_JOIN_REORDER)
+        _estimate_node(plan.root, database)  # re-stamp the new shape
     if _plan_joins(plan, database):
         plan.rules_applied.append(RULE_JOIN_STRATEGY)
     return plan
@@ -686,6 +693,11 @@ def _estimate_rows(node: logical.LogicalNode, database) -> Optional[int]:
             if stats is not None
             else _table_base_rows(database, node.table)
         )
+        corrections = getattr(database, "stats_corrections", None)
+        if corrections is not None:
+            # feedback loop: scale stale statistics by the blended
+            # actual/estimated ratio observed on earlier executions
+            base *= corrections.factor(node.table.name)
         if (
             node.hash_range is not None
             and not node.hash_range.is_full
@@ -830,6 +842,7 @@ def _plan_joins(plan: LogicalPlan, database) -> bool:
         pairs = _equi_key_pairs(node)
         node.equi_keys = pairs
         node.colocated = bool(pairs) and _is_colocated(node, pairs)
+        node.keys_sortable = bool(pairs) and _keys_sortable(node, pairs)
         if override == "nested-loop" or not pairs or not _condition_safe(node):
             node.strategy, node.build_side = "nested-loop", "right"
             continue
@@ -843,7 +856,7 @@ def _plan_joins(plan: LogicalPlan, database) -> bool:
         if override == "hash":
             node.strategy, node.build_side = "hash", build
             continue
-        sortable = _keys_sortable(node, pairs)
+        sortable = node.keys_sortable
         if override == "merge":
             if sortable:
                 node.strategy, node.build_side = "merge", build
@@ -860,6 +873,161 @@ def _plan_joins(plan: LogicalPlan, database) -> bool:
         else:
             node.strategy, node.build_side = "hash", build
     return changed
+
+
+# ----------------------------------------------------- join reordering
+def _reorder_joins(plan: LogicalPlan, database) -> bool:
+    """Greedily reorder multi-way equi-join chains by estimated rows.
+
+    The binder emits joins in FROM-list order (a left-deep "accident");
+    this pass rebuilds each chain cheapest-pair-first: pick the two
+    relations whose join has the smallest estimated output (co-located
+    pairs win ties so shuffle-free joins stay shuffle-free), then
+    repeatedly attach the remaining relation that keeps the running
+    estimate smallest.  Every conjunct attaches to the first join where
+    all of its relations are available, so each is still evaluated
+    exactly once and the output row *set* is unchanged; the executor
+    restores the original output *order* via the provenance markers this
+    pass leaves behind (``reorder_chain`` / ``restore_order``), keeping
+    reordered plans byte-identical to the legacy oracle.
+    """
+    override = getattr(database, "join_strategy", "auto")
+    if override == "nested-loop":
+        return False  # a forced nested loop cannot track provenance
+    parent_ids: Set[int] = set()
+    joins: List[logical.Join] = []
+    for node in plan.nodes():
+        if isinstance(node, logical.Join):
+            joins.append(node)
+            for child in node.children():
+                parent_ids.add(id(child))
+    changed = False
+    for root in joins:
+        if id(root) not in parent_ids:
+            changed |= _reorder_chain(plan, root, database, override)
+    return changed
+
+
+def _reorder_chain(
+    plan: LogicalPlan, root: logical.Join, database, override: str
+) -> bool:
+    """Rebuild one left-deep chain in greedy cost order; False if unsafe."""
+    leaves = _join_scans(root)
+    if leaves is None or len(leaves) < 3:
+        return False
+    if any(leaf.for_update for leaf in leaves):
+        return False
+    aliases = [leaf.alias for leaf in leaves]
+    alias_set = set(aliases)
+    if len(alias_set) != len(aliases):
+        return False
+    # Plain column names must be unique across the chain: the join merge
+    # resolves ambiguous plain names left-first, so reordering could
+    # change which table's value survives.
+    owner: Dict[str, str] = {}
+    for leaf in leaves:
+        for column in leaf.table.column_names():
+            if column in owner:
+                return False
+            owner[column] = leaf.alias
+    types = _scan_type_classes(leaves)
+    conjuncts: List[Expression] = []
+    node: logical.LogicalNode = root
+    while isinstance(node, logical.Join):
+        conjuncts[:0] = _split_and(node.condition)
+        node = node.left
+    # Re-placing a conjunct means it filters pairs *earlier* than the
+    # legacy eager evaluation would have reached; only provably
+    # never-raising conditions keep the error behaviour identical.
+    if not all(_never_raises(c, types) for c in conjuncts):
+        return False
+    conjunct_refs: List[Set[str]] = []
+    for conjunct in conjuncts:
+        refs: Set[str] = set()
+        for name in conjunct.columns():
+            if "." in name:
+                alias = name.split(".", 1)[0]
+                if alias not in alias_set:
+                    return False
+                refs.add(alias)
+            else:
+                if name not in owner:
+                    return False
+                refs.add(owner[name])
+        conjunct_refs.append(refs)
+
+    scans = {leaf.alias: leaf for leaf in leaves}
+    binder_index = {alias: i for i, alias in enumerate(aliases)}
+    unplaced = list(range(len(conjuncts)))
+
+    def candidate(left_node, right_alias, available):
+        """(join, conjunct indices) joining ``right_alias`` in, or None."""
+        used = [i for i in unplaced if conjunct_refs[i] <= available]
+        if not used:
+            return None
+        join = logical.Join(
+            left_node, scans[right_alias],
+            _rebuild_and([conjuncts[i] for i in used]),
+        )
+        pairs = _equi_key_pairs(join)
+        if not pairs:
+            return None  # no equi key: would degrade to a nested loop
+        if override == "merge" and not _keys_sortable(join, pairs):
+            return None  # a forced merge would fall back to nested loop
+        colocated = _is_colocated(join, pairs)
+        return join, used, colocated
+
+    best = None
+    for j in range(1, len(aliases)):
+        for i in range(j):
+            available = {aliases[i], aliases[j]}
+            built = candidate(scans[aliases[i]], aliases[j], available)
+            if built is None:
+                continue
+            join, used, colocated = built
+            estimate = _estimate_rows(join, database)
+            key = (estimate, 0 if colocated else 1, i, j)
+            if best is None or key < best[0]:
+                best = (key, join, used, aliases[i], aliases[j])
+    if best is None:
+        return False
+    key, current, used, left_alias, right_alias = best
+    current.estimated_rows = key[0]
+    for index in used:
+        unplaced.remove(index)
+    order = [left_alias, right_alias]
+    placed = {left_alias, right_alias}
+    remaining = [alias for alias in aliases if alias not in placed]
+    while remaining:
+        best_ext = None
+        for alias in remaining:
+            built = candidate(current, alias, placed | {alias})
+            if built is None:
+                continue
+            join, used, colocated = built
+            estimate = _estimate_rows(join, database)
+            key = (estimate, 0 if colocated else 1, binder_index[alias])
+            if best_ext is None or key < best_ext[0]:
+                best_ext = (key, join, used, alias)
+        if best_ext is None:
+            return False  # chain not fully connected by equi conjuncts
+        key, current, used, alias = best_ext
+        current.estimated_rows = key[0]
+        for index in used:
+            unplaced.remove(index)
+        placed.add(alias)
+        order.append(alias)
+        remaining.remove(alias)
+    if order == aliases:
+        return False  # greedy agreed with the binder: keep the original tree
+    node = current
+    while isinstance(node, logical.Join):
+        node.reorder_chain = True
+        node = node.left
+    current.restore_order = list(aliases)
+    _splice_out(plan, root, current)
+    telemetry.counter("vertica.plan.reorder.applied").inc()
+    return True
 
 
 def _prune_columns(plan: LogicalPlan) -> bool:

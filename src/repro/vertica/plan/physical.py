@@ -478,7 +478,29 @@ class _EquiJoinOp(PhysicalOperator):
     prefilter, so semantics stay bit-for-bit with the nested loop — and
     emit in left-major order (left stream order, right materialization
     order), exactly the order the legacy nested loop produced.
+
+    Two optional layers ride on top of that core:
+
+    - **Adaptive checkpoint** — after both inputs are materialized but
+      before the join algorithm starts (its "unstarted subtree"), the
+      operator consults the query's
+      :class:`~repro.vertica.plan.adaptive.AdaptiveContext`, which may
+      swap the build side or switch the algorithm based on *observed*
+      row counts.  Output order is pair-sorted, so the decision cannot
+      change the emitted bytes — only how much work finding them takes.
+    - **Provenance tracking** — joins inside a cost-reordered chain
+      (``logical.reorder_chain``) record, per output row, each base
+      relation's materialization index.  The chain root uses them to
+      sort its pairs back into the binder's lexicographic order and to
+      re-attribute every output row to the binder-leftmost relation's
+      producing node, keeping rows *and* per-node cost attribution
+      byte-identical to the unreordered plan.
     """
+
+    #: per-query adaptive-execution context, set by ``build_operator``
+    adaptive = None
+    #: the algorithm the planner picked (checkpoints may revise it)
+    planned_strategy = "hash"
 
     def __init__(
         self,
@@ -491,13 +513,22 @@ class _EquiJoinOp(PhysicalOperator):
         self.left = left
         self.right = right
         self.children = [left, right]
+        tracking = getattr(node, "reorder_chain", False)
+        #: per-output-row {alias: leaf materialization index}, reordered
+        #: chains only (None disables all provenance work)
+        self.output_provenance: Optional[List[Dict[str, int]]] = (
+            [] if tracking else None
+        )
+        #: alias -> that leaf scan's materialized node list (chains only)
+        self.leaf_nodes: Dict[str, List[str]] = {}
 
     def label(self) -> str:
         return self.logical.label()
 
     def _materialize(
         self, operator: PhysicalOperator
-    ) -> Tuple[List[str], List[Dict[str, Any]], List[str]]:
+    ) -> Tuple[List[str], List[Dict[str, Any]], List[str],
+               Optional[List[Dict[str, int]]]]:
         names: List[str] = []
         rows: List[Dict[str, Any]] = []
         nodes: List[str] = []
@@ -507,7 +538,20 @@ class _EquiJoinOp(PhysicalOperator):
             for i in range(batch.num_rows):
                 rows.append(dict(RowView(batch, i)))
                 nodes.append(batch.nodes[i])
-        return names, rows, nodes
+        prov: Optional[List[Dict[str, int]]] = None
+        if self.output_provenance is not None:
+            child_prov = getattr(operator, "output_provenance", None)
+            if child_prov is not None:
+                # a chain join below us: adopt its provenance wholesale
+                prov = child_prov
+                self.leaf_nodes.update(getattr(operator, "leaf_nodes", {}))
+            else:
+                alias = getattr(
+                    getattr(operator, "logical", None), "alias", ""
+                )
+                prov = [{alias: i} for i in range(len(rows))]
+                self.leaf_nodes[alias] = nodes
+        return names, rows, nodes, prov
 
     @staticmethod
     def _key_of(
@@ -529,59 +573,60 @@ class _EquiJoinOp(PhysicalOperator):
         for node in build_nodes:
             self.stats.rows_shuffled += len(probe_set - {node})
 
-    def _emit(
-        self,
-        pairs: List[Tuple[int, int]],
-        names: List[str],
-        left_rows: List[Dict[str, Any]],
-        right_rows: List[Dict[str, Any]],
-        left_nodes: List[str],
-    ) -> Iterator[ColumnBatch]:
-        condition = self.logical.condition
-        pending: List[Tuple[str, Dict[str, Any]]] = []
-        for left_index, right_index in pairs:
-            right_row = right_rows[right_index]
-            merged = dict(right_row)
-            merged.update(left_rows[left_index])  # left wins on ambiguity
-            merged.update({k: v for k, v in right_row.items() if "." in k})
-            if predicate_holds(condition, merged):
-                pending.append((left_nodes[left_index], merged))
-                if len(pending) >= BATCH_ROWS:
-                    yield self._build(names, pending)
-                    pending = []
-        if pending:
-            yield self._build(names, pending)
-
-    def _build(
-        self, names: List[str], rows: List[Tuple[str, Dict[str, Any]]]
-    ) -> ColumnBatch:
-        columns = [[row[name] for __, row in rows] for name in names]
-        return ColumnBatch(names, columns, [node for node, __ in rows])
-
-
-class HashJoinOp(_EquiJoinOp):
-    """Equi-join via a hash table on the (estimated) smaller build side."""
-
-    kind = "join-hash"
+    def _checkpoint(
+        self, observed_left: int, observed_right: int
+    ) -> Tuple[str, str]:
+        """The runtime (build side, algorithm) decision for this join."""
+        raise NotImplementedError
 
     def _run(self) -> Iterator[ColumnBatch]:
         keys = self.logical.equi_keys
-        left_names, left_rows, left_nodes = self._materialize(self.left)
-        right_names, right_rows, right_nodes = self._materialize(self.right)
+        left_names, left_rows, left_nodes, left_prov = self._materialize(
+            self.left
+        )
+        right_names, right_rows, right_nodes, right_prov = self._materialize(
+            self.right
+        )
         names = list(right_names) + [
             n for n in left_names if n not in right_names
         ]
+        build_side, strategy = self._checkpoint(len(left_rows),
+                                                len(right_rows))
+        if build_side == "left":
+            self._charge_shuffle(left_nodes, right_nodes)
+        else:
+            self._charge_shuffle(right_nodes, left_nodes)
         left_refs = [left_ref for left_ref, __ in keys]
         right_refs = [right_ref for __, right_ref in keys]
-        build_right = self.logical.build_side != "left"
+        if strategy == "merge":
+            pairs = self._merge_pairs(
+                left_rows, right_rows, left_refs, right_refs
+            )
+        else:
+            pairs = self._hash_pairs(
+                left_rows, right_rows, left_refs, right_refs, build_side
+            )
+        self._order_pairs(pairs, left_prov, right_prov)
+        yield from self._emit(
+            pairs, names, left_rows, right_rows, left_nodes,
+            left_prov, right_prov,
+        )
+
+    def _hash_pairs(
+        self,
+        left_rows: List[Dict[str, Any]],
+        right_rows: List[Dict[str, Any]],
+        left_refs: List[str],
+        right_refs: List[str],
+        build_side: str,
+    ) -> List[Tuple[int, int]]:
+        build_right = build_side != "left"
         if build_right:
             build_rows, build_refs = right_rows, right_refs
             probe_rows, probe_refs = left_rows, left_refs
-            self._charge_shuffle(right_nodes, left_nodes)
         else:
             build_rows, build_refs = left_rows, left_refs
             probe_rows, probe_refs = right_rows, right_refs
-            self._charge_shuffle(left_nodes, right_nodes)
         table: Dict[Tuple[Any, ...], List[int]] = {}
         for index, row in enumerate(build_rows):
             key = self._key_of(row, build_refs)
@@ -599,33 +644,15 @@ class HashJoinOp(_EquiJoinOp):
                     if build_right
                     else (build_index, probe_index)
                 )
-        pairs.sort()  # restore the nested loop's left-major output order
-        yield from self._emit(pairs, names, left_rows, right_rows, left_nodes)
+        return pairs
 
-
-class MergeJoinOp(_EquiJoinOp):
-    """Equi-join by sorting both key arrays and merging equal-key groups.
-
-    Chosen when the build side would overflow the hash-table memory
-    budget; the planner guarantees both key columns share one type class,
-    so the sorts cannot hit Python's mixed-type ordering ``TypeError``.
-    """
-
-    kind = "join-merge"
-
-    def _run(self) -> Iterator[ColumnBatch]:
-        keys = self.logical.equi_keys
-        left_names, left_rows, left_nodes = self._materialize(self.left)
-        right_names, right_rows, right_nodes = self._materialize(self.right)
-        names = list(right_names) + [
-            n for n in left_names if n not in right_names
-        ]
-        left_refs = [left_ref for left_ref, __ in keys]
-        right_refs = [right_ref for __, right_ref in keys]
-        if self.logical.build_side == "left":
-            self._charge_shuffle(left_nodes, right_nodes)
-        else:
-            self._charge_shuffle(right_nodes, left_nodes)
+    def _merge_pairs(
+        self,
+        left_rows: List[Dict[str, Any]],
+        right_rows: List[Dict[str, Any]],
+        left_refs: List[str],
+        right_refs: List[str],
+    ) -> List[Tuple[int, int]]:
         left_keyed = self._sorted_keys(left_rows, left_refs)
         right_keyed = self._sorted_keys(right_rows, right_refs)
         pairs: List[Tuple[int, int]] = []
@@ -650,8 +677,7 @@ class MergeJoinOp(_EquiJoinOp):
                         pairs.append((left_index, right_keyed[jj][1]))
                     i += 1
                 j = group_end
-        pairs.sort()  # restore the nested loop's left-major output order
-        yield from self._emit(pairs, names, left_rows, right_rows, left_nodes)
+        return pairs
 
     def _sorted_keys(
         self, rows: List[Dict[str, Any]], refs: List[str]
@@ -663,6 +689,114 @@ class MergeJoinOp(_EquiJoinOp):
                 keyed.append((key, index))
         keyed.sort(key=lambda item: item[0])
         return keyed
+
+    def _order_pairs(
+        self,
+        pairs: List[Tuple[int, int]],
+        left_prov: Optional[List[Dict[str, int]]],
+        right_prov: Optional[List[Dict[str, int]]],
+    ) -> None:
+        restore = getattr(self.logical, "restore_order", None)
+        if restore is None or left_prov is None or right_prov is None:
+            pairs.sort()  # the nested loop's left-major output order
+            return
+
+        # Chain root: sort back into the binder's lexicographic order —
+        # exactly the (a, b, c, ...) enumeration the legacy nested loops
+        # over the original FROM order would have produced.
+        def binder_key(pair: Tuple[int, int]) -> Tuple[int, ...]:
+            merged = dict(left_prov[pair[0]])
+            merged.update(right_prov[pair[1]])
+            return tuple(merged[alias] for alias in restore)
+
+        pairs.sort(key=binder_key)
+
+    def _emit(
+        self,
+        pairs: List[Tuple[int, int]],
+        names: List[str],
+        left_rows: List[Dict[str, Any]],
+        right_rows: List[Dict[str, Any]],
+        left_nodes: List[str],
+        left_prov: Optional[List[Dict[str, int]]] = None,
+        right_prov: Optional[List[Dict[str, int]]] = None,
+    ) -> Iterator[ColumnBatch]:
+        condition = self.logical.condition
+        restore = getattr(self.logical, "restore_order", None)
+        anchor_alias = restore[0] if restore else None
+        anchor_nodes = (
+            self.leaf_nodes.get(anchor_alias) if anchor_alias else None
+        )
+        tracking = (
+            self.output_provenance is not None
+            and left_prov is not None
+            and right_prov is not None
+        )
+        pending: List[Tuple[str, Dict[str, Any]]] = []
+        for left_index, right_index in pairs:
+            right_row = right_rows[right_index]
+            merged = dict(right_row)
+            merged.update(left_rows[left_index])  # left wins on ambiguity
+            merged.update({k: v for k, v in right_row.items() if "." in k})
+            if predicate_holds(condition, merged):
+                node = left_nodes[left_index]
+                if tracking:
+                    prov = dict(left_prov[left_index])
+                    prov.update(right_prov[right_index])
+                    self.output_provenance.append(prov)
+                    if anchor_nodes is not None:
+                        # legacy attribution: the binder-leftmost
+                        # relation's row produced the joined row
+                        node = anchor_nodes[prov[anchor_alias]]
+                pending.append((node, merged))
+                if len(pending) >= BATCH_ROWS:
+                    yield self._build(names, pending)
+                    pending = []
+        if pending:
+            yield self._build(names, pending)
+
+    def _build(
+        self, names: List[str], rows: List[Tuple[str, Dict[str, Any]]]
+    ) -> ColumnBatch:
+        columns = [[row[name] for __, row in rows] for name in names]
+        return ColumnBatch(names, columns, [node for node, __ in rows])
+
+
+class HashJoinOp(_EquiJoinOp):
+    """Equi-join via a hash table on the (estimated) smaller build side."""
+
+    kind = "join-hash"
+    planned_strategy = "hash"
+
+    def _checkpoint(
+        self, observed_left: int, observed_right: int
+    ) -> Tuple[str, str]:
+        if self.adaptive is not None:
+            return self.adaptive.checkpoint_hash(
+                self.logical, observed_left, observed_right
+            )
+        return self.logical.build_side or "right", "hash"
+
+
+class MergeJoinOp(_EquiJoinOp):
+    """Equi-join by sorting both key arrays and merging equal-key groups.
+
+    Chosen when the build side would overflow the hash-table memory
+    budget; the planner guarantees both key columns share one type class,
+    so the sorts cannot hit Python's mixed-type ordering ``TypeError``.
+    """
+
+    kind = "join-merge"
+    planned_strategy = "merge"
+
+    def _checkpoint(
+        self, observed_left: int, observed_right: int
+    ) -> Tuple[str, str]:
+        if self.adaptive is not None:
+            return self.adaptive.checkpoint_merge(
+                self.logical, observed_left, observed_right
+            )
+        return self.logical.build_side or "right", "merge"
 
 
 class FilterOp(PhysicalOperator):

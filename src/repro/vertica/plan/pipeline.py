@@ -21,6 +21,7 @@ from repro import telemetry
 from repro.vertica.engine import CostReport, HashRange, ResultSet
 from repro.vertica.expr import Expression
 from repro.vertica.plan import logical, physical
+from repro.vertica.plan.adaptive import AdaptiveContext
 from repro.vertica.plan.binder import bind_dml_scan, bind_select
 from repro.vertica.plan.logical import LogicalPlan
 from repro.vertica.plan.optimizer import optimize
@@ -35,11 +36,14 @@ def build_operator(
     initiator: str,
     snapshot: int,
     cost: CostReport,
+    adaptive: Optional[AdaptiveContext] = None,
 ) -> physical.PhysicalOperator:
     """Translate one logical node (and its subtree) into operators."""
 
     def build(child: logical.LogicalNode) -> physical.PhysicalOperator:
-        return build_operator(engine, child, txn, initiator, snapshot, cost)
+        return build_operator(
+            engine, child, txn, initiator, snapshot, cost, adaptive
+        )
 
     if isinstance(node, logical.ConstantRelation):
         return physical.ConstantOp(node, initiator)
@@ -52,10 +56,15 @@ def build_operator(
     if isinstance(node, logical.Join):
         left, right = build(node.left), build(node.right)
         if node.strategy == "hash":
-            return physical.HashJoinOp(node, left, right)
-        if node.strategy == "merge":
-            return physical.MergeJoinOp(node, left, right)
-        return physical.JoinOp(node, left, right)
+            op: physical.PhysicalOperator = physical.HashJoinOp(
+                node, left, right
+            )
+        elif node.strategy == "merge":
+            op = physical.MergeJoinOp(node, left, right)
+        else:
+            return physical.JoinOp(node, left, right)
+        op.adaptive = adaptive
+        return op
     if isinstance(node, logical.Filter):
         return physical.FilterOp(node, build(node.child))
     if isinstance(node, logical.Project):
@@ -72,9 +81,16 @@ def build_operator(
 class PipelineExecution:
     """A finished (or failed) run: the plan plus its operator tree."""
 
-    def __init__(self, plan: LogicalPlan, root: physical.PhysicalOperator):
+    def __init__(
+        self,
+        plan: LogicalPlan,
+        root: physical.PhysicalOperator,
+        adaptive: Optional[AdaptiveContext] = None,
+    ):
         self.plan = plan
         self.root = root
+        #: the query's adaptive-execution context (replan events live here)
+        self.adaptive = adaptive
 
     def operators(self) -> List[Tuple[int, physical.PhysicalOperator]]:
         """(depth, operator) pairs, root first."""
@@ -92,24 +108,37 @@ def optimized_plan(engine, statement: ast.Select) -> LogicalPlan:
     """Bind + optimize through the plan cache.
 
     Cached plans are keyed by (canonical statement, catalog version,
-    join-strategy override).  Estimation reads only catalog statistics
-    and binding reads only the catalog, both covered by the version, so
-    a cached plan is identical to a fresh optimize at the same key — the
-    statement just skips bind → optimize.  Statements without a stamped
-    ``cache_key`` (built programmatically, not through a session parse)
-    take the cold path every time.
+    join-strategy override, join-reorder flag, stats-corrections
+    version).  Estimation reads only catalog statistics plus the
+    feedback corrections — all covered by the versions in the key — so a
+    cached plan is identical to a fresh optimize at the same key; the
+    statement just skips bind → optimize.  Keying the corrections
+    version separately means adaptive feedback never poisons the
+    initially-cached plan: the version-0 entry survives untouched while
+    better-estimated plans earn their own entries.  Statements without a
+    stamped ``cache_key`` (built programmatically, not through a session
+    parse) take the cold path every time.
     """
     db = engine.database
     cache = getattr(db, "plan_cache", None)
     version = db.catalog.version
     strategy = db.join_strategy
+    reorder = bool(getattr(db, "join_reorder", False))
+    corrections = getattr(db, "stats_corrections", None)
+    corrections_version = 0 if corrections is None else corrections.version
     if cache is not None:
-        plan = cache.lookup_plan(statement, version, strategy)
+        plan = cache.lookup_plan(
+            statement, version, strategy,
+            join_reorder=reorder, corrections_version=corrections_version,
+        )
         if plan is not None:
             return plan
     plan = optimize(bind_select(db, statement), db)
     if cache is not None:
-        cache.store_plan(statement, version, strategy, plan)
+        cache.store_plan(
+            statement, version, strategy, plan,
+            join_reorder=reorder, corrections_version=corrections_version,
+        )
     return plan
 
 
@@ -122,12 +151,19 @@ def execute_select(
     cost: CostReport,
 ) -> Tuple[ResultSet, PipelineExecution]:
     """Bind, optimize and run one SELECT through physical operators."""
+    db = engine.database
     plan = optimized_plan(engine, statement)
-    root = build_operator(engine, plan.root, txn, initiator, snapshot, cost)
+    adaptive = AdaptiveContext(
+        enabled=bool(getattr(db, "adaptive_execution", False)),
+        strategy_override=getattr(db, "join_strategy", "auto"),
+    )
+    root = build_operator(
+        engine, plan.root, txn, initiator, snapshot, cost, adaptive
+    )
     rows: List[Tuple[Any, ...]] = []
     for batch in root.batches():
         rows.extend(batch.rows())
-    execution = PipelineExecution(plan, root)
+    execution = PipelineExecution(plan, root, adaptive)
     for __, op in execution.operators():
         if op.stats.rows_out:
             telemetry.counter(f"vertica.plan.{op.kind}.rows_out").inc(
@@ -137,7 +173,31 @@ def execute_select(
             telemetry.counter("vertica.plan.join.rows_shuffled").inc(
                 op.stats.rows_shuffled
             )
+    if adaptive.enabled:
+        _record_feedback(db, execution)
     return ResultSet(plan.output_columns, rows, cost=cost), execution
+
+
+def _record_feedback(db, execution: PipelineExecution) -> None:
+    """Feed each scan's estimated-vs-actual delta into the stats store.
+
+    This is the loop's write side: PROFILE-grade observed row counts
+    blend into per-table correction factors the estimator consults on
+    the next optimize, so a repeat of the same query gets a strictly
+    better-estimated plan even before anyone re-runs ANALYZE.
+    """
+    corrections = getattr(db, "stats_corrections", None)
+    if corrections is None:
+        return
+    for __, op in execution.operators():
+        if not isinstance(op, physical.TableScanOp):
+            continue
+        estimated = op.logical.estimated_rows
+        if estimated is None:
+            continue
+        corrections.record(
+            op.logical.table.name, estimated, op.stats.rows_out
+        )
 
 
 # ---------------------------------------------------------------------- DML
@@ -191,10 +251,40 @@ def explain_lines(engine, query: ast.Select, initiator: str) -> List[str]:
             emit(child, depth + 1)
 
     emit(plan.root, 0)
+    lines.extend(_join_order_lines(plan))
     if query.at_epoch is not None:
         lines.append(f"snapshot: AT EPOCH {query.at_epoch}")
     if plan.rules_applied:
         lines.append("OPTIMIZER: " + ", ".join(plan.rules_applied))
+    return lines
+
+
+def _join_order_lines(plan: LogicalPlan) -> List[str]:
+    """The chosen join order with per-step estimates, per reordered chain."""
+    lines: List[str] = []
+    for node in plan.nodes():
+        if not isinstance(node, logical.Join) or node.restore_order is None:
+            continue
+        chain: List[logical.Join] = []
+        walk: logical.LogicalNode = node
+        while isinstance(walk, logical.Join):
+            chain.append(walk)
+            walk = walk.left
+        chain.reverse()  # bottom-up: first join first
+        order = [getattr(walk, "alias", "?")]
+        order += [getattr(join.right, "alias", "?") for join in chain]
+        lines.append(
+            "JOIN ORDER: " + " x ".join(order)
+            + " (reordered from " + ", ".join(node.restore_order) + ")"
+        )
+        for step, join in enumerate(chain, start=1):
+            described = (
+                f"{order[0]} x {order[1]}" if step == 1 else f"+ {order[step]}"
+            )
+            lines.append(
+                f"  step {step}: {described} "
+                f"(estimated rows: {join.estimated_rows})"
+            )
     return lines
 
 
@@ -245,6 +335,12 @@ class PlanProfile:
     def operators(self) -> List[Tuple[int, physical.PhysicalOperator]]:
         return self.execution.operators()
 
+    @property
+    def replans(self) -> List[Any]:
+        """Replan events the adaptive executor recorded for this query."""
+        adaptive = getattr(self.execution, "adaptive", None)
+        return list(adaptive.events) if adaptive is not None else []
+
     def operator_rows(self) -> List[Tuple[str, int, int]]:
         """(kind, rows_in, rows_out) per operator, root first."""
         return [
@@ -274,8 +370,11 @@ class PlanProfile:
             parts.append(f"time: {stats.elapsed_s * 1000.0:.3f} ms")
             out.append("  " * depth + f"{op.label()}  ({', '.join(parts)})")
         plan = self.execution.plan
+        out.extend(_join_order_lines(plan))
         if plan.rules_applied:
             out.append("OPTIMIZER: " + ", ".join(plan.rules_applied))
+        for event in self.replans:
+            out.append("REPLAN: " + event.describe())
         cost = self.result.cost
         out.append(
             "COST: "

@@ -34,7 +34,9 @@ _DDL_NODES = (
 class Session:
     """One client connection to one Vertica node."""
 
-    def __init__(self, database: "repro.vertica.database.VerticaDatabase", node: str):  # noqa: F821
+    def __init__(self,
+                 database: "repro.vertica.database.VerticaDatabase",  # noqa: F821
+                 node: str):
         self.database = database
         self.node = node
         self._txn: Optional[Transaction] = None
@@ -184,6 +186,24 @@ class Session:
                     "(expected 'on' or 'off')"
                 )
             self.result_cache_enabled = value == "on"
+            return
+        if name == "JOIN_REORDER":
+            value = str(statement.value).lower()
+            if value not in ("on", "off"):
+                raise SqlError(
+                    f"invalid JOIN_REORDER {statement.value!r} "
+                    "(expected 'on' or 'off')"
+                )
+            self.database.join_reorder = value == "on"
+            return
+        if name == "ADAPTIVE_EXECUTION":
+            value = str(statement.value).lower()
+            if value not in ("on", "off"):
+                raise SqlError(
+                    f"invalid ADAPTIVE_EXECUTION {statement.value!r} "
+                    "(expected 'on' or 'off')"
+                )
+            self.database.adaptive_execution = value == "on"
             return
         raise SqlError(f"unknown session option {statement.name!r}")
 

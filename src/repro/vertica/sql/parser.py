@@ -372,7 +372,8 @@ class _Parser:
         alias = ""
         if self.accept("AS"):
             alias = self.expect_ident()
-        elif self.peek().kind == "IDENT" and self.peek().text not in _RESERVED_STOPWORDS:
+        elif (self.peek().kind == "IDENT"
+              and self.peek().text not in _RESERVED_STOPWORDS):
             alias = self.expect_ident()
         return ast.TableRef(name, alias)
 

@@ -1,0 +1,93 @@
+"""Estimated-vs-actual feedback from executed queries into the optimizer.
+
+PROFILE reconciles every operator's ``estimated_rows`` against its
+observed ``rows_out``; this module is where those deltas land.  A
+:class:`CorrectionStore` keeps one multiplicative correction factor per
+table — the blended ratio of actual to estimated scan output — and the
+cardinality estimator multiplies its base-table estimates by that
+factor, so a query whose stats were stale the first time around gets a
+strictly better-estimated plan on the next execution.
+
+Two design points keep the loop stable:
+
+- Corrections are an EWMA blend, clamped to ``[MIN_FACTOR, MAX_FACTOR]``,
+  so one aberrant run cannot swing the estimator by more than the blend
+  weight allows and repeated accurate runs decay the factor back to 1.
+- The store carries a monotonic ``version`` that only advances when a
+  factor moves *materially* (more than ``MATERIAL_CHANGE`` relative).
+  The plan cache keys on that version: the initial plan stays cached and
+  unpoisoned, corrected plans get their own entries, and well-estimated
+  steady-state workloads do not churn the cache at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro import telemetry
+
+#: EWMA weight given to the newest observation when blending factors.
+BLEND_WEIGHT = 0.5
+
+#: corrections are clamped into [1/MAX_CORRECTION, MAX_CORRECTION]
+MAX_CORRECTION = 1000.0
+
+#: relative factor movement below which ``version`` does not advance
+MATERIAL_CHANGE = 0.05
+
+#: observations are ignored entirely below this estimate (nothing to fix)
+MIN_ESTIMATED_ROWS = 1
+
+
+class CorrectionStore:
+    """Per-table multiplicative cardinality corrections with a version."""
+
+    def __init__(self, name: str = "vertica.stats.feedback"):
+        self.name = name
+        self._factors: Dict[str, float] = {}
+        self.version = 0
+        self.recorded = 0
+
+    def factor(self, table_name: str) -> float:
+        """The correction multiplier for ``table_name`` (1.0 when unknown)."""
+        return self._factors.get(table_name, 1.0)
+
+    def record(self, table_name: str, estimated: int, actual: int) -> bool:
+        """Blend one estimated-vs-actual scan observation into the store.
+
+        Returns True when the table's factor moved materially (and the
+        store version advanced), False otherwise.
+        """
+        if estimated is None or estimated < MIN_ESTIMATED_ROWS:
+            return False
+        observed_ratio = max(actual, 0) / float(estimated)
+        observed_ratio = min(max(observed_ratio, 1.0 / MAX_CORRECTION),
+                             MAX_CORRECTION)
+        previous = self._factors.get(table_name, 1.0)
+        blended = (1.0 - BLEND_WEIGHT) * previous + BLEND_WEIGHT * observed_ratio
+        self._factors[table_name] = blended
+        self.recorded += 1
+        reference = max(abs(previous), 1e-9)
+        if abs(blended - previous) / reference <= MATERIAL_CHANGE:
+            return False
+        self.version += 1
+        telemetry.counter(f"{self.name}.corrections").inc()
+        telemetry.gauge(f"{self.name}.version").set(self.version)
+        return True
+
+    def forget(self, table_name: str) -> None:
+        """Drop a table's correction (fresh ANALYZE supersedes feedback)."""
+        if table_name in self._factors:
+            del self._factors[table_name]
+            self.version += 1
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self._factors)
+
+    def items(self) -> Tuple[Tuple[str, float], ...]:
+        return tuple(sorted(self._factors.items()))
+
+    def clear(self) -> None:
+        if self._factors:
+            self.version += 1
+        self._factors.clear()

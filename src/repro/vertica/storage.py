@@ -22,7 +22,8 @@ from repro.vertica.errors import CatalogError
 class RosContainer:
     """One immutable committed batch of rows on one node."""
 
-    __slots__ = ("column_names", "columns", "commit_epoch", "delete_epochs", "row_hashes")
+    __slots__ = ("column_names", "columns", "commit_epoch", "delete_epochs",
+                 "row_hashes")
 
     def __init__(
         self,
@@ -57,7 +58,8 @@ class RosContainer:
                 yield index
 
     def row(self, index: int) -> Dict[str, Any]:
-        return {name: column[index] for name, column in zip(self.column_names, self.columns)}
+        return {name: column[index]
+                for name, column in zip(self.column_names, self.columns)}
 
     def row_tuple(self, index: int) -> Tuple[Any, ...]:
         return tuple(column[index] for column in self.columns)

@@ -146,7 +146,8 @@ class TupleMover:
         return merged
 
 
-def storage_container_stats(database: "VerticaDatabase") -> List[Tuple[str, str, int, int]]:  # noqa: F821
+def storage_container_stats(
+        database: "VerticaDatabase") -> List[Tuple[str, str, int, int]]:  # noqa: F821
     """(node, table, container count, live rows) per (node, table)."""
     out = []
     epoch = database.epochs.current

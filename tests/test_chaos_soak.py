@@ -15,14 +15,15 @@ class TestSoakSmoke:
     def test_small_soak_holds_invariants(self):
         trials = run_soak(num_seeds=3, base_seed=100)
         # one S2V + V2S + agg + wlm + profile + staged-s2v + staged-v2s
-        # + cache per seed
-        assert len(trials) == 24
+        # + cache + adaptive per seed
+        assert len(trials) == 27
         assert any(t.workload == "agg" for t in trials)
         assert any(t.workload == "wlm" for t in trials)
         assert any(t.workload == "profile" for t in trials)
         assert any(t.workload == "staged-s2v" for t in trials)
         assert any(t.workload == "staged-v2s" for t in trials)
         assert any(t.workload == "cache" for t in trials)
+        assert any(t.workload == "adaptive" for t in trials)
         bad = [t for t in trials if not t.ok]
         assert not bad, "\n".join(t.describe() for t in bad)
         # The soak must actually exercise faults and still complete work.
